@@ -1,0 +1,185 @@
+package compreuse
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (Ding & Li, CGO 2004, §3). Each benchmark regenerates
+// its table/figure through internal/bench, printing the rows on the first
+// iteration, and reports the paper's headline metric as custom b.Report
+// metrics (speedups, reuse rates, energy savings).
+//
+// The shared runner memoizes pipeline runs across benchmarks, so
+// `go test -bench=. -benchmem` performs one full evaluation. Benchmarks
+// run at a reduced workload scale (benchScale) to keep the suite fast;
+// `cmd/crcbench` runs the full published configuration.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"compreuse/internal/bench"
+)
+
+// benchScale divides workload sizes for the in-test harness (cmd/crcbench
+// uses scale 1).
+const benchScale = 4
+
+var (
+	benchRunnerOnce sync.Once
+	benchRunner     *bench.Runner
+)
+
+func sharedRunner() *bench.Runner {
+	benchRunnerOnce.Do(func() {
+		benchRunner = bench.NewRunner()
+		benchRunner.Scale = benchScale
+	})
+	return benchRunner
+}
+
+// runExperiment drives one table/figure generator; output is printed once.
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	var exp *bench.Experiment
+	for _, e := range bench.Experiments() {
+		if e.Name == name {
+			exp = &e
+			break
+		}
+	}
+	if exp == nil {
+		b.Fatalf("unknown experiment %s", name)
+	}
+	r := sharedRunner()
+	for i := 0; i < b.N; i++ {
+		var w io.Writer = io.Discard
+		if i == 0 {
+			w = os.Stdout
+			fmt.Println()
+		}
+		if err := exp.Run(w, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// reportSpeedups attaches per-program speedups as benchmark metrics.
+func reportSpeedups(b *testing.B, level string) {
+	r := sharedRunner()
+	for _, p := range bench.Core() {
+		rep, err := r.Report(p.Name, level)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.Speedup(), p.Name+"_speedup")
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3 (optimization-decision factors:
+// granularity, overhead, DIP#, reuse rate, table size).
+func BenchmarkTable3(b *testing.B) {
+	runExperiment(b, "table3")
+	r := sharedRunner()
+	for _, p := range bench.Core() {
+		rep, err := r.Report(p.Name, "O0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d := bench.MainDecision(rep); d != nil {
+			b.ReportMetric(d.Profile.ReuseRate(), p.Name+"_R")
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4 (segments analyzed / profiled /
+// transformed).
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkTable5 regenerates Table 5 (hit ratios with 1/4/16/64-entry LRU
+// buffers emulating the hardware proposals).
+func BenchmarkTable5(b *testing.B) { runExperiment(b, "table5") }
+
+// BenchmarkTable6 regenerates Table 6 (speedups at O0, with the G721 _s/_b
+// variants and the harmonic mean).
+func BenchmarkTable6(b *testing.B) {
+	runExperiment(b, "table6")
+	reportSpeedups(b, "O0")
+}
+
+// BenchmarkTable7 regenerates Table 7 (speedups at O3).
+func BenchmarkTable7(b *testing.B) {
+	runExperiment(b, "table7")
+	reportSpeedups(b, "O3")
+}
+
+// BenchmarkTable8 regenerates Table 8 (energy savings at O0).
+func BenchmarkTable8(b *testing.B) {
+	runExperiment(b, "table8")
+	r := sharedRunner()
+	for _, p := range bench.Core() {
+		rep, err := r.Report(p.Name, "O0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.EnergySaving()*100, p.Name+"_save%")
+	}
+}
+
+// BenchmarkTable9 regenerates Table 9 (energy savings at O3).
+func BenchmarkTable9(b *testing.B) { runExperiment(b, "table9") }
+
+// BenchmarkTable10 regenerates Table 10 (speedups on inputs other than the
+// profiled one, at O3).
+func BenchmarkTable10(b *testing.B) { runExperiment(b, "table10") }
+
+// BenchmarkFigure5 regenerates Figure 5 (G721_encode input-value histogram).
+func BenchmarkFigure5(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFigure6 regenerates Figure 6 (G721_decode input-value histogram).
+func BenchmarkFigure6(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFigure7 regenerates Figure 7 (G721_encode accessed-entry
+// histogram).
+func BenchmarkFigure7(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFigure8 regenerates Figure 8 (G721_decode accessed-entry
+// histogram).
+func BenchmarkFigure8(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFigure11 regenerates Figure 11 (RASTA distinct-input-pattern
+// histogram).
+func BenchmarkFigure11(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFigure12 regenerates Figure 12 (UNEPIC input-value histogram).
+func BenchmarkFigure12(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFigure13 regenerates Figure 13 (GNU Go input-value histogram).
+func BenchmarkFigure13(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFigure14 regenerates Figure 14 (speedups vs hash-table size,
+// O0).
+func BenchmarkFigure14(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkFigure15 regenerates Figure 15 (speedups vs hash-table size,
+// O3).
+func BenchmarkFigure15(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkVM measures the raw interpreter throughput on the quan loop —
+// a substrate microbenchmark, not a paper artifact.
+func BenchmarkVM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute("quan.c", quanSrc, []int64{7, 2000}, "O0"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMemo measures the Go-level memoization wrapper overhead.
+func BenchmarkMemo(b *testing.B) {
+	f, _ := Memo(func(x int) int { return x * x })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(i & 63)
+	}
+}

@@ -1,0 +1,71 @@
+// Command crcbench regenerates the evaluation of Ding & Li (CGO 2004):
+// every table (3-10) and figure (5-8, 11-15) of the paper, using the MiniC
+// re-implementations of the Mediabench kernels and GNU Go in
+// internal/bench.
+//
+// Usage:
+//
+//	crcbench                 # everything, full workload sizes
+//	crcbench -exp table6     # one table or figure
+//	crcbench -exp table6,fig14
+//	crcbench -scale 4        # divide workload sizes by 4 (quick look)
+//	crcbench -list           # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"compreuse/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment names (see -list), or 'all'")
+	scale := flag.Int64("scale", 1, "divide workload sizes by this factor")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	runner := bench.NewRunner()
+	runner.Scale = *scale
+	if !*quiet {
+		runner.Progress = os.Stderr
+	}
+
+	want := map[string]bool{}
+	all := *exp == "all" || *exp == ""
+	for _, name := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+
+	start := time.Now()
+	ran := 0
+	for _, e := range bench.Experiments() {
+		if !all && !want[e.Name] {
+			continue
+		}
+		if err := e.Run(os.Stdout, runner); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q (try -list)\n", *exp)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "%d experiments in %.1fs\n", ran, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,192 @@
+package compreuse
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+const quanSrc = `
+int power2[15] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384};
+
+int quan(int val, int *table, int size) {
+    int i;
+    for (i = 0; i < size; i++)
+        if (val < table[i])
+            break;
+    return (i);
+}
+
+int main(int seed, int n) {
+    int s = 0;
+    int x = seed;
+    int v;
+    for (v = 0; v < n; v++) {
+        x = (x * 75 + 74) & 1023;
+        s += quan(x, power2, 15);
+    }
+    print_int(s);
+    return s & 255;
+}
+`
+
+func TestRunPublicAPI(t *testing.T) {
+	rep, err := Run(Options{Name: "quan.c", Source: quanSrc, MainArgs: []int64{7, 5000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SegmentsTransformed != 1 {
+		t.Fatalf("transformed = %d", rep.SegmentsTransformed)
+	}
+	if rep.Baseline.Ret != rep.Reuse.Ret || rep.Baseline.Output != rep.Reuse.Output {
+		t.Fatal("semantics not preserved")
+	}
+	if rep.Speedup() <= 1.2 {
+		t.Fatalf("speedup = %.2f", rep.Speedup())
+	}
+	for _, want := range []string{"__crc_probe", "__crc_record", "__crc_fetch"} {
+		if !strings.Contains(rep.TransformedSource, want) {
+			t.Fatalf("transformed source missing %s", want)
+		}
+	}
+}
+
+func TestExecute(t *testing.T) {
+	res, err := Execute("quan.c", quanSrc, []int64{7, 100}, "O0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || res.Seconds <= 0 || res.Joules <= 0 {
+		t.Fatalf("bad measurements: %+v", res)
+	}
+	res3, err := Execute("quan.c", quanSrc, []int64{7, 100}, "O3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Ret != res.Ret {
+		t.Fatal("O-levels disagree")
+	}
+	if res3.Cycles >= res.Cycles {
+		t.Fatal("O3 must be faster")
+	}
+}
+
+func TestRunSweepPublicAPI(t *testing.T) {
+	_, outs, err := RunSweep(
+		Options{Name: "quan.c", Source: quanSrc, MainArgs: []int64{7, 5000}},
+		[]SweepPoint{{Entries: 4, LRU: true}, {Entries: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("outcomes: %d", len(outs))
+	}
+	if outs[0].Speedup >= outs[1].Speedup {
+		t.Fatalf("4-entry LRU (%.2f) must lose to optimal (%.2f)",
+			outs[0].Speedup, outs[1].Speedup)
+	}
+}
+
+func TestProgramsSuite(t *testing.T) {
+	progs := Programs()
+	if len(progs) != 11 {
+		t.Fatalf("suite has %d programs, want 11", len(progs))
+	}
+	if _, err := ProgramByName("G721_encode"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProgramByName("nope"); err == nil {
+		t.Fatal("expected error for unknown program")
+	}
+}
+
+func TestMemo(t *testing.T) {
+	calls := 0
+	f, stats := Memo(func(x int) int {
+		calls++
+		return x * x
+	})
+	for i := 0; i < 100; i++ {
+		if got := f(i % 10); got != (i%10)*(i%10) {
+			t.Fatalf("f(%d) = %d", i%10, got)
+		}
+	}
+	if calls != 10 {
+		t.Fatalf("underlying called %d times, want 10", calls)
+	}
+	if stats.Calls != 100 || stats.Hits != 90 || stats.Distinct != 10 {
+		t.Fatalf("stats: %+v", *stats)
+	}
+	if stats.HitRatio() != 0.9 {
+		t.Fatalf("hit ratio %v", stats.HitRatio())
+	}
+	if r := stats.ReuseRate(); r != 0.9 {
+		t.Fatalf("reuse rate %v", r)
+	}
+}
+
+func TestMemoConcurrent(t *testing.T) {
+	f, stats := Memo(func(x int) int { return x + 1 })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if f(i%17) != i%17+1 {
+					t.Error("wrong value")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if stats.Calls != 8000 {
+		t.Fatalf("calls = %d", stats.Calls)
+	}
+	if stats.Distinct != 17 {
+		t.Fatalf("distinct = %d", stats.Distinct)
+	}
+}
+
+func TestMemo2(t *testing.T) {
+	f, stats := Memo2(func(a, b int) int { return a*100 + b })
+	if f(1, 2) != 102 || f(1, 2) != 102 || f(2, 1) != 201 {
+		t.Fatal("wrong values")
+	}
+	if stats.Calls != 3 || stats.Hits != 1 || stats.Distinct != 2 {
+		t.Fatalf("stats: %+v", *stats)
+	}
+}
+
+func TestMemoProperty(t *testing.T) {
+	// Memoized function is extensionally equal to the original.
+	f := func(x int32) int64 { return int64(x)*2654435761 ^ 0x5bd1e995 }
+	m, _ := Memo(f)
+	prop := func(x int32) bool { return m(x) == f(x) && m(x) == f(x) }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoTable(t *testing.T) {
+	mt := NewMemoTable(MemoTableConfig{Name: "t", Entries: 16})
+	key := EncodeInt(nil, 5)
+	if _, ok := mt.Lookup(key); ok {
+		t.Fatal("hit on empty table")
+	}
+	mt.Store(key, 42)
+	v, ok := mt.Lookup(key)
+	if !ok || v != 42 {
+		t.Fatalf("lookup: %v %v", v, ok)
+	}
+	st := mt.Stats()
+	if st.Calls != 2 || st.Hits != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	fk := EncodeFloat(nil, 3.25)
+	if len(fk) != 8 {
+		t.Fatalf("float key length %d", len(fk))
+	}
+}

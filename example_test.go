@@ -1,0 +1,83 @@
+package compreuse_test
+
+import (
+	"fmt"
+
+	"compreuse"
+)
+
+// ExampleRun applies the whole scheme to the paper's running example: the
+// G.721 quantizer quan, specialized and memoized automatically.
+func ExampleRun() {
+	src := `
+int power2[15] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384};
+
+int quan(int val, int *table, int size) {
+    int i;
+    for (i = 0; i < size; i++)
+        if (val < table[i])
+            break;
+    return (i);
+}
+
+int main(int seed, int n) {
+    int s = 0;
+    int x = seed;
+    int v;
+    for (v = 0; v < n; v++) {
+        x = (x * 75 + 74) & 1023;
+        s += quan(x, power2, 15);
+    }
+    return s & 255;
+}
+`
+	rep, err := compreuse.Run(compreuse.Options{
+		Name: "quan.c", Source: src, MainArgs: []int64{7, 8000},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("specialized: %v\n", rep.Specialized)
+	fmt.Printf("transformed: %d segment(s)\n", rep.SegmentsTransformed)
+	fmt.Printf("results equal: %v\n", rep.Baseline.Ret == rep.Reuse.Ret)
+	fmt.Printf("faster: %v\n", rep.Reuse.Cycles < rep.Baseline.Cycles)
+	// Output:
+	// specialized: [quan__spec1]
+	// transformed: 1 segment(s)
+	// results equal: true
+	// faster: true
+}
+
+// ExampleMemo memoizes a pure Go function with the reuse-table runtime.
+func ExampleMemo() {
+	square, stats := compreuse.Memo(func(x int) int { return x * x })
+	for i := 0; i < 100; i++ {
+		square(i % 4)
+	}
+	fmt.Printf("calls=%d distinct=%d hits=%d\n", stats.Calls, stats.Distinct, stats.Hits)
+	fmt.Printf("reuse rate R = %.2f\n", stats.ReuseRate())
+	// Output:
+	// calls=100 distinct=4 hits=96
+	// reuse rate R = 0.96
+}
+
+// ExampleExecute runs a MiniC program on the simulated 206 MHz iPAQ.
+func ExampleExecute() {
+	res, err := compreuse.Execute("hello.c", `
+int main(void) {
+    print_str("hello from the iPAQ");
+    print_int(6 * 7);
+    return 0;
+}`, nil, "O0")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Print(res.Output)
+	fmt.Printf("measured some cycles: %v\n", res.Cycles > 0)
+	// Output:
+	// hello from the iPAQ
+	// 42
+	// measured some cycles: true
+}

@@ -1,0 +1,59 @@
+// GNU Go: demonstrate hash-table merging (paper §2.5). The game's
+// accumulate_influence contains eight code segments with identical input
+// variables; merging their tables shares one key column plus a valid-bit
+// vector per entry. In the paper the unmerged version ran out of memory on
+// the iPAQ, while the merged version gained over 20% performance.
+//
+// Run with: go run ./examples/gnugo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"compreuse"
+)
+
+func main() {
+	prog, err := compreuse.ProgramByName("GNUGO")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	merged, err := compreuse.Run(prog.RunOptions("O0"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	noMergeOpts := prog.RunOptions("O0")
+	noMergeOpts.NoMerge = true
+	split, err := compreuse.Run(noMergeOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sum := func(rep *compreuse.Report) (tables, bytes int, hits int64) {
+		for _, t := range rep.Tables {
+			tables++
+			bytes += t.SizeBytes
+			hits += t.Stats.Hits
+		}
+		return
+	}
+	mt, mb, mh := sum(merged)
+	st, sb, sh := sum(split)
+
+	fmt.Printf("%s: %d influence segments transformed\n\n", prog.Name, merged.SegmentsTransformed)
+	fmt.Printf("merged  (§2.5): %d table(s), %7d bytes, %d hits, speedup %.2fx\n",
+		mt, mb, mh, merged.Speedup())
+	fmt.Printf("unmerged:       %d table(s), %7d bytes, %d hits, speedup %.2fx\n",
+		st, sb, sh, split.Speedup())
+	if sb > 0 {
+		fmt.Printf("\nmerging saves %.1f%% of table memory (the paper's iPAQ ran out\n"+
+			"of memory without it) at identical hit behavior.\n",
+			(1-float64(mb)/float64(sb))*100)
+	}
+	for _, t := range merged.Tables {
+		fmt.Printf("\nmerged table %q:\n  %d entries x %dB (16B key + 8 outputs + 8B bit vector)\n",
+			t.Name, t.Entries, t.EntryBytes)
+	}
+}

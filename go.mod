@@ -1,0 +1,3 @@
+module compreuse
+
+go 1.22

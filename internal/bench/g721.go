@@ -1,0 +1,275 @@
+// Package bench contains the benchmark suite reproducing the paper's
+// evaluation (§3): MiniC re-implementations of the reused kernels of six
+// Mediabench programs and GNU Go, with deterministic synthetic input
+// generators replacing the Mediabench input files (see DESIGN.md for the
+// substitution rationale), plus the harness that regenerates every table
+// and figure.
+//
+// Each program is a faithful kernel + driver: the reused computation (the
+// paper's Table 4 functions) computes the real function — quan really
+// performs the G.721 segment quantization, Reference_IDCT really inverts
+// the DCT — while the surrounding driver synthesizes input streams whose
+// value-locality statistics (N, distinct input patterns, reuse rate)
+// approximate the paper's Table 3, scaled down for simulation speed.
+package bench
+
+// g721Common holds the pieces shared by all G721 variants: the power2
+// table, the synthetic PCM source (a triangle carrier plus a bounded
+// random walk, standing in for the clinton.pcm speech file), and the
+// ADPCM-style predictor.
+const g721Common = `
+/* G.721 ADPCM kernel, after Mediabench g721/g72x.c. The quantizer table
+   holds powers of two: quan() performs the segment search of the G.721
+   log-PCM quantization. */
+int power2[15] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384};
+
+/* --- synthetic PCM source (stands in for the Mediabench .pcm input) --- */
+int rng;
+int walk;
+int phase;
+int carrier[64];
+
+void init_carrier(void) {
+    /* triangle carrier at 16-bit PCM amplitude */
+    int i;
+    for (i = 0; i < 16; i++)
+        carrier[i] = i * 440;
+    for (i = 0; i < 32; i++)
+        carrier[16 + i] = 7040 - i * 440;
+    for (i = 0; i < 16; i++)
+        carrier[48 + i] = 0 - 7040 + i * 440;
+}
+
+int next_sample(void) {
+    rng = (rng * 1103515245 + 12345) & 1073741823;
+    int jitter = (rng >> 16) & 255;
+    walk = walk + jitter - 127;
+    if (walk > 3200)
+        walk = 3200;
+    if (walk < 0 - 3200)
+        walk = 0 - 3200;
+    phase = phase + 1;
+    if (phase >= 64)
+        phase = 0;
+    int s = carrier[phase] + walk;
+    return s;
+}
+
+/* --- ADPCM predictor state --- */
+int pred;
+int chk;
+
+int dequan(int q) {
+    int dq = power2[q] >> 1;
+    return dq;
+}
+`
+
+// g721QuanLinear is the paper's Figure 4: the original three-parameter
+// quan with a linear table search. Code specialization (§2.4) reduces it
+// to the one-input version of Figure 2(a); without specialization the
+// pointer parameter makes the segment untransformable.
+const g721QuanLinear = `
+int quan(int val, int *table, int size) {
+    int i;
+    for (i = 0; i < size; i++)
+        if (val < table[i])
+            break;
+    return (i);
+}
+
+int quan_calls;
+
+int quantize(int ad) {
+    /* call-site bookkeeping, as g721's update() does: the counter varies
+       every call, so the scheme must reach for quan itself */
+    quan_calls++;
+    int q = quan(ad, power2, 15);
+    return q;
+}
+`
+
+// g721QuanBinary is the paper's Figure 9: complete unrolling with a binary
+// search (the G721_encode_b / G721_decode_b variants).
+const g721QuanBinary = `
+int quan(int val) {
+    int i;
+    if (val < power2[7]) {
+        if (val < power2[3]) {
+            if (val < power2[1])
+                i = (val < power2[0]) ? 0 : 1;
+            else
+                i = (val < power2[2]) ? 2 : 3;
+        } else {
+            if (val < power2[5])
+                i = (val < power2[4]) ? 4 : 5;
+            else
+                i = (val < power2[6]) ? 6 : 7;
+        }
+    } else {
+        if (val < power2[11]) {
+            if (val < power2[9])
+                i = (val < power2[8]) ? 8 : 9;
+            else
+                i = (val < power2[10]) ? 10 : 11;
+        } else {
+            if (val < power2[13])
+                i = (val < power2[12]) ? 12 : 13;
+            else
+                i = (val < power2[14]) ? 14 : 15;
+        }
+    }
+    return (i);
+}
+
+int quan_calls;
+
+int quantize(int ad) {
+    quan_calls++;
+    int q = quan(ad);
+    return q;
+}
+`
+
+// g721QuanShift is the paper's Figure 10: the power2 table replaced by
+// shift operations (the G721_encode_s / G721_decode_s variants).
+const g721QuanShift = `
+int quan(int val) {
+    int i;
+    int j;
+    j = 1;
+    for (i = 0; i < 15; i++) {
+        if (val < j)
+            break;
+        j = j << 1;
+    }
+    return (i);
+}
+
+int quan_calls;
+
+int quantize(int ad) {
+    quan_calls++;
+    int q = quan(ad);
+    return q;
+}
+`
+
+// g721EncodeMain drives the encoder: per sample, quantize the prediction
+// difference and update the predictor, as g721's g721_encoder does.
+const g721EncodeMain = `
+void encode_one(int sample) {
+    int d = sample - pred;
+    int ad;
+    if (d < 0) {
+        ad = 0 - d;
+    } else {
+        ad = d;
+    }
+    int q = quantize(ad);
+    int dq = dequan(q);
+    if (d < 0)
+        pred = pred - dq;
+    else
+        pred = pred + dq;
+    if (pred > 16000)
+        pred = 16000;
+    if (pred < 0 - 16000)
+        pred = 0 - 16000;
+    chk = (chk + q * 31 + 7) & 16777215;
+}
+
+int main(int seed, int n) {
+    rng = seed;
+    walk = 0;
+    phase = 0;
+    pred = 0;
+    chk = 0;
+    init_carrier();
+    int i;
+    for (i = 0; i < n; i++) {
+        int s = next_sample();
+        encode_one(s);
+    }
+    print_int(chk);
+    return chk & 255;
+}
+`
+
+// g721DecodeMain drives encoder+decoder: the decoder re-quantizes its
+// reconstruction error, so quan runs twice per sample (the paper's decode
+// invokes quan 2.9M times against encode's 1.6M).
+const g721DecodeMain = `
+int dpred;
+void decode_one(int q, int sign) {
+    int dq = dequan(q);
+    if (sign < 0)
+        dpred = dpred - dq;
+    else
+        dpred = dpred + dq;
+    if (dpred > 16000)
+        dpred = 16000;
+    if (dpred < 0 - 16000)
+        dpred = 0 - 16000;
+    /* scale-factor adaptation: the decoder re-quantizes its adapted step
+       size (g721's update() calls quan on the scale factor) */
+    int step = dq + (dpred >> 6);
+    int astep;
+    if (step < 0) {
+        astep = 0 - step;
+    } else {
+        astep = step;
+    }
+    int q2 = quantize(astep);
+    chk = (chk + q * 31 + q2 * 13 + 7) & 16777215;
+}
+
+void encode_one(int sample) {
+    int d = sample - pred;
+    int ad;
+    if (d < 0) {
+        ad = 0 - d;
+    } else {
+        ad = d;
+    }
+    int q = quantize(ad);
+    int sign = d;
+    int dq = dequan(q);
+    if (d < 0)
+        pred = pred - dq;
+    else
+        pred = pred + dq;
+    if (pred > 16000)
+        pred = 16000;
+    if (pred < 0 - 16000)
+        pred = 0 - 16000;
+    decode_one(q, sign);
+}
+
+int main(int seed, int n) {
+    rng = seed;
+    walk = 0;
+    phase = 0;
+    pred = 0;
+    dpred = 0;
+    chk = 0;
+    init_carrier();
+    int i;
+    for (i = 0; i < n; i++) {
+        int s = next_sample();
+        encode_one(s);
+    }
+    print_int(chk);
+    return chk & 255;
+}
+`
+
+// G721 source assemblies.
+var (
+	g721EncodeSrc  = g721Common + g721QuanLinear + g721EncodeMain
+	g721EncodeBSrc = g721Common + g721QuanBinary + g721EncodeMain
+	g721EncodeSSrc = g721Common + g721QuanShift + g721EncodeMain
+	g721DecodeSrc  = g721Common + g721QuanLinear + g721DecodeMain
+	g721DecodeBSrc = g721Common + g721QuanBinary + g721DecodeMain
+	g721DecodeSSrc = g721Common + g721QuanShift + g721DecodeMain
+)

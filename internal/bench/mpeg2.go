@@ -1,0 +1,217 @@
+package bench
+
+// MPEG2: the paper reuses fdct in MPEG2_encode and Reference_IDCT in
+// MPEG2_decode (Table 4). Both kernels here compute the real 2-D DCT /
+// inverse DCT of an 8x8 block by the direct double sum over a cosine
+// table, exactly the structure of mpeg2play's double-precision
+// Reference_IDCT. The cosine table is filled once at start-up (so the code
+// coverage analysis proves it invariant) using a Taylor-series cosine —
+// MiniC has no math library, as the SA-1110 has no FPU.
+//
+// Input synthesis: MPEG2_decode sees quantized coefficient blocks, which
+// real streams make highly repetitive (many all-zero and DC-only blocks
+// after quantization) — the paper measured a 48.6% reuse rate;
+// MPEG2_encode sees raw pixel blocks, which repeat rarely (9.8%).
+
+const mpeg2Common = `
+/* ---- math substrate: Taylor cosine with range reduction ---- */
+float PI = 3.14159265358979;
+
+float my_cos(float x) {
+    while (x > PI)
+        x = x - 2.0 * PI;
+    while (x < 0.0 - PI)
+        x = x + 2.0 * PI;
+    float x2 = x * x;
+    float r = 1.0;
+    r = r - x2 / 2.0;
+    float t = x2 * x2;
+    r = r + t / 24.0;
+    t = t * x2;
+    r = r - t / 720.0;
+    t = t * x2;
+    r = r + t / 40320.0;
+    t = t * x2;
+    r = r - t / 3628800.0;
+    t = t * x2;
+    r = r + t / 479001600.0;
+    return r;
+}
+
+/* ctab[u][x] = c(u) * cos((2x+1) u pi / 16) */
+float ctab[8][8];
+
+void init_ctab(void) {
+    int u;
+    int x;
+    for (u = 0; u < 8; u++) {
+        for (x = 0; x < 8; x++) {
+            float cu;
+            if (u == 0)
+                cu = 0.3535533905932738;
+            else
+                cu = 0.5;
+            float ang = (2.0 * (float)x + 1.0) * (float)u * PI / 16.0;
+            ctab[u][x] = cu * my_cos(ang);
+        }
+    }
+}
+
+int blockin[8][8];
+int blockout[8][8];
+int rng2;
+int chk2;
+
+int next_rand(void) {
+    rng2 = (rng2 * 1103515245 + 12345) & 1073741823;
+    int r = (rng2 >> 8) & 65535;
+    return r;
+}
+
+void consume_block(void) {
+    int y;
+    int x;
+    for (y = 0; y < 8; y++)
+        for (x = 0; x < 8; x++)
+            chk2 = (chk2 + blockout[y][x] * (y * 8 + x + 1)) & 16777215;
+}
+`
+
+// mpeg2IDCT is the decode kernel: the double-precision direct inverse DCT
+// of mpeg2play's Reference_IDCT.
+const mpeg2IDCT = `
+void Reference_IDCT(void) {
+    int y;
+    int x;
+    for (y = 0; y < 8; y++) {
+        for (x = 0; x < 8; x++) {
+            float sum = 0.0;
+            int v;
+            int u;
+            for (v = 0; v < 8; v++)
+                for (u = 0; u < 8; u++)
+                    sum = sum + ctab[v][y] * ctab[u][x] * (float)blockin[v][u];
+            int p = (int)(sum + 0.5);
+            if (p > 255)
+                p = 255;
+            if (p < 0 - 255)
+                p = 0 - 255;
+            blockout[y][x] = p;
+        }
+    }
+}
+`
+
+// mpeg2FDCT is the encode kernel: the forward transform by the same
+// direct double sum.
+const mpeg2FDCT = `
+void fdct(void) {
+    int v;
+    int u;
+    for (v = 0; v < 8; v++) {
+        for (u = 0; u < 8; u++) {
+            float sum = 0.0;
+            int y;
+            int x;
+            for (y = 0; y < 8; y++)
+                for (x = 0; x < 8; x++)
+                    sum = sum + ctab[v][y] * ctab[u][x] * (float)blockin[y][x];
+            int p = (int)(sum * 0.25 + 0.5);
+            if (p > 2047)
+                p = 2047;
+            if (p < 0 - 2047)
+                p = 0 - 2047;
+            blockout[v][u] = p;
+        }
+    }
+}
+`
+
+// mpeg2DecodeMain feeds quantized coefficient blocks: ~1/3 all-zero
+// (skipped macroblocks), a share of DC-only blocks drawing from a small
+// set of DC levels, and the rest sparse random blocks.
+const mpeg2DecodeMain = `
+void gen_coef_block(void) {
+    int y;
+    int x;
+    for (y = 0; y < 8; y++)
+        for (x = 0; x < 8; x++)
+            blockin[y][x] = 0;
+    int mode = next_rand() % 100;
+    if (mode < 25) {
+        /* all-zero block: nothing to do */
+        ;
+    } else if (mode < 45) {
+        /* DC-only block with one of 8 common DC levels */
+        int dc = ((next_rand() % 8) + 1) * 16;
+        blockin[0][0] = dc;
+    } else {
+        /* sparse AC block: 5 random coefficients */
+        int k;
+        for (k = 0; k < 5; k++) {
+            int pos = next_rand() % 64;
+            int val = (next_rand() % 63) - 31;
+            blockin[pos / 8][pos % 8] = val;
+        }
+    }
+}
+
+int main(int seed, int nblocks) {
+    rng2 = seed;
+    chk2 = 0;
+    init_ctab();
+    int b;
+    for (b = 0; b < nblocks; b++) {
+        gen_coef_block();
+        Reference_IDCT();
+        consume_block();
+    }
+    print_int(chk2);
+    return chk2 & 255;
+}
+`
+
+// mpeg2EncodeMain feeds raw pixel blocks: mostly distinct textured blocks
+// with a small share of repeated flat blocks (black bars, uniform
+// background), matching the paper's low 9.8% encode reuse rate.
+const mpeg2EncodeMain = `
+void gen_pixel_block(void) {
+    int mode = next_rand() % 100;
+    int y;
+    int x;
+    if (mode < 9) {
+        /* flat block: one of 4 uniform backgrounds */
+        int level = ((next_rand() % 4) + 1) * 32;
+        for (y = 0; y < 8; y++)
+            for (x = 0; x < 8; x++)
+                blockin[y][x] = level;
+    } else {
+        /* textured block: gradient + noise, essentially unique */
+        int base = next_rand() % 128;
+        int gx = next_rand() % 9;
+        int gy = next_rand() % 9;
+        for (y = 0; y < 8; y++)
+            for (x = 0; x < 8; x++)
+                blockin[y][x] = (base + gx * x + gy * y + ((next_rand() >> 3) & 3)) & 255;
+    }
+}
+
+int main(int seed, int nblocks) {
+    rng2 = seed;
+    chk2 = 0;
+    init_ctab();
+    int b;
+    for (b = 0; b < nblocks; b++) {
+        gen_pixel_block();
+        fdct();
+        consume_block();
+    }
+    print_int(chk2);
+    return chk2 & 255;
+}
+`
+
+var (
+	mpeg2DecodeSrc = mpeg2Common + mpeg2IDCT + mpeg2DecodeMain
+	mpeg2EncodeSrc = mpeg2Common + mpeg2FDCT + mpeg2EncodeMain
+)

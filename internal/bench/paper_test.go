@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"testing"
+
+	"compreuse/internal/interp"
+	"compreuse/internal/minic"
+)
+
+// TestQuanVariantsAgree checks the functional equivalence of the paper's
+// three quan implementations (Fig. 2a linear search, Fig. 9 binary search,
+// Fig. 10 shift loop): for every input, all three return the same
+// quantization level. The paper's Tables 6/7 rely on this (the _s and _b
+// programs compute identical streams).
+func TestQuanVariantsAgree(t *testing.T) {
+	mk := func(quanSrc, call string) func(int64) int64 {
+		src := `
+int power2[15] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384};
+` + quanSrc + `
+int main(int v, int unused) {
+    int q = ` + call + `;
+    return q;
+}`
+		prog, err := minic.Parse("q.c", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := minic.Check(prog); err != nil {
+			t.Fatal(err)
+		}
+		return func(v int64) int64 {
+			res, err := interp.Run(prog, interp.Options{Args: []int64{v, 0}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Ret
+		}
+	}
+
+	linear := mk(`
+int quan(int val, int *table, int size) {
+    int i;
+    for (i = 0; i < size; i++)
+        if (val < table[i])
+            break;
+    return (i);
+}`, "quan(v, power2, 15)")
+	binary := mk(g721QuanBinary, "quan(v)")
+	shift := mk(g721QuanShift, "quan(v)")
+
+	var vals []int64
+	for i := int64(0); i < 18; i++ {
+		vals = append(vals, (int64(1)<<uint(i))-1, int64(1)<<uint(i), (int64(1)<<uint(i))+1)
+	}
+	vals = append(vals, 0, 3, 100, 12345, 16383, 16384, 99999)
+	for _, v := range vals {
+		l, b, s := linear(v), binary(v), shift(v)
+		if l != b || l != s {
+			t.Fatalf("quan(%d): linear=%d binary=%d shift=%d", v, l, b, s)
+		}
+	}
+}
+
+// TestWorkloadsAreDeterministic ensures every suite program is a pure
+// function of its arguments (the synthetic input generators are seeded
+// LCGs, so repeated runs must agree exactly).
+func TestWorkloadsAreDeterministic(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog1, err := minic.Parse(p.Name, p.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := minic.Check(prog1); err != nil {
+				t.Fatal(err)
+			}
+			args := []int64{p.TrainArgs[0], smallSize(p.Name)}
+			r1, err := interp.Run(prog1, interp.Options{Args: args})
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog2, _ := minic.Parse(p.Name, p.Source)
+			if err := minic.Check(prog2); err != nil {
+				t.Fatal(err)
+			}
+			r2, err := interp.Run(prog2, interp.Options{Args: args})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r1.Ret != r2.Ret || r1.Output != r2.Output || r1.Cycles != r2.Cycles {
+				t.Fatalf("nondeterministic workload: %d/%d vs %d/%d",
+					r1.Ret, r1.Cycles, r2.Ret, r2.Cycles)
+			}
+			// Different seeds give different streams (the generator is live).
+			prog3, _ := minic.Parse(p.Name, p.Source)
+			if err := minic.Check(prog3); err != nil {
+				t.Fatal(err)
+			}
+			r3, err := interp.Run(prog3, interp.Options{Args: []int64{p.TrainArgs[0] + 13, args[1]}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Name != "GNUGO" && r3.Output == r1.Output {
+				t.Fatalf("seed does not influence the %s workload", p.Name)
+			}
+		})
+	}
+}
+
+func smallSize(name string) int64 {
+	switch name {
+	case "MPEG2_encode", "MPEG2_decode":
+		return 12
+	case "GNUGO":
+		return 1
+	case "RASTA":
+		return 120
+	default:
+		return 800
+	}
+}

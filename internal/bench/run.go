@@ -1,0 +1,7 @@
+package bench
+
+import "compreuse/internal/core"
+
+// runCore is the single entry point through which the suite invokes the
+// pipeline (kept separate so harness code can wrap it uniformly).
+func runCore(opts core.Options) (*core.Report, error) { return core.Run(opts) }

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+
+	"compreuse/internal/core"
+)
+
+// Program is one benchmark of the suite.
+type Program struct {
+	// Name matches the paper's program names (G721_encode, ...).
+	Name string
+	// Source is the MiniC text.
+	Source string
+	// TrainArgs are the profiling/default-measurement arguments (the
+	// paper's default Mediabench inputs).
+	TrainArgs []int64
+	// AltArgs are the alternative-input arguments for Table 10 (the
+	// paper's MiBench/Tektronix/ICSI/EPIC inputs, GNU Go's "-b 9").
+	AltArgs []int64
+	// Variant marks the _s/_b G721 variants excluded from harmonic means.
+	Variant bool
+	// KernelFunc is the paper's Table 4 "Functions" entry.
+	KernelFunc string
+	// ScaleNote documents how the workload was scaled down vs the paper.
+	ScaleNote string
+}
+
+// All returns the benchmark suite in the paper's table order.
+func All() []Program {
+	return []Program{
+		{
+			Name: "G721_encode", Source: g721EncodeSrc,
+			TrainArgs: []int64{20210617, 16000}, AltArgs: []int64{777, 24000},
+			KernelFunc: "quan, quantize, encode_one",
+			ScaleNote:  "16k samples vs the paper's 1.6M quan calls (100x)",
+		},
+		{
+			Name: "G721_encode_s", Source: g721EncodeSSrc,
+			TrainArgs: []int64{20210617, 16000}, AltArgs: []int64{777, 24000},
+			Variant: true, KernelFunc: "quan (shift)",
+		},
+		{
+			Name: "G721_encode_b", Source: g721EncodeBSrc,
+			TrainArgs: []int64{20210617, 16000}, AltArgs: []int64{777, 24000},
+			Variant: true, KernelFunc: "quan (binary)",
+		},
+		{
+			Name: "G721_decode", Source: g721DecodeSrc,
+			TrainArgs: []int64{20210617, 14000}, AltArgs: []int64{777, 20000},
+			KernelFunc: "quan, quantize, decode_one",
+			ScaleNote:  "28k quan calls vs the paper's 2.9M (100x)",
+		},
+		{
+			Name: "G721_decode_s", Source: g721DecodeSSrc,
+			TrainArgs: []int64{20210617, 14000}, AltArgs: []int64{777, 20000},
+			Variant: true, KernelFunc: "quan (shift)",
+		},
+		{
+			Name: "G721_decode_b", Source: g721DecodeBSrc,
+			TrainArgs: []int64{20210617, 14000}, AltArgs: []int64{777, 20000},
+			Variant: true, KernelFunc: "quan (binary)",
+		},
+		{
+			Name: "MPEG2_encode", Source: mpeg2EncodeSrc,
+			TrainArgs: []int64{97, 330}, AltArgs: []int64{1234, 420},
+			KernelFunc: "fdct",
+			ScaleNote:  "330 8x8 blocks vs the paper's 7617 distinct (20x)",
+		},
+		{
+			Name: "MPEG2_decode", Source: mpeg2DecodeSrc,
+			TrainArgs: []int64{97, 300}, AltArgs: []int64{1234, 380},
+			KernelFunc: "Reference_IDCT",
+			ScaleNote:  "300 blocks; double-precision 64x64 direct IDCT as in mpeg2play",
+		},
+		{
+			Name: "RASTA", Source: rastaSrc,
+			TrainArgs: []int64{5, 1200}, AltArgs: []int64{11, 1700},
+			KernelFunc: "FR4TR",
+			ScaleNote:  "1600 band frames; 31 distinct quantized inputs as in the paper",
+		},
+		{
+			Name: "UNEPIC", Source: unepicSrc,
+			TrainArgs: []int64{31, 9000}, AltArgs: []int64{101, 12000},
+			KernelFunc: "main, collapse_pyr",
+			ScaleNote:  "9k coefficients vs the paper's 22902 distinct patterns",
+		},
+		{
+			Name: "GNUGO", Source: gnugoSrc,
+			TrainArgs: []int64{2, 6}, AltArgs: []int64{2, 9},
+			KernelFunc: "accumulate_influence",
+			ScaleNote:  "6 moves over a 19x19 board ('-b 6 -r 2'); alt input is '-b 9'",
+		},
+	}
+}
+
+// ByName returns the named program.
+func ByName(name string) (Program, error) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Program{}, fmt.Errorf("bench: unknown program %q", name)
+}
+
+// Core returns the suite without the _s/_b variants (the harmonic-mean
+// set of Tables 6-10).
+func Core() []Program {
+	var out []Program
+	for _, p := range All() {
+		if !p.Variant {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RunOptions builds the core pipeline options for a program. The
+// frequency-filter threshold of 100 mirrors the paper's gprof-based
+// pruning of rarely executed segments (it keeps one-time initialization
+// code such as cosine-table setup out of the candidate set).
+func (p Program) RunOptions(optLevel string) core.Options {
+	return core.Options{
+		Name:     p.Name,
+		Source:   p.Source,
+		OptLevel: optLevel,
+		MainArgs: p.TrainArgs,
+		MinFreq:  100,
+	}
+}
+
+// Run executes the full scheme on the program at the given O-level.
+func (p Program) Run(optLevel string) (*core.Report, error) {
+	return core.Run(p.RunOptions(optLevel))
+}

@@ -1,0 +1,103 @@
+package bench
+
+// UNEPIC: the paper applies the scheme to a loop in the main function of
+// the EPIC image decompressor; the loop body has a single integer input
+// and a single integer output with a 65.1% input repetition rate over
+// 22902 distinct patterns (Table 3, Fig. 12).
+//
+// Our loop body is a collapse_pyr-style reconstruction step: dequantize a
+// wavelet coefficient and run a short fixed-point filter recursion whose
+// result goes to image[i]. The array reference analysis reduces the
+// segment's key to the single element value coef[i] (the induction
+// variable is address-only), exactly the paper's "single input variable
+// and a single output variable, both integers".
+//
+// The synthetic coefficient stream mimics quantized wavelet statistics:
+// many zeros, a cluster of small magnitudes, and a mostly-distinct wide
+// tail — yielding a ~65% repetition rate.
+
+const unepicSrc = `
+int coef[16384];
+int image[16384];
+int urng;
+
+int next_u(void) {
+    urng = (urng * 1103515245 + 12345) & 1073741823;
+    int r = (urng >> 7) & 1048575;
+    return r;
+}
+
+void read_pyramid(int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        int u = next_u() % 1000;
+        int v;
+        if (u < 300) {
+            /* dead zone of the quantizer */
+            v = 0;
+        } else if (u < 650) {
+            /* small magnitudes: heavily repeated */
+            int m = (next_u() % 180) + 1;
+            int sg = next_u() & 1;
+            if (sg == 1)
+                v = 0 - m;
+            else
+                v = m;
+        } else {
+            /* wide tail: mostly distinct */
+            int m = (next_u() % 60000) + 181;
+            int sg = next_u() & 1;
+            if (sg == 1)
+                v = 0 - m;
+            else
+                v = m;
+        }
+        coef[i] = v;
+    }
+}
+
+int qscale = 13;
+
+int main(int seed, int n) {
+    urng = seed;
+    if (n > 16384)
+        n = 16384;
+    read_pyramid(n);
+
+    /* collapse_pyr: the reused loop (paper: "its main function contains a
+       loop to which our compiler scheme is applied") */
+    int i;
+    for (i = 0; i < n; i++) {
+        int c = coef[i];
+        int mag;
+        if (c < 0) {
+            mag = 0 - c;
+        } else {
+            mag = c;
+        }
+        /* dequantize with centroid offset */
+        int d = mag * qscale + qscale / 2;
+        /* fixed-point smoothing recursion (binomial filter cascade) */
+        int acc = d;
+        int st = d;
+        int k;
+        for (k = 0; k < 80; k++) {
+            st = (st * 3 + acc) / 4;
+            acc = acc + (st >> 3) - (acc >> 4);
+            if (acc > 1000000)
+                acc = acc - 999999;
+        }
+        int r = acc;
+        if (c < 0)
+            r = 0 - r;
+        image[i] = r;
+    }
+
+    /* final checksum pass (not reusable: accumulator feeds itself) */
+    int s = 0;
+    for (i = 0; i < n; i++)
+        s = (s + image[i]) & 16777215;
+    print_int(s);
+    return s & 255;
+}
+`

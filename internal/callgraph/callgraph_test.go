@@ -1,0 +1,145 @@
+package callgraph
+
+import (
+	"testing"
+
+	"compreuse/internal/minic"
+	"compreuse/internal/pointer"
+)
+
+func build(t *testing.T, src string) (*minic.Program, *Graph) {
+	t.Helper()
+	prog, err := minic.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minic.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	return prog, Build(prog, pointer.Analyze(prog))
+}
+
+func names(fns []*minic.FuncDecl) map[string]bool {
+	m := map[string]bool{}
+	for _, f := range fns {
+		m[f.Name] = true
+	}
+	return m
+}
+
+func TestDirectEdges(t *testing.T) {
+	prog, g := build(t, `
+int a(void) { return 1; }
+int b(void) { return a(); }
+int main(void) { return a() + b(); }`)
+	m := names(g.Callees(prog.Func("main")))
+	if !m["a"] || !m["b"] || len(m) != 2 {
+		t.Fatalf("main callees: %v", m)
+	}
+	if cb := names(g.Callers(prog.Func("a"))); !cb["main"] || !cb["b"] {
+		t.Fatalf("a callers: %v", cb)
+	}
+}
+
+func TestBuiltinsExcluded(t *testing.T) {
+	prog, g := build(t, `int main(void) { print_int(1); return 0; }`)
+	if len(g.Callees(prog.Func("main"))) != 0 {
+		t.Fatal("builtins must not appear in the call graph")
+	}
+}
+
+func TestIndirectEdges(t *testing.T) {
+	prog, g := build(t, `
+int f1(int v) { return v; }
+int f2(int v) { return v + 1; }
+int main(void) {
+    int (*op)(int) = f1;
+    op = f2;
+    return op(3);
+}`)
+	m := names(g.Callees(prog.Func("main")))
+	if !m["f1"] || !m["f2"] {
+		t.Fatalf("indirect callees: %v", m)
+	}
+	// Edges for indirect calls carry the flag.
+	found := false
+	for _, e := range g.Edges {
+		if e.Indirect {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no indirect edge recorded")
+	}
+}
+
+func TestSelfRecursionSCC(t *testing.T) {
+	prog, g := build(t, `
+int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }
+int main(void) { return fact(5); }`)
+	if !g.InCycle(prog.Func("fact")) {
+		t.Fatal("fact is recursive")
+	}
+	if g.InCycle(prog.Func("main")) {
+		t.Fatal("main is not recursive")
+	}
+}
+
+func TestMutualRecursionSCC(t *testing.T) {
+	prog, g := build(t, `
+int isOdd(int n);
+int isEven(int n) { if (n == 0) return 1; return isOdd(n - 1); }
+int isOdd(int n) { if (n == 0) return 0; return isEven(n - 1); }
+int standalone(void) { return 7; }
+int main(void) { return isEven(10) + standalone(); }`)
+	e, o := prog.Func("isEven"), prog.Func("isOdd")
+	if g.SCCOf(e) != g.SCCOf(o) {
+		t.Fatal("mutually recursive functions must share an SCC")
+	}
+	if len(g.SCCs[g.SCCOf(e)]) != 2 {
+		t.Fatalf("SCC size = %d, want 2", len(g.SCCs[g.SCCOf(e)]))
+	}
+	if g.SCCOf(prog.Func("standalone")) == g.SCCOf(e) {
+		t.Fatal("standalone must be in its own SCC")
+	}
+	if !g.InCycle(e) || !g.InCycle(o) {
+		t.Fatal("InCycle must be true for both")
+	}
+}
+
+func TestSCCReverseTopologicalOrder(t *testing.T) {
+	prog, g := build(t, `
+int leaf(void) { return 1; }
+int mid(void) { return leaf(); }
+int main(void) { return mid(); }`)
+	// Callees must appear before callers.
+	leafIdx := g.SCCOf(prog.Func("leaf"))
+	midIdx := g.SCCOf(prog.Func("mid"))
+	mainIdx := g.SCCOf(prog.Func("main"))
+	if !(leafIdx < midIdx && midIdx < mainIdx) {
+		t.Fatalf("SCC order: leaf=%d mid=%d main=%d", leafIdx, midIdx, mainIdx)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	prog, g := build(t, `
+int used(void) { return 1; }
+int dead(void) { return 2; }
+int main(void) { return used(); }`)
+	r := g.Reachable(prog.Func("main"))
+	if !r[prog.Func("used")] || r[prog.Func("dead")] {
+		t.Fatalf("reachability wrong: %v", r)
+	}
+}
+
+func TestDedupEdges(t *testing.T) {
+	prog, g := build(t, `
+int f(void) { return 1; }
+int main(void) { return f() + f() + f(); }`)
+	if len(g.Edges) != 3 {
+		t.Fatalf("edges (per site) = %d, want 3", len(g.Edges))
+	}
+	if len(g.Callees(prog.Func("main"))) != 1 {
+		t.Fatal("adjacency must be deduplicated")
+	}
+}

@@ -1,0 +1,299 @@
+// Package cfg builds control-flow graphs over MiniC functions and
+// statement subtrees — the paper's "control flow graph construction"
+// module (§3.1). Graphs are at atomic-statement granularity: each simple
+// statement and each loop/branch condition is one node; compound
+// statements contribute their parts.
+//
+// BuildStmt builds the sub-CFG of a candidate code segment (a loop body,
+// an IF branch, or a function body): control leaving the segment —
+// returns, and breaks/continues whose target encloses the segment — flows
+// to the graph's Exit, which is exactly the boundary the segment-level
+// data-flow analyses (upward-exposed reads, liveness) need.
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"compreuse/internal/minic"
+)
+
+// NodeKind classifies CFG nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	NEntry NodeKind = iota
+	NExit
+	NStmt // an atomic statement (decl, expr, return, reuse region)
+	NCond // a branch/loop condition expression
+	NJoin // a synthetic no-op join point
+	NPost // a for-loop post expression (the latch)
+)
+
+// Node is one CFG vertex.
+type Node struct {
+	ID   int
+	Kind NodeKind
+	Stmt minic.Stmt // set for NStmt
+	Expr minic.Expr // set for NCond, and for NStmt the stmt's expression
+	// Owner is the AST statement whose construction created this node
+	// (the statement itself for NStmt; the controlling construct for
+	// NCond, NJoin and NPost; nil for Entry/Exit). Segment analyses use it
+	// to decide whether a node lies inside a statement subtree.
+	Owner minic.Stmt
+	Succs []*Node
+	Preds []*Node
+}
+
+func (n *Node) String() string {
+	switch n.Kind {
+	case NEntry:
+		return "entry"
+	case NExit:
+		return "exit"
+	case NCond:
+		return "cond " + minic.PrintExpr(n.Expr)
+	case NJoin:
+		return "(join)"
+	case NPost:
+		return "post " + minic.PrintExpr(n.Expr)
+	default:
+		return strings.TrimRight(minic.PrintStmt(n.Stmt), "\n")
+	}
+}
+
+// Graph is a CFG with unique Entry and Exit.
+type Graph struct {
+	Entry *Node
+	Exit  *Node
+	Nodes []*Node
+}
+
+// builder threads loop targets during construction.
+type builder struct {
+	g *Graph
+	// owner is the statement currently being lowered.
+	owner minic.Stmt
+	// breakTo / continueTo are the current loop exit/latch targets; nil
+	// means the construct is outside the graph, so the edge goes to Exit.
+	breakTo    []*Node
+	continueTo []*Node
+}
+
+func (b *builder) newNode(k NodeKind) *Node {
+	n := &Node{ID: len(b.g.Nodes), Kind: k, Owner: b.owner}
+	b.g.Nodes = append(b.g.Nodes, n)
+	return n
+}
+
+func edge(from, to *Node) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// Build constructs the CFG of a function body.
+func Build(fn *minic.FuncDecl) *Graph {
+	return BuildStmt(fn.Body)
+}
+
+// BuildStmt constructs the CFG of an arbitrary statement (a code segment).
+func BuildStmt(body minic.Stmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g}
+	g.Entry = b.newNode(NEntry)
+	g.Exit = b.newNode(NExit)
+	last := b.stmt(body, g.Entry)
+	edge(last, g.Exit)
+	return g
+}
+
+// stmt wires s after prev and returns the node control falls out of
+// (nil if control never falls through, e.g. after return).
+func (b *builder) stmt(s minic.Stmt, prev *Node) *Node {
+	if s == nil {
+		return prev
+	}
+	saved := b.owner
+	b.owner = s
+	defer func() { b.owner = saved }()
+	switch s := s.(type) {
+	case *minic.Block:
+		// Statements after a jump are built detached (prev == nil drops
+		// incoming edges) so analyses still see their uses.
+		cur := prev
+		for _, st := range s.Stmts {
+			cur = b.stmt(st, cur)
+		}
+		return cur
+
+	case *minic.DeclStmt, *minic.ExprStmt, *minic.EmptyStmt, *minic.ReuseRegion:
+		n := b.newNode(NStmt)
+		n.Stmt = s
+		edge(prev, n)
+		return n
+
+	case *minic.IfStmt:
+		cond := b.newNode(NCond)
+		cond.Expr = s.Cond
+		edge(prev, cond)
+		thenEnd := b.stmt(s.Then, cond)
+		var elseEnd *Node
+		if s.Else != nil {
+			elseEnd = b.stmt(s.Else, cond)
+		} else {
+			elseEnd = cond
+		}
+		// Join node: synthesize only if both arms fall through to avoid
+		// spurious nodes; use an empty statement node as the join.
+		switch {
+		case thenEnd == nil && elseEnd == nil:
+			return nil
+		case thenEnd == nil:
+			return elseEnd
+		case elseEnd == nil:
+			return thenEnd
+		default:
+			join := b.newNode(NJoin)
+			edge(thenEnd, join)
+			edge(elseEnd, join)
+			return join
+		}
+
+	case *minic.WhileStmt:
+		cond := b.newNode(NCond)
+		cond.Expr = s.Cond
+		after := b.newNode(NJoin)
+		b.breakTo = append(b.breakTo, after)
+		b.continueTo = append(b.continueTo, cond)
+		if s.DoWhile {
+			// prev -> body -> cond -> body/after
+			bodyEntry := b.newNode(NJoin)
+			edge(prev, bodyEntry)
+			bodyEnd := b.stmt(s.Body, bodyEntry)
+			edge(bodyEnd, cond)
+			edge(cond, bodyEntry)
+			edge(cond, after)
+		} else {
+			edge(prev, cond)
+			bodyEnd := b.stmt(s.Body, cond)
+			edge(bodyEnd, cond)
+			edge(cond, after)
+		}
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		b.continueTo = b.continueTo[:len(b.continueTo)-1]
+		return after
+
+	case *minic.ForStmt:
+		cur := prev
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		var cond *Node
+		if s.Cond != nil {
+			cond = b.newNode(NCond)
+			cond.Expr = s.Cond
+		} else {
+			cond = b.newNode(NJoin)
+		}
+		edge(cur, cond)
+		after := b.newNode(NJoin)
+		var latch *Node
+		if s.Post != nil {
+			latch = b.newNode(NPost)
+			latch.Expr = s.Post
+		} else {
+			latch = cond
+		}
+		b.breakTo = append(b.breakTo, after)
+		b.continueTo = append(b.continueTo, latch)
+		bodyEnd := b.stmt(s.Body, cond)
+		edge(bodyEnd, latch)
+		if latch != cond {
+			edge(latch, cond)
+		}
+		if s.Cond != nil {
+			edge(cond, after)
+		}
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		b.continueTo = b.continueTo[:len(b.continueTo)-1]
+		return after
+
+	case *minic.BreakStmt:
+		n := b.newNode(NStmt)
+		n.Stmt = s
+		edge(prev, n)
+		if len(b.breakTo) > 0 {
+			edge(n, b.breakTo[len(b.breakTo)-1])
+		} else {
+			edge(n, b.g.Exit) // break leaves the segment
+		}
+		return nil
+
+	case *minic.ContinueStmt:
+		n := b.newNode(NStmt)
+		n.Stmt = s
+		edge(prev, n)
+		if len(b.continueTo) > 0 {
+			edge(n, b.continueTo[len(b.continueTo)-1])
+		} else {
+			edge(n, b.g.Exit)
+		}
+		return nil
+
+	case *minic.ReturnStmt:
+		n := b.newNode(NStmt)
+		n.Stmt = s
+		edge(prev, n)
+		edge(n, b.g.Exit)
+		return nil
+	}
+	panic(fmt.Sprintf("cfg: unhandled statement %T", s))
+}
+
+// ReversePostorder returns the nodes in reverse postorder from Entry
+// (a good iteration order for forward data-flow problems).
+func (g *Graph) ReversePostorder() []*Node {
+	seen := make([]bool, len(g.Nodes))
+	var order []*Node
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		seen[n.ID] = true
+		for _, s := range n.Succs {
+			if !seen[s.ID] {
+				visit(s)
+			}
+		}
+		order = append(order, n)
+	}
+	visit(g.Entry)
+	// Include unreachable nodes at the end for analysis completeness.
+	for _, n := range g.Nodes {
+		if !seen[n.ID] {
+			order = append(order, n)
+		}
+	}
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// Dot renders the graph in Graphviz format (for debugging and docs).
+func (g *Graph) Dot() string {
+	var sb strings.Builder
+	sb.WriteString("digraph cfg {\n")
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&sb, "  n%d [label=%q];\n", n.ID, n.String())
+	}
+	for _, n := range g.Nodes {
+		for _, s := range n.Succs {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", n.ID, s.ID)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,265 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"compreuse/internal/minic"
+)
+
+func body(t *testing.T, src string) minic.Stmt {
+	t.Helper()
+	prog, err := minic.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minic.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	return prog.Funcs[len(prog.Funcs)-1].Body
+}
+
+// reaches reports whether to is reachable from from.
+func reaches(from, to *Node) bool {
+	seen := map[*Node]bool{}
+	var visit func(n *Node) bool
+	visit = func(n *Node) bool {
+		if n == to {
+			return true
+		}
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+		for _, s := range n.Succs {
+			if visit(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return visit(from)
+}
+
+func TestStraightLine(t *testing.T) {
+	g := BuildStmt(body(t, `int f(void) { int a = 1; a = a + 1; return a; }`))
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("exit unreachable")
+	}
+	// entry -> decl -> expr -> return -> exit: every interior node has one
+	// successor.
+	for _, n := range g.Nodes {
+		if n.Kind == NStmt && len(n.Succs) != 1 {
+			t.Errorf("straight-line node %s has %d succs", n, len(n.Succs))
+		}
+	}
+}
+
+func TestIfBothArms(t *testing.T) {
+	g := BuildStmt(body(t, `int f(int x) { int r; if (x) r = 1; else r = 2; return r; }`))
+	var cond *Node
+	for _, n := range g.Nodes {
+		if n.Kind == NCond {
+			cond = n
+		}
+	}
+	if cond == nil || len(cond.Succs) != 2 {
+		t.Fatalf("if condition must have 2 successors: %v", cond)
+	}
+}
+
+func TestIfNoElseFallthrough(t *testing.T) {
+	g := BuildStmt(body(t, `int f(int x) { if (x) x = 1; return x; }`))
+	var cond *Node
+	for _, n := range g.Nodes {
+		if n.Kind == NCond {
+			cond = n
+		}
+	}
+	if len(cond.Succs) != 2 {
+		t.Fatalf("if-no-else cond succs = %d, want 2 (then, join)", len(cond.Succs))
+	}
+}
+
+func TestWhileBackEdge(t *testing.T) {
+	g := BuildStmt(body(t, `int f(int n) { while (n > 0) n--; return n; }`))
+	var cond *Node
+	for _, n := range g.Nodes {
+		if n.Kind == NCond {
+			cond = n
+		}
+	}
+	// The body node must loop back to cond.
+	back := false
+	for _, n := range g.Nodes {
+		if n.Kind == NStmt {
+			for _, s := range n.Succs {
+				if s == cond {
+					back = true
+				}
+			}
+		}
+	}
+	if !back {
+		t.Fatal("missing loop back edge")
+	}
+}
+
+func TestForWithBreakContinue(t *testing.T) {
+	g := BuildStmt(body(t, `
+int f(int n) {
+    int s = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        if (i == 3) continue;
+        if (i == 7) break;
+        s += i;
+    }
+    return s;
+}`))
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("exit unreachable")
+	}
+	// The latch (post node) must exist and feed the condition.
+	var post *Node
+	for _, n := range g.Nodes {
+		if n.Kind == NPost {
+			post = n
+		}
+	}
+	if post == nil {
+		t.Fatal("no post/latch node")
+	}
+	if len(post.Succs) != 1 || post.Succs[0].Kind != NCond {
+		t.Fatal("latch must flow to the condition")
+	}
+	// continue must reach the latch without passing the rest of the body.
+	var contNode *Node
+	for _, n := range g.Nodes {
+		if n.Kind == NStmt {
+			if _, ok := n.Stmt.(*minic.ContinueStmt); ok {
+				contNode = n
+			}
+		}
+	}
+	if contNode == nil || contNode.Succs[0] != post {
+		t.Fatal("continue must jump to latch")
+	}
+}
+
+func TestSegmentBreakLeavesGraph(t *testing.T) {
+	// Building a loop *body* as a segment: its break targets an enclosing
+	// loop outside the segment, so it must flow to Exit.
+	prog, err := minic.Parse("t.c", `
+int f(int n) {
+    while (n > 0) {
+        n--;
+        if (n == 1) break;
+    }
+    return n;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minic.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	var loop *minic.WhileStmt
+	minic.InspectStmts(prog.Func("f").Body, func(s minic.Stmt) bool {
+		if w, ok := s.(*minic.WhileStmt); ok {
+			loop = w
+		}
+		return true
+	})
+	g := BuildStmt(loop.Body)
+	var br *Node
+	for _, n := range g.Nodes {
+		if n.Kind == NStmt {
+			if _, ok := n.Stmt.(*minic.BreakStmt); ok {
+				br = n
+			}
+		}
+	}
+	if br == nil {
+		t.Fatal("no break node")
+	}
+	if len(br.Succs) != 1 || br.Succs[0] != g.Exit {
+		t.Fatal("segment-level break must flow to segment exit")
+	}
+}
+
+func TestDoWhileExecutesBodyFirst(t *testing.T) {
+	g := BuildStmt(body(t, `int f(int n) { do { n--; } while (n > 0); return n; }`))
+	// Entry's successor chain must hit a body statement before any cond.
+	n := g.Entry
+	for len(n.Succs) == 1 && n.Succs[0].Kind == NJoin {
+		n = n.Succs[0]
+	}
+	if len(n.Succs) == 0 || n.Succs[0].Kind == NCond {
+		t.Fatalf("do-while must enter the body first, entered %v", n.Succs[0])
+	}
+}
+
+func TestUnreachableCodeStillHasNodes(t *testing.T) {
+	g := BuildStmt(body(t, `int f(void) { return 1; int x = 2; }`))
+	found := false
+	for _, n := range g.Nodes {
+		if n.Kind == NStmt {
+			if _, ok := n.Stmt.(*minic.DeclStmt); ok {
+				found = true
+				if len(n.Preds) != 0 {
+					t.Fatal("unreachable node must have no predecessors")
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("unreachable statement missing from graph")
+	}
+}
+
+func TestReversePostorderStartsAtEntry(t *testing.T) {
+	g := BuildStmt(body(t, `int f(int n) { while (n) n--; return n; }`))
+	order := g.ReversePostorder()
+	if order[0] != g.Entry {
+		t.Fatal("RPO must start at entry")
+	}
+	seen := map[*Node]bool{}
+	for _, n := range order {
+		if seen[n] {
+			t.Fatal("duplicate node in RPO")
+		}
+		seen[n] = true
+	}
+	if len(order) != len(g.Nodes) {
+		t.Fatalf("RPO covers %d of %d nodes", len(order), len(g.Nodes))
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	g := BuildStmt(body(t, `int f(int x) { if (x) x = 1; return x; }`))
+	dot := g.Dot()
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "->") {
+		t.Fatalf("dot output malformed:\n%s", dot)
+	}
+}
+
+func TestInfiniteForNoExitEdge(t *testing.T) {
+	g := BuildStmt(body(t, `int f(void) { for (;;) {} return 0; }`))
+	// The loop header must not flow to the after node; the return after
+	// the loop is unreachable.
+	var ret *Node
+	for _, n := range g.Nodes {
+		if n.Kind == NStmt {
+			if _, ok := n.Stmt.(*minic.ReturnStmt); ok {
+				ret = n
+			}
+		}
+	}
+	if ret == nil {
+		t.Fatal("return node missing")
+	}
+	if reaches(g.Entry, ret) {
+		t.Fatal("code after for(;;) must be unreachable")
+	}
+}

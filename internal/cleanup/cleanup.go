@@ -1,0 +1,207 @@
+// Package cleanup implements the paper's clean-up module (§3.1): "each
+// function call in a complex expression is split from the expression in
+// order to simplify the interprocedural analysis."
+//
+// The pass hoists calls that appear nested inside larger expressions into
+// fresh temporaries declared immediately before the enclosing statement:
+//
+//	x = f(a) + g(b);   ⇒   int __crc_t0 = f(a);
+//	                       int __crc_t1 = g(b);
+//	                       x = __crc_t0 + __crc_t1;
+//
+// Hoisting is only performed where it preserves semantics: out of
+// expression statements, declaration initializers, return expressions and
+// if conditions. Calls under short-circuit operators (&&, ||), the ternary
+// operator, or loop conditions/posts are left in place — hoisting those
+// would change how often the call executes.
+package cleanup
+
+import (
+	"fmt"
+
+	"compreuse/internal/minic"
+)
+
+// Run normalizes every function of prog in place and returns the number of
+// calls hoisted. The program remains checked (new nodes are typed and new
+// symbols have slots).
+func Run(prog *minic.Program) int {
+	c := &cleaner{prog: prog}
+	for _, fn := range prog.Funcs {
+		if fn.Body != nil {
+			c.fn = fn
+			c.block(fn.Body)
+		}
+	}
+	return c.hoisted
+}
+
+type cleaner struct {
+	prog    *minic.Program
+	fn      *minic.FuncDecl
+	hoisted int
+	tmpSeq  int
+}
+
+// block rewrites the statements of b, inserting temp declarations.
+func (c *cleaner) block(b *minic.Block) {
+	var out []minic.Stmt
+	for _, s := range b.Stmts {
+		pre := c.stmt(s)
+		out = append(out, pre...)
+		out = append(out, s)
+	}
+	b.Stmts = out
+}
+
+// stmt processes one statement: recurses into nested statements and
+// returns the temp declarations to insert before s.
+func (c *cleaner) stmt(s minic.Stmt) []minic.Stmt {
+	switch s := s.(type) {
+	case *minic.Block:
+		c.block(s)
+		return nil
+	case *minic.DeclStmt:
+		var pre []minic.Stmt
+		for _, d := range s.Decls {
+			if d.Init != nil {
+				d.Init = c.expr(d.Init, true, &pre)
+			}
+		}
+		return pre
+	case *minic.ExprStmt:
+		var pre []minic.Stmt
+		s.X = c.expr(s.X, true, &pre)
+		return pre
+	case *minic.ReturnStmt:
+		var pre []minic.Stmt
+		if s.X != nil {
+			s.X = c.expr(s.X, true, &pre)
+		}
+		return pre
+	case *minic.IfStmt:
+		var pre []minic.Stmt
+		s.Cond = c.expr(s.Cond, false, &pre)
+		c.wrapNested(&s.Then)
+		if s.Else != nil {
+			c.wrapNested(&s.Else)
+		}
+		return pre
+	case *minic.WhileStmt:
+		// Loop conditions are evaluated per iteration: no hoisting.
+		c.wrapNested(&s.Body)
+		return nil
+	case *minic.ForStmt:
+		var pre []minic.Stmt
+		if s.Init != nil {
+			pre = append(pre, c.stmt(s.Init)...)
+		}
+		c.wrapNested(&s.Body)
+		return pre
+	case *minic.ReuseRegion:
+		c.wrapNested(&s.Body)
+		return nil
+	}
+	return nil
+}
+
+// wrapNested processes a nested statement; if hoisting produced temp
+// declarations, the statement is replaced by a block holding them.
+func (c *cleaner) wrapNested(sp *minic.Stmt) {
+	s := *sp
+	if b, ok := s.(*minic.Block); ok {
+		c.block(b)
+		return
+	}
+	pre := c.stmt(s)
+	if len(pre) == 0 {
+		return
+	}
+	blk := c.prog.NewBlock(append(pre, s)...)
+	*sp = blk
+}
+
+// expr rewrites e, hoisting nested calls into *pre. topLevel marks
+// positions where a call may legally remain (the whole expression, or the
+// direct RHS of a simple assignment).
+func (c *cleaner) expr(e minic.Expr, topLevel bool, pre *[]minic.Stmt) minic.Expr {
+	switch e := e.(type) {
+	case *minic.Call:
+		// Hoist arguments first (inner calls split out of argument
+		// expressions).
+		for i, a := range e.Args {
+			e.Args[i] = c.expr(a, false, pre)
+		}
+		if topLevel {
+			return e
+		}
+		if minic.IsVoid(e.Type()) {
+			// A void call nested in an expression cannot occur (sema
+			// rejects it); keep defensive.
+			return e
+		}
+		return c.hoist(e, pre)
+
+	case *minic.AssignExpr:
+		// The direct RHS of a simple assignment to a scalar lvalue is a
+		// legal call position: x = f(...) stays.
+		rhsTop := topLevel && e.Op == minic.Assign
+		e.RHS = c.expr(e.RHS, rhsTop, pre)
+		e.LHS = c.expr(e.LHS, false, pre)
+		return e
+
+	case *minic.Unary:
+		e.X = c.expr(e.X, false, pre)
+		return e
+	case *minic.IncDec:
+		e.X = c.expr(e.X, false, pre)
+		return e
+	case *minic.Binary:
+		if e.Op == minic.AndAnd || e.Op == minic.OrOr {
+			// The left side always evaluates; the right side is
+			// conditional and must not be hoisted.
+			e.X = c.expr(e.X, false, pre)
+			return e
+		}
+		e.X = c.expr(e.X, false, pre)
+		e.Y = c.expr(e.Y, false, pre)
+		return e
+	case *minic.Cond:
+		// Only the condition is unconditionally evaluated.
+		e.Cond = c.expr(e.Cond, false, pre)
+		return e
+	case *minic.Index:
+		e.X = c.expr(e.X, false, pre)
+		e.Idx = c.expr(e.Idx, false, pre)
+		return e
+	case *minic.FieldExpr:
+		e.X = c.expr(e.X, false, pre)
+		return e
+	case *minic.Cast:
+		e.X = c.expr(e.X, false, pre)
+		return e
+	}
+	return e
+}
+
+// hoist moves call into a fresh temp declared in *pre and returns the
+// replacement identifier.
+func (c *cleaner) hoist(call *minic.Call, pre *[]minic.Stmt) minic.Expr {
+	t := call.Type()
+	name := fmt.Sprintf("__crc_t%d", c.tmpSeq)
+	c.tmpSeq++
+	sym := &minic.Symbol{
+		Name: name,
+		Kind: minic.SymLocal,
+		Type: t,
+		Slot: c.fn.FrameWords,
+		Func: c.fn,
+	}
+	c.fn.FrameWords += t.Words()
+	d := c.prog.NewVarDecl(name, t, call)
+	d.Sym = sym
+	ds := c.prog.NewDeclStmt(d)
+	*pre = append(*pre, ds)
+	c.hoisted++
+	return c.prog.NewIdent(sym)
+}

@@ -1,0 +1,665 @@
+// Package core runs the complete compiler scheme of Ding & Li (CGO 2004),
+// following their Figure 1:
+//
+//	source program
+//	  → clean-up, specialization (§2.4), optionally -O3 optimization
+//	  → call graph, pointer analysis, def-use chains
+//	  → code segment analysis (granularity / hashing-overhead bounds)
+//	  → execution-frequency profiling; filter infrequent segments
+//	  → O/C < 1 filter (formula 3's necessary condition)
+//	  → value-set profiling (N, N_ds, measured C)
+//	  → cost–benefit decision R·C − O > 0 (formulas 1–3)
+//	  → nested-segment resolution (formula 4, §2.3)
+//	  → code generation with (merged) reuse tables (§2.5, Fig. 2b)
+//	  → measurement runs (time and energy)
+//
+// Because every pass is deterministic, the pipeline preps several
+// identical copies of the program (baseline, profiling, final) whose AST
+// node ids coincide, letting profiling results map onto the fresh copy by
+// segment name.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"compreuse/internal/callgraph"
+	"compreuse/internal/cleanup"
+	"compreuse/internal/cost"
+	"compreuse/internal/dataflow"
+	"compreuse/internal/energy"
+	"compreuse/internal/interp"
+	"compreuse/internal/minic"
+	"compreuse/internal/nesting"
+	"compreuse/internal/opt"
+	"compreuse/internal/pointer"
+	"compreuse/internal/profile"
+	"compreuse/internal/reusetab"
+	"compreuse/internal/segment"
+	"compreuse/internal/specialize"
+	"compreuse/internal/transform"
+)
+
+// Options configures one pipeline run.
+type Options struct {
+	// Name labels the program in reports.
+	Name string
+	// Source is the MiniC program text.
+	Source string
+	// OptLevel is "O0" (default) or "O3".
+	OptLevel string
+	// MainArgs are passed to main.
+	MainArgs []int64
+	// MaxSteps bounds each VM run (0 = default).
+	MaxSteps int64
+	// MinFreq is the execution-frequency filter threshold (default 8).
+	MinFreq int64
+	// NoMerge disables hash-table merging (§2.5 ablation).
+	NoMerge bool
+	// NoSpecialize disables code specialization (§2.4 ablation).
+	NoSpecialize bool
+	// ForceEntries, when positive, overrides every table's entry count
+	// (used by the limited-buffer study, Table 5, and the size sweeps,
+	// Figures 14/15).
+	ForceEntries int
+	// LRU selects associative LRU tables instead of direct addressing
+	// (only meaningful with ForceEntries; Table 5).
+	LRU bool
+	// MaxSizeFactor caps the optimal table sizing search (default 4).
+	MaxSizeFactor float64
+	// SubBlocks enables the sub-block segment extension (the paper's §5
+	// future work: reusing parts of a body instead of the whole body).
+	SubBlocks bool
+	// MeasureArgs, when non-nil, are used for the measurement runs while
+	// profiling still uses MainArgs — the cross-input study of Table 10.
+	MeasureArgs []int64
+	// Profile, when non-nil, supplies a previously collected profiling
+	// snapshot (cmd/crc -profile-in): the frequency and value-set
+	// profiling runs are skipped and decisions are made from the snapshot.
+	// It must have been taken on the same source at the same OptLevel.
+	Profile *profile.Snapshot
+	// EnergyParams defaults to energy.Default().
+	EnergyParams *energy.Params
+}
+
+// RunSummary is one measured execution.
+type RunSummary struct {
+	Ret     int64
+	Cycles  int64
+	Seconds float64
+	Energy  energy.Measurement
+	Output  string
+}
+
+// Decision records what the scheme concluded about one segment.
+type Decision struct {
+	Name       string
+	Kind       string
+	Eligible   bool
+	Reason     string
+	PassedFreq bool
+	PassedOC   bool
+	Profiled   bool
+	Profile    *profile.SegProfile
+	Gain       float64 // per-instance, cycles
+	Selected   bool
+}
+
+// TableInfo describes one instantiated reuse table after the final run.
+type TableInfo struct {
+	Name       string
+	Segs       []string
+	Entries    int
+	EntryBytes int
+	SizeBytes  int
+	Stats      reusetab.SegStats // summed over merged segments
+	// AccessCounts are per-entry probe counts (Figures 7/8).
+	AccessCounts []int64
+	// PredictedCollisionRate is the profiling-time estimate of executions
+	// lost to direct-addressing collisions at this table size (§2.1's
+	// deduction; in the paper only MPEG2 collides).
+	PredictedCollisionRate float64
+}
+
+// Report is the complete outcome of the pipeline.
+type Report struct {
+	Name     string
+	OptLevel string
+
+	SegmentsAnalyzed    int
+	SegmentsProfiled    int
+	SegmentsTransformed int
+	Specialized         []string
+
+	Decisions []Decision
+	Profiles  map[string]*profile.SegProfile
+	// Snapshot is the profiling artifact of this run, suitable for
+	// Options.Profile in a later invocation (cmd/crc -profile-out).
+	Snapshot *profile.Snapshot
+
+	Baseline RunSummary
+	Reuse    RunSummary
+	Tables   []TableInfo
+
+	// TransformedSource is the printed source-to-source output (§3.1),
+	// with reuse regions rendered as __crc_probe/__crc_record/__crc_fetch
+	// pseudo-calls in the style of the paper's Figure 2(b).
+	TransformedSource string
+}
+
+// Speedup is baseline time over reuse time.
+func (r *Report) Speedup() float64 {
+	if r.Reuse.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Baseline.Cycles) / float64(r.Reuse.Cycles)
+}
+
+// EnergySaving is the fractional energy saved by the transformation.
+func (r *Report) EnergySaving() float64 {
+	return energy.Saving(r.Baseline.Energy, r.Reuse.Energy)
+}
+
+// prepared is one fully analyzed copy of the program.
+type prepared struct {
+	prog *minic.Program
+	pts  *pointer.Analysis
+	cg   *callgraph.Graph
+	eff  *dataflow.Effects
+	an   *segment.Analysis
+	spec []string
+}
+
+// prep parses and runs the deterministic pre-passes and analyses.
+func prep(o *Options, model *cost.Model) (*prepared, error) {
+	prog, err := minic.Parse(o.Name, o.Source)
+	if err != nil {
+		return nil, err
+	}
+	if err := minic.Check(prog); err != nil {
+		return nil, err
+	}
+	cleanup.Run(prog)
+
+	var specNames []string
+	if !o.NoSpecialize {
+		pts := pointer.Analyze(prog)
+		cg := callgraph.Build(prog, pts)
+		eff := dataflow.ComputeEffects(prog, pts, cg)
+		res := specialize.Run(prog, pts, cg, eff, specialize.Options{})
+		for _, f := range res.Created {
+			specNames = append(specNames, f.Name)
+		}
+	}
+	if model.Name == "O3" {
+		opt.Run(prog)
+	}
+
+	pts := pointer.Analyze(prog)
+	cg := callgraph.Build(prog, pts)
+	eff := dataflow.ComputeEffects(prog, pts, cg)
+	an := segment.Analyze(prog, pts, cg, eff, segment.Options{Model: model, SubBlocks: o.SubBlocks})
+	return &prepared{prog: prog, pts: pts, cg: cg, eff: eff, an: an, spec: specNames}, nil
+}
+
+func (o *Options) runOpts(model *cost.Model, freq bool, args []int64) interp.Options {
+	return interp.Options{
+		Model:       model,
+		MaxSteps:    o.MaxSteps,
+		CollectFreq: freq,
+		Args:        args,
+	}
+}
+
+func (o *Options) summarize(res *interp.Result) RunSummary {
+	ep := energy.Default()
+	if o.EnergyParams != nil {
+		ep = *o.EnergyParams
+	}
+	return RunSummary{
+		Ret:     res.Ret,
+		Cycles:  res.Cycles,
+		Seconds: res.Seconds(),
+		Energy:  energy.Measure(res, ep),
+		Output:  res.Output,
+	}
+}
+
+// SweepPoint is one table configuration for RunSweep.
+type SweepPoint struct {
+	// Entries per table (0 = the profiling-derived optimal size).
+	Entries int
+	// LRU selects associative LRU replacement (Table 5's hardware-buffer
+	// emulation) instead of direct addressing.
+	LRU bool
+}
+
+// SweepOutcome is the measurement of one sweep point.
+type SweepOutcome struct {
+	Point SweepPoint
+	// SizeBytes is the total modeled table memory at this point.
+	SizeBytes int
+	Reuse     RunSummary
+	Tables    []TableInfo
+	// Speedup is baseline over this point's reuse time.
+	Speedup float64
+}
+
+// RunSweep runs the scheme once (profiling, selection, transformation),
+// then measures the transformed program under each table configuration —
+// the methodology of the paper's Table 5 and Figures 14/15, which vary
+// only the table, not the compilation.
+func RunSweep(o Options, points []SweepPoint) (*Report, []SweepOutcome, error) {
+	rep, err := Run(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(points) == 0 {
+		return rep, nil, nil
+	}
+	// Re-apply the defaults Run applied to its own copy of o.
+	o.OptLevel = rep.OptLevel
+	if o.MaxSizeFactor == 0 {
+		o.MaxSizeFactor = 4
+	}
+	model := cost.ModelFor(rep.OptLevel)
+	measureArgs := o.MainArgs
+	if o.MeasureArgs != nil {
+		measureArgs = o.MeasureArgs
+	}
+
+	// Re-prepare and re-transform once; measure per point with fresh
+	// tables (running does not mutate the AST).
+	pc, err := prep(&o, model)
+	if err != nil {
+		return nil, nil, err
+	}
+	selectedNames := map[string]bool{}
+	for _, d := range rep.Decisions {
+		if d.Selected {
+			selectedNames[d.Name] = true
+		}
+	}
+	cSelected := mapSegmentsByName(pc.an, selectedNames)
+	tres := transform.Apply(pc.prog, cSelected, transform.Options{NoMerge: o.NoMerge})
+
+	var outcomes []SweepOutcome
+	for _, pt := range points {
+		tabs := map[int]*reusetab.Table{}
+		for _, ts := range tres.Tables {
+			entries := pt.Entries
+			if entries <= 0 {
+				entries = o.optimalEntries(ts, rep.Profiles)
+			}
+			tabs[ts.ID] = reusetab.New(ts.Config(reusetab.ModeReuse, entries, pt.LRU))
+		}
+		ro := o.runOpts(model, false, measureArgs)
+		ro.Tables = tabs
+		res, err := interp.Run(pc.prog, ro)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sweep point %+v: %w", pt, err)
+		}
+		out := SweepOutcome{Point: pt, Reuse: o.summarize(res)}
+		for _, ts := range tres.Tables {
+			tab := tabs[ts.ID]
+			info := TableInfo{
+				Name:       ts.Name,
+				Entries:    tab.Config().Entries,
+				EntryBytes: tab.EntryBytes(),
+				SizeBytes:  tab.SizeBytes(),
+				Stats:      tab.TotalStats(),
+			}
+			for _, s := range ts.Segs {
+				info.Segs = append(info.Segs, s.Name)
+			}
+			out.Tables = append(out.Tables, info)
+			out.SizeBytes += info.SizeBytes
+		}
+		if out.Reuse.Cycles > 0 {
+			out.Speedup = float64(rep.Baseline.Cycles) / float64(out.Reuse.Cycles)
+		}
+		outcomes = append(outcomes, out)
+	}
+	return rep, outcomes, nil
+}
+
+// Run executes the whole scheme.
+func Run(o Options) (*Report, error) {
+	if o.OptLevel == "" {
+		o.OptLevel = "O0"
+	}
+	if o.MinFreq == 0 {
+		o.MinFreq = 8
+	}
+	if o.MaxSizeFactor == 0 {
+		o.MaxSizeFactor = 4
+	}
+	model := cost.ModelFor(o.OptLevel)
+	measureArgs := o.MainArgs
+	if o.MeasureArgs != nil {
+		measureArgs = o.MeasureArgs
+	}
+
+	rep := &Report{Name: o.Name, OptLevel: o.OptLevel}
+
+	// --- Copy A: baseline measurement + execution-frequency profile.
+	// Frequencies come from the training input (MainArgs); the baseline
+	// time/energy measurement uses the measurement input.
+	pa, err := prep(&o, model)
+	if err != nil {
+		return nil, err
+	}
+	rep.Specialized = pa.spec
+	rep.SegmentsAnalyzed = len(pa.an.Segments)
+
+	var freq []int64
+	if o.Profile != nil {
+		// Offline workflow: frequencies come from the snapshot; only the
+		// baseline measurement runs.
+		if o.Profile.OptLevel != o.OptLevel {
+			return nil, fmt.Errorf("profile snapshot was taken at %s, not %s",
+				o.Profile.OptLevel, o.OptLevel)
+		}
+		freq = o.Profile.Freq
+		baseRes, err := interp.Run(pa.prog, o.runOpts(model, false, measureArgs))
+		if err != nil {
+			return nil, fmt.Errorf("baseline run: %w", err)
+		}
+		rep.Baseline = o.summarize(baseRes)
+	} else {
+		freqRes, err := interp.Run(pa.prog, o.runOpts(model, true, o.MainArgs))
+		if err != nil {
+			return nil, fmt.Errorf("frequency profiling run: %w", err)
+		}
+		freq = freqRes.Freq
+		if sameArgs(o.MainArgs, measureArgs) {
+			rep.Baseline = o.summarize(freqRes)
+		} else {
+			pb, err := prep(&o, model)
+			if err != nil {
+				return nil, err
+			}
+			baseRes, err := interp.Run(pb.prog, o.runOpts(model, false, measureArgs))
+			if err != nil {
+				return nil, fmt.Errorf("baseline run: %w", err)
+			}
+			rep.Baseline = o.summarize(baseRes)
+		}
+	}
+
+	// Structural candidates + O/C filter + frequency filter.
+	candidates := profile.FrequencyFilter(pa.an.Candidates(), freq, o.MinFreq)
+	passedFreq := map[string]bool{}
+	for _, s := range candidates {
+		passedFreq[s.Name] = true
+	}
+
+	// --- Copy B: value-set profiling on the training input. Sub-block
+	// candidates may overlap each other and the paper-shape segments, so
+	// they are profiled in separate waves of pairwise-disjoint segments,
+	// each on its own fresh copy.
+	profiles := map[string]*profile.SegProfile{}
+	if o.Profile != nil {
+		snap, err := o.Profile.Profiles()
+		if err != nil {
+			return nil, err
+		}
+		// Keep only the profiles for segments that are candidates of this
+		// compilation.
+		for _, s := range candidates {
+			if sp, ok := snap[s.Name]; ok {
+				profiles[s.Name] = sp
+			}
+		}
+	} else {
+		var normal, subs []*segment.Segment
+		for _, s := range candidates {
+			if s.Kind == segment.SubBlock {
+				subs = append(subs, s)
+			} else {
+				normal = append(normal, s)
+			}
+		}
+		waves := [][]*segment.Segment{}
+		if len(normal) > 0 {
+			waves = append(waves, normal)
+		}
+		for len(subs) > 0 {
+			wave, rest := disjointWave(subs)
+			waves = append(waves, wave)
+			subs = rest
+		}
+		for _, wave := range waves {
+			pb, err := prep(&o, model)
+			if err != nil {
+				return nil, err
+			}
+			bCands := mapSegments(pb.an, wave)
+			pw, _, err := profile.Collect(pb.prog, bCands, model, o.runOpts(model, false, o.MainArgs))
+			if err != nil {
+				return nil, err
+			}
+			for k, v := range pw {
+				profiles[k] = v
+			}
+		}
+	}
+	rep.Snapshot = profile.ToSnapshot(o.Name, o.OptLevel, o.MainArgs, freq, profiles)
+	rep.Profiles = profiles
+	rep.SegmentsProfiled = len(profiles)
+
+	// --- Decision: formula (3) then nesting resolution (formula 4).
+	var cands []*nesting.Candidate
+	for _, s := range candidates {
+		sp := profiles[s.Name]
+		if sp == nil {
+			continue
+		}
+		if sp.CostProfile().Profitable() {
+			cands = append(cands, &nesting.Candidate{Seg: s, Gain: sp.Gain(), Instances: sp.N})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Seg.Index < cands[j].Seg.Index })
+	selected := nesting.Build(cands, pa.cg).Select()
+	selected = dropOverlapping(selected)
+	selectedNames := map[string]bool{}
+	for _, c := range selected {
+		selectedNames[c.Seg.Name] = true
+	}
+	rep.SegmentsTransformed = len(selected)
+
+	// Record decisions for every analyzed segment.
+	for _, s := range pa.an.Segments {
+		d := Decision{
+			Name: s.Name, Kind: s.Kind.String(),
+			Eligible: s.Eligible, Reason: s.Reason,
+			PassedOC:   s.RatioOK(),
+			PassedFreq: passedFreq[s.Name],
+			Selected:   selectedNames[s.Name],
+		}
+		if sp := profiles[s.Name]; sp != nil {
+			d.Profiled = true
+			d.Profile = sp
+			d.Gain = sp.Gain()
+		}
+		rep.Decisions = append(rep.Decisions, d)
+	}
+
+	// --- Copy C: final transformation and measurement run.
+	pc, err := prep(&o, model)
+	if err != nil {
+		return nil, err
+	}
+	cSelected := mapSegmentsByName(pc.an, selectedNames)
+	tres := transform.Apply(pc.prog, cSelected, transform.Options{NoMerge: o.NoMerge})
+	tabs := map[int]*reusetab.Table{}
+	for _, ts := range tres.Tables {
+		entries := o.ForceEntries
+		if entries <= 0 {
+			entries = o.optimalEntries(ts, profiles)
+		}
+		tabs[ts.ID] = reusetab.New(ts.Config(reusetab.ModeReuse, entries, o.LRU && o.ForceEntries > 0))
+	}
+	rep.TransformedSource = minic.Print(pc.prog)
+	ro := o.runOpts(model, false, measureArgs)
+	ro.Tables = tabs
+	reuseRes, err := interp.Run(pc.prog, ro)
+	if err != nil {
+		return nil, fmt.Errorf("transformed run: %w", err)
+	}
+	rep.Reuse = o.summarize(reuseRes)
+
+	for _, ts := range tres.Tables {
+		tab := tabs[ts.ID]
+		info := TableInfo{
+			Name:         ts.Name,
+			Entries:      tab.Config().Entries,
+			EntryBytes:   tab.EntryBytes(),
+			SizeBytes:    tab.SizeBytes(),
+			Stats:        tab.TotalStats(),
+			AccessCounts: tab.AccessCounts(),
+		}
+		if sp := rep.Profiles[ts.Segs[0].Name]; sp != nil {
+			info.PredictedCollisionRate = profile.CollisionDeduction(sp.Census, info.Entries)
+		}
+		for _, s := range ts.Segs {
+			info.Segs = append(info.Segs, s.Name)
+		}
+		rep.Tables = append(rep.Tables, info)
+	}
+	return rep, nil
+}
+
+// optimalEntries sizes a table from the profiling census (paper §3.1: "the
+// hash table size is determined based on the value profiling information").
+func (o *Options) optimalEntries(ts *transform.TableSpec, profiles map[string]*profile.SegProfile) int {
+	seen := map[string]bool{}
+	var keys []string
+	for _, seg := range ts.Segs {
+		sp := profiles[seg.Name]
+		if sp == nil {
+			continue
+		}
+		for _, kc := range sp.Census {
+			if !seen[kc.Key] {
+				seen[kc.Key] = true
+				keys = append(keys, kc.Key)
+			}
+		}
+	}
+	if len(keys) == 0 {
+		return 64
+	}
+	return reusetab.OptimalEntries(keys, o.MaxSizeFactor)
+}
+
+// mapSegments finds the same-named segments in another prepared copy.
+func mapSegments(an *segment.Analysis, src []*segment.Segment) []*segment.Segment {
+	byName := map[string]*segment.Segment{}
+	for _, s := range an.Segments {
+		byName[s.Name] = s
+	}
+	var out []*segment.Segment
+	for _, s := range src {
+		if m, ok := byName[s.Name]; ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func mapSegmentsByName(an *segment.Analysis, names map[string]bool) []*segment.Segment {
+	var out []*segment.Segment
+	for _, s := range an.Segments {
+		if names[s.Name] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// segIDSet returns the node ids of a segment's original statements.
+func segIDSet(s *segment.Segment) map[int]bool {
+	ids := map[int]bool{}
+	minic.Inspect(s.Body, func(n minic.Node) bool {
+		type ider interface{ ID() int }
+		if x, ok := n.(ider); ok {
+			ids[x.ID()] = true
+		}
+		return true
+	})
+	return ids
+}
+
+func segsOverlap(a, b map[int]bool) bool {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for id := range a {
+		if b[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// disjointWave greedily splits sub-block candidates into a pairwise
+// disjoint wave plus the remainder.
+func disjointWave(subs []*segment.Segment) (wave, rest []*segment.Segment) {
+	var waveIDs []map[int]bool
+	for _, s := range subs {
+		ids := segIDSet(s)
+		conflict := false
+		for _, w := range waveIDs {
+			if segsOverlap(ids, w) {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			rest = append(rest, s)
+		} else {
+			wave = append(wave, s)
+			waveIDs = append(waveIDs, ids)
+		}
+	}
+	return wave, rest
+}
+
+// dropOverlapping resolves residual conflicts among selected candidates
+// (overlapping sub-block runs are not a nesting relation, so formula (4)
+// cannot arbitrate them): keep the higher-total-gain candidate.
+func dropOverlapping(selected []*nesting.Candidate) []*nesting.Candidate {
+	sorted := append([]*nesting.Candidate(nil), selected...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].TotalGain() > sorted[j].TotalGain() })
+	var kept []*nesting.Candidate
+	var keptIDs []map[int]bool
+	for _, c := range sorted {
+		ids := segIDSet(c.Seg)
+		ok := true
+		for _, k := range keptIDs {
+			if segsOverlap(ids, k) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, c)
+			keptIDs = append(keptIDs, ids)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Seg.Index < kept[j].Seg.Index })
+	return kept
+}
+
+func sameArgs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,96 @@
+package dataflow
+
+import (
+	"compreuse/internal/cfg"
+)
+
+// LiveSets holds per-node liveness facts.
+type LiveSets struct {
+	In  SymSet
+	Out SymSet
+}
+
+// Liveness runs backward live-variable analysis over g:
+//
+//	LiveOut(n) = ∪ LiveIn(succ)
+//	LiveIn(n)  = Use(n) ∪ (LiveOut(n) − Def(n))
+//
+// Only strong defs kill; MayDefs do not. extern seeds LiveOut(Exit) with
+// symbols live beyond the graph (e.g. globals read elsewhere in the
+// program, or the function's return flow).
+func (e *Effects) Liveness(g *cfg.Graph, extern SymSet) map[*cfg.Node]*LiveSets {
+	facts := make(map[*cfg.Node]*LiveSets, len(g.Nodes))
+	eff := make(map[*cfg.Node]*NodeEffects, len(g.Nodes))
+	for _, n := range g.Nodes {
+		facts[n] = &LiveSets{In: SymSet{}, Out: SymSet{}}
+		eff[n] = e.NodeEffectsOf(n)
+	}
+	if extern != nil {
+		facts[g.Exit].Out.AddAll(extern)
+		facts[g.Exit].In.AddAll(extern)
+	}
+	// Iterate in postorder (reverse of RPO) until fixpoint.
+	order := g.ReversePostorder()
+	for changed := true; changed; {
+		changed = false
+		for i := len(order) - 1; i >= 0; i-- {
+			n := order[i]
+			f := facts[n]
+			for _, s := range n.Succs {
+				if f.Out.AddAll(facts[s].In) {
+					changed = true
+				}
+			}
+			// In = Use ∪ (Out − Def)
+			ne := eff[n]
+			for sym := range ne.Use {
+				if f.In.Add(sym) {
+					changed = true
+				}
+			}
+			for sym := range f.Out {
+				if !ne.Def[sym] {
+					if f.In.Add(sym) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return facts
+}
+
+// UpwardExposed computes the upward-exposed reads of a code segment whose
+// CFG is g (paper §2.1: "the inputs of a code segment are those variables
+// or array elements that have upward-exposed reads in the code segment").
+// A symbol is upward-exposed if some path from the segment entry reaches a
+// read of it before any strong def of it inside the segment.
+//
+// The result is exactly the segment's input candidate set (before the
+// invariance filtering of §2.4).
+func (e *Effects) UpwardExposed(g *cfg.Graph) SymSet {
+	// This is liveness restricted to the segment with nothing live-out:
+	// UEin(n) = Use(n) ∪ (UEout(n) − Def(n)); answer = UEin(entry).
+	facts := e.Liveness(g, nil)
+	return facts[g.Entry].In.Clone()
+}
+
+// SegmentOutputs computes the output variables of a segment: symbols the
+// segment may define that are live after it. liveAfter is the live set at
+// the segment's exit point in the enclosing context (from a Liveness run
+// over the enclosing function plus interprocedural liveness of globals).
+func (e *Effects) SegmentOutputs(g *cfg.Graph, liveAfter SymSet) SymSet {
+	defs := SymSet{}
+	for _, n := range g.Nodes {
+		ne := e.NodeEffectsOf(n)
+		defs.AddAll(ne.Def)
+		defs.AddAll(ne.MayDef)
+	}
+	out := SymSet{}
+	for sym := range defs {
+		if liveAfter[sym] {
+			out.Add(sym)
+		}
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"compreuse/internal/cost"
+	"compreuse/internal/interp"
+	"compreuse/internal/minic"
+)
+
+func runSrc(t *testing.T, src string) *interp.Result {
+	t.Helper()
+	prog, err := minic.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minic.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(prog, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAveragePowerInIPAQRange(t *testing.T) {
+	res := runSrc(t, `
+int main(void) {
+    int s = 0;
+    int i;
+    for (i = 0; i < 100000; i++)
+        s += i * 3 + (s >> 2);
+    return s & 255;
+}`)
+	m := Measure(res, Default())
+	// The paper's programs imply ~2.3-2.5 W average system power.
+	if m.AvgWatts < 2.0 || m.AvgWatts > 3.2 {
+		t.Fatalf("avg power %.2f W outside plausible iPAQ range", m.AvgWatts)
+	}
+	if m.AvgCurrentA <= 0 || math.Abs(m.AvgCurrentA*5-m.AvgWatts) > 1e-9 {
+		t.Fatalf("current inconsistent: %v", m)
+	}
+}
+
+func TestEnergyScalesWithTime(t *testing.T) {
+	short := runSrc(t, `int main(void) { int s = 0; int i; for (i = 0; i < 1000; i++) s += i; return s & 7; }`)
+	long := runSrc(t, `int main(void) { int s = 0; int i; for (i = 0; i < 100000; i++) s += i; return s & 7; }`)
+	p := Default()
+	ms, ml := Measure(short, p), Measure(long, p)
+	if ml.Joules <= ms.Joules*50 {
+		t.Fatalf("energy did not scale with work: %g vs %g", ms.Joules, ml.Joules)
+	}
+}
+
+func TestFloatWorkDrawsMorePowerPerOp(t *testing.T) {
+	intRes := runSrc(t, `int main(void) { int s = 0; int i; for (i = 0; i < 10000; i++) s += i * 3; return 0; }`)
+	fltRes := runSrc(t, `int main(void) { float s = 0.0; int i; for (i = 0; i < 10000; i++) s += (float)i * 3.0; return 0; }`)
+	p := Default()
+	mi, mf := Measure(intRes, p), Measure(fltRes, p)
+	if mf.Joules <= mi.Joules {
+		t.Fatal("soft-float work must cost more energy")
+	}
+}
+
+func TestSaving(t *testing.T) {
+	orig := Measurement{Joules: 10.25}
+	reuse := Measurement{Joules: 6.60}
+	s := Saving(orig, reuse)
+	// The paper's G721_encode O0 row: 35.6%.
+	if math.Abs(s-0.356) > 0.001 {
+		t.Fatalf("saving = %v, want ~0.356", s)
+	}
+	if Saving(Measurement{}, reuse) != 0 {
+		t.Fatal("zero-energy original must not divide by zero")
+	}
+}
+
+func TestEnergySavingTracksTimeSaving(t *testing.T) {
+	// Two runs of the same program at different op counts: energy ratio
+	// should be within a few points of the time ratio (paper's tables).
+	a := runSrc(t, `int main(void) { int s = 0; int i; for (i = 0; i < 50000; i++) s += i * 3; return 0; }`)
+	b := runSrc(t, `int main(void) { int s = 0; int i; for (i = 0; i < 25000; i++) s += i * 3; return 0; }`)
+	p := Default()
+	ma, mb := Measure(a, p), Measure(b, p)
+	timeSave := 1 - mb.Seconds/ma.Seconds
+	energySave := Saving(ma, mb)
+	if math.Abs(timeSave-energySave) > 0.05 {
+		t.Fatalf("energy saving %.3f too far from time saving %.3f", energySave, timeSave)
+	}
+}
+
+func TestO3RunUsesLessEnergy(t *testing.T) {
+	src := `int main(void) { int s = 0; int i; for (i = 0; i < 20000; i++) s += i * 5 + 7; return s & 63; }`
+	prog1, _ := minic.Parse("a.c", src)
+	if err := minic.Check(prog1); err != nil {
+		t.Fatal(err)
+	}
+	r0, err := interp.Run(prog1, interp.Options{Model: cost.O0()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, _ := minic.Parse("b.c", src)
+	if err := minic.Check(prog2); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := interp.Run(prog2, interp.Options{Model: cost.O3()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Default()
+	if Measure(r3, p).Joules >= Measure(r0, p).Joules {
+		t.Fatal("O3 must consume less energy than O0")
+	}
+}

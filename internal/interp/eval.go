@@ -1,0 +1,755 @@
+package interp
+
+import (
+	"math"
+
+	"compreuse/internal/minic"
+)
+
+// ctrl is the statement-level control-flow outcome.
+type ctrl int
+
+const (
+	cNone ctrl = iota
+	cBreak
+	cCont
+	cRet
+)
+
+// call invokes fn with already-evaluated argument values.
+func (mc *Machine) call(fn *minic.FuncDecl, args []Value, pos minic.Pos) Value {
+	if fn.Body == nil {
+		panic(rtErr(pos, "call of undefined function %s", fn.Name))
+	}
+	mc.depth++
+	if mc.depth > mc.maxDep {
+		panic(rtErr(pos, "call stack overflow in %s (depth %d)", fn.Name, mc.maxDep))
+	}
+	mc.charge(mc.m.Call)
+	mc.ops.Calls++
+	mc.countNode(fn.ID())
+
+	fr := &Seg{data: make([]Value, fn.FrameWords), name: fn.Name}
+	for i, p := range fn.Params {
+		fr.data[p.Sym.Slot] = convert(args[i], p.Type)
+		mc.chargeStore()
+	}
+	savedRet := mc.retVal
+	mc.retVal = Value{}
+	c := mc.execStmt(fn.Body, fr)
+	ret := mc.retVal
+	mc.retVal = savedRet
+	mc.depth--
+	mc.charge(mc.m.Ret)
+	if c != cRet && !minic.IsVoid(fn.Ret) {
+		// Falling off the end of a non-void function yields zero, as most
+		// C programs in the benchmarks assume for main.
+		ret = convert(IntVal(0), fn.Ret)
+	}
+	if c == cRet && !minic.IsVoid(fn.Ret) {
+		ret = convert(ret, fn.Ret)
+	}
+	return ret
+}
+
+func (mc *Machine) execStmt(s minic.Stmt, fr *Seg) ctrl {
+	mc.step(s.Pos())
+	switch s := s.(type) {
+	case *minic.Block:
+		for _, st := range s.Stmts {
+			if c := mc.execStmt(st, fr); c != cNone {
+				return c
+			}
+		}
+		return cNone
+
+	case *minic.DeclStmt:
+		for _, d := range s.Decls {
+			base := d.Sym.Slot
+			if d.Init != nil {
+				v := mc.evalExpr(d.Init, fr)
+				fr.data[base] = convert(v, d.Type)
+				mc.chargeLocal()
+			} else if d.InitList != nil {
+				et := scalarElem(d.Type)
+				for i, e := range d.InitList {
+					fr.data[base+i] = convert(mc.evalExpr(e, fr), et)
+					mc.chargeStore()
+				}
+				zero := convert(IntVal(0), et)
+				for i := len(d.InitList); i < d.Type.Words(); i++ {
+					fr.data[base+i] = zero
+				}
+			} else {
+				// Zero-initialize so reads of uninitialized locals are
+				// deterministic (MiniC is stricter than C here).
+				zero := IntVal(0)
+				if minic.IsFloat(scalarElem(d.Type)) {
+					zero = FloatVal(0)
+				}
+				for i := 0; i < d.Type.Words(); i++ {
+					fr.data[base+i] = zero
+				}
+			}
+		}
+		return cNone
+
+	case *minic.ExprStmt:
+		mc.evalExpr(s.X, fr)
+		return cNone
+
+	case *minic.IfStmt:
+		mc.chargeBranch()
+		if mc.evalExpr(s.Cond, fr).Truthy() {
+			mc.countNode(s.Then.ID())
+			return mc.execStmt(s.Then, fr)
+		}
+		if s.Else != nil {
+			mc.countNode(s.Else.ID())
+			return mc.execStmt(s.Else, fr)
+		}
+		return cNone
+
+	case *minic.WhileStmt:
+		if s.DoWhile {
+			for {
+				mc.countNode(s.ID())
+				c := mc.execStmt(s.Body, fr)
+				if c == cBreak {
+					return cNone
+				}
+				if c == cRet {
+					return cRet
+				}
+				mc.chargeBranch()
+				if !mc.evalExpr(s.Cond, fr).Truthy() {
+					return cNone
+				}
+			}
+		}
+		for {
+			mc.chargeBranch()
+			if !mc.evalExpr(s.Cond, fr).Truthy() {
+				return cNone
+			}
+			mc.countNode(s.ID())
+			c := mc.execStmt(s.Body, fr)
+			if c == cBreak {
+				return cNone
+			}
+			if c == cRet {
+				return cRet
+			}
+		}
+
+	case *minic.ForStmt:
+		if s.Init != nil {
+			mc.execStmt(s.Init, fr)
+		}
+		for {
+			if s.Cond != nil {
+				mc.chargeBranch()
+				if !mc.evalExpr(s.Cond, fr).Truthy() {
+					return cNone
+				}
+			}
+			mc.countNode(s.ID())
+			c := mc.execStmt(s.Body, fr)
+			if c == cBreak {
+				return cNone
+			}
+			if c == cRet {
+				return cRet
+			}
+			if s.Post != nil {
+				mc.evalExpr(s.Post, fr)
+			}
+		}
+
+	case *minic.BreakStmt:
+		return cBreak
+	case *minic.ContinueStmt:
+		return cCont
+	case *minic.ReturnStmt:
+		if s.X != nil {
+			mc.retVal = mc.evalExpr(s.X, fr)
+		}
+		return cRet
+	case *minic.EmptyStmt:
+		return cNone
+	case *minic.ReuseRegion:
+		return mc.execReuse(s, fr)
+	}
+	panic(rtErr(s.Pos(), "unhandled statement %T", s))
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (mc *Machine) evalExpr(e minic.Expr, fr *Seg) Value {
+	switch e := e.(type) {
+	case *minic.IntLit:
+		mc.chargeInt()
+		return IntVal(e.Val)
+	case *minic.FloatLit:
+		mc.chargeInt()
+		return FloatVal(e.Val)
+	case *minic.StrLit:
+		mc.chargeInt()
+		return IntVal(0)
+	case *minic.SizeofExpr:
+		mc.chargeInt()
+		return IntVal(int64(e.T.Bytes()))
+
+	case *minic.Ident:
+		sym := e.Sym
+		switch sym.Kind {
+		case minic.SymFunc:
+			mc.chargeInt()
+			return Value{K: KFunc, Fn: sym.FuncDecl}
+		case minic.SymGlobal:
+			if minic.IsAggregate(sym.Type) {
+				mc.chargeInt()
+				return Value{K: KPtr, P: Ptr{seg: mc.globals, off: sym.Slot}}
+			}
+			mc.chargeLoad()
+			return mc.globals.data[sym.Slot]
+		default:
+			if minic.IsAggregate(sym.Type) {
+				mc.chargeInt()
+				return Value{K: KPtr, P: Ptr{seg: fr, off: sym.Slot}}
+			}
+			mc.chargeLocal()
+			return fr.data[sym.Slot]
+		}
+
+	case *minic.Unary:
+		switch e.Op {
+		case minic.Amp:
+			p := mc.evalLValue(e.X, fr)
+			return Value{K: KPtr, P: p}
+		case minic.Star:
+			v := mc.evalExpr(e.X, fr)
+			if v.K != KPtr {
+				panic(rtErr(e.Pos(), "dereference of non-pointer value"))
+			}
+			elem := minic.ElemOf(decayT(e.X.Type()))
+			return mc.loadPtr(v.P, elem, e.Pos())
+		case minic.Not:
+			v := mc.evalExpr(e.X, fr)
+			mc.chargeInt()
+			if v.Truthy() {
+				return IntVal(0)
+			}
+			return IntVal(1)
+		case minic.Tilde:
+			v := mc.evalExpr(e.X, fr)
+			mc.chargeInt()
+			return IntVal(^v.I)
+		case minic.Minus:
+			v := mc.evalExpr(e.X, fr)
+			if v.K == KFloat {
+				mc.chargeFloat(mc.m.FloatAdd)
+				return FloatVal(-v.F)
+			}
+			mc.chargeInt()
+			return IntVal(-v.I)
+		case minic.Plus:
+			return mc.evalExpr(e.X, fr)
+		}
+		panic(rtErr(e.Pos(), "unhandled unary %v", e.Op))
+
+	case *minic.IncDec:
+		p := mc.evalLValue(e.X, fr)
+		t := e.X.Type()
+		old := mc.loadPtr(p, t, e.Pos())
+		var nv Value
+		switch {
+		case old.K == KPtr:
+			d := minic.ElemOf(decayT(t)).Words()
+			if e.Op == minic.Dec {
+				d = -d
+			}
+			mc.chargeInt()
+			nv = Value{K: KPtr, P: Ptr{seg: old.P.seg, off: old.P.off + d}}
+		case old.K == KFloat:
+			d := 1.0
+			if e.Op == minic.Dec {
+				d = -1
+			}
+			mc.chargeFloat(mc.m.FloatAdd)
+			nv = FloatVal(old.F + d)
+		default:
+			d := int64(1)
+			if e.Op == minic.Dec {
+				d = -1
+			}
+			mc.chargeInt()
+			nv = IntVal(old.I + d)
+		}
+		mc.storePtr(p, nv, e.Pos())
+		if e.Post {
+			return old
+		}
+		return nv
+
+	case *minic.Binary:
+		return mc.evalBinary(e, fr)
+
+	case *minic.AssignExpr:
+		return mc.evalAssign(e, fr)
+
+	case *minic.Cond:
+		mc.chargeBranch()
+		if mc.evalExpr(e.Cond, fr).Truthy() {
+			return mc.evalExpr(e.Then, fr)
+		}
+		return mc.evalExpr(e.Else, fr)
+
+	case *minic.Call:
+		return mc.evalCall(e, fr)
+
+	case *minic.Index:
+		p := mc.indexPtr(e, fr)
+		return mc.loadPtr(p, e.Type(), e.Pos())
+
+	case *minic.FieldExpr:
+		p := mc.fieldPtr(e, fr)
+		return mc.loadPtr(p, e.Type(), e.Pos())
+
+	case *minic.Cast:
+		v := mc.evalExpr(e.X, fr)
+		from := e.X.Type()
+		if minic.IsArith(e.To) && minic.IsArith(from) && !minic.Identical(e.To, from) {
+			mc.charge(mc.m.Conv)
+			mc.ops.IntOps++
+		}
+		return convert(v, e.To)
+	}
+	panic(rtErr(e.Pos(), "unhandled expression %T", e))
+}
+
+// decayT applies array-to-pointer decay to a static type.
+func decayT(t minic.Type) minic.Type {
+	if at, ok := t.(*minic.Array); ok {
+		return &minic.Pointer{Elem: at.Elem}
+	}
+	return t
+}
+
+// loadPtr reads a value of type t at p. Aggregate types yield a pointer to
+// the aggregate (decay).
+func (mc *Machine) loadPtr(p Ptr, t minic.Type, pos minic.Pos) Value {
+	if p.IsNull() {
+		panic(rtErr(pos, "null pointer dereference"))
+	}
+	if minic.IsAggregate(t) {
+		mc.chargeInt()
+		return Value{K: KPtr, P: p}
+	}
+	if p.off < 0 || p.off >= len(p.seg.data) {
+		panic(rtErr(pos, "out-of-bounds access: %s[%d] (size %d)", p.seg.name, p.off, len(p.seg.data)))
+	}
+	mc.chargeLoad()
+	return p.seg.data[p.off]
+}
+
+func (mc *Machine) storePtr(p Ptr, v Value, pos minic.Pos) {
+	if p.IsNull() {
+		panic(rtErr(pos, "store through null pointer"))
+	}
+	if p.off < 0 || p.off >= len(p.seg.data) {
+		panic(rtErr(pos, "out-of-bounds store: %s[%d] (size %d)", p.seg.name, p.off, len(p.seg.data)))
+	}
+	mc.chargeStore()
+	p.seg.data[p.off] = v
+}
+
+// evalLValue computes the cell address designated by e.
+func (mc *Machine) evalLValue(e minic.Expr, fr *Seg) Ptr {
+	switch e := e.(type) {
+	case *minic.Ident:
+		sym := e.Sym
+		if sym.Kind == minic.SymGlobal {
+			return Ptr{seg: mc.globals, off: sym.Slot}
+		}
+		return Ptr{seg: fr, off: sym.Slot}
+	case *minic.Index:
+		return mc.indexPtr(e, fr)
+	case *minic.FieldExpr:
+		return mc.fieldPtr(e, fr)
+	case *minic.Unary:
+		if e.Op == minic.Star {
+			v := mc.evalExpr(e.X, fr)
+			if v.K != KPtr {
+				panic(rtErr(e.Pos(), "dereference of non-pointer value"))
+			}
+			return v.P
+		}
+	}
+	panic(rtErr(e.Pos(), "not an lvalue: %T", e))
+}
+
+func (mc *Machine) indexPtr(e *minic.Index, fr *Seg) Ptr {
+	base := mc.evalExpr(e.X, fr)
+	if base.K != KPtr {
+		panic(rtErr(e.Pos(), "indexing a non-pointer value"))
+	}
+	idx := mc.evalExpr(e.Idx, fr)
+	ew := minic.ElemOf(decayT(e.X.Type())).Words()
+	mc.chargeInt() // address arithmetic
+	return Ptr{seg: base.P.seg, off: base.P.off + int(idx.I)*ew}
+}
+
+func (mc *Machine) fieldPtr(e *minic.FieldExpr, fr *Seg) Ptr {
+	var base Ptr
+	if e.Arrow {
+		v := mc.evalExpr(e.X, fr)
+		if v.K != KPtr {
+			panic(rtErr(e.Pos(), "-> on non-pointer value"))
+		}
+		base = v.P
+	} else {
+		base = mc.evalLValue(e.X, fr)
+	}
+	if base.IsNull() {
+		panic(rtErr(e.Pos(), "field access through null pointer"))
+	}
+	mc.chargeInt()
+	return Ptr{seg: base.seg, off: base.off + e.Info.WordOff}
+}
+
+func (mc *Machine) evalBinary(e *minic.Binary, fr *Seg) Value {
+	// Short-circuit logicals first.
+	switch e.Op {
+	case minic.AndAnd:
+		mc.chargeBranch()
+		if !mc.evalExpr(e.X, fr).Truthy() {
+			return IntVal(0)
+		}
+		if mc.evalExpr(e.Y, fr).Truthy() {
+			return IntVal(1)
+		}
+		return IntVal(0)
+	case minic.OrOr:
+		mc.chargeBranch()
+		if mc.evalExpr(e.X, fr).Truthy() {
+			return IntVal(1)
+		}
+		if mc.evalExpr(e.Y, fr).Truthy() {
+			return IntVal(1)
+		}
+		return IntVal(0)
+	}
+
+	x := mc.evalExpr(e.X, fr)
+	y := mc.evalExpr(e.Y, fr)
+	return mc.applyBinary(e.Op, x, y, e)
+}
+
+// applyBinary performs op on evaluated operands, charging cycles.
+func (mc *Machine) applyBinary(op minic.TokKind, x, y Value, e *minic.Binary) Value {
+	pos := e.Pos()
+
+	// Pointer arithmetic and comparison.
+	if x.K == KPtr || y.K == KPtr {
+		return mc.applyPtrBinary(op, x, y, e)
+	}
+
+	if x.K == KFloat || y.K == KFloat {
+		a, b := x.F, y.F
+		if x.K == KInt {
+			a = float64(x.I)
+		}
+		if y.K == KInt {
+			b = float64(y.I)
+		}
+		switch op {
+		case minic.Plus:
+			mc.chargeFloat(mc.m.FloatAdd)
+			return FloatVal(a + b)
+		case minic.Minus:
+			mc.chargeFloat(mc.m.FloatAdd)
+			return FloatVal(a - b)
+		case minic.Star:
+			mc.chargeFloat(mc.m.FloatMul)
+			return FloatVal(a * b)
+		case minic.Slash:
+			mc.chargeFloat(mc.m.FloatDiv)
+			if b == 0 {
+				return FloatVal(math.Inf(1) * sign(a))
+			}
+			return FloatVal(a / b)
+		case minic.Lt, minic.Gt, minic.Le, minic.Ge, minic.EqEq, minic.NotEq:
+			mc.chargeFloat(mc.m.FloatCmp)
+			return boolVal(cmpFloat(op, a, b))
+		}
+		panic(rtErr(pos, "invalid float operation %v", op))
+	}
+
+	a, b := x.I, y.I
+	switch op {
+	case minic.Plus:
+		mc.chargeInt()
+		return IntVal(a + b)
+	case minic.Minus:
+		mc.chargeInt()
+		return IntVal(a - b)
+	case minic.Star:
+		mc.chargeMul()
+		return IntVal(a * b)
+	case minic.Slash:
+		mc.chargeDiv()
+		if b == 0 {
+			panic(rtErr(pos, "integer division by zero"))
+		}
+		return IntVal(a / b)
+	case minic.Percent:
+		mc.chargeDiv()
+		if b == 0 {
+			panic(rtErr(pos, "integer modulo by zero"))
+		}
+		return IntVal(a % b)
+	case minic.Shl:
+		mc.chargeInt()
+		return IntVal(a << uint(b&63))
+	case minic.Shr:
+		mc.chargeInt()
+		return IntVal(a >> uint(b&63))
+	case minic.Amp:
+		mc.chargeInt()
+		return IntVal(a & b)
+	case minic.Pipe:
+		mc.chargeInt()
+		return IntVal(a | b)
+	case minic.Caret:
+		mc.chargeInt()
+		return IntVal(a ^ b)
+	case minic.Lt:
+		mc.chargeInt()
+		return boolVal(a < b)
+	case minic.Gt:
+		mc.chargeInt()
+		return boolVal(a > b)
+	case minic.Le:
+		mc.chargeInt()
+		return boolVal(a <= b)
+	case minic.Ge:
+		mc.chargeInt()
+		return boolVal(a >= b)
+	case minic.EqEq:
+		mc.chargeInt()
+		return boolVal(a == b)
+	case minic.NotEq:
+		mc.chargeInt()
+		return boolVal(a != b)
+	}
+	panic(rtErr(pos, "unhandled binary operator %v", op))
+}
+
+func (mc *Machine) applyPtrBinary(op minic.TokKind, x, y Value, e *minic.Binary) Value {
+	pos := e.Pos()
+	mc.chargeInt()
+	switch op {
+	case minic.Plus, minic.Minus:
+		if x.K == KPtr && y.K == KInt {
+			ew := ptrElemWords(e.X.Type())
+			d := int(y.I) * ew
+			if op == minic.Minus {
+				d = -d
+			}
+			return Value{K: KPtr, P: Ptr{seg: x.P.seg, off: x.P.off + d}}
+		}
+		if y.K == KPtr && x.K == KInt && op == minic.Plus {
+			ew := ptrElemWords(e.Y.Type())
+			return Value{K: KPtr, P: Ptr{seg: y.P.seg, off: y.P.off + int(x.I)*ew}}
+		}
+		if x.K == KPtr && y.K == KPtr && op == minic.Minus {
+			if x.P.seg != y.P.seg {
+				panic(rtErr(pos, "subtraction of pointers into different objects"))
+			}
+			ew := ptrElemWords(e.X.Type())
+			return IntVal(int64((x.P.off - y.P.off) / ew))
+		}
+	case minic.EqEq:
+		return boolVal(samePtr(x, y))
+	case minic.NotEq:
+		return boolVal(!samePtr(x, y))
+	case minic.Lt, minic.Gt, minic.Le, minic.Ge:
+		if x.K == KPtr && y.K == KPtr && x.P.seg == y.P.seg {
+			return boolVal(cmpInt(op, int64(x.P.off), int64(y.P.off)))
+		}
+		panic(rtErr(pos, "relational comparison of unrelated pointers"))
+	}
+	panic(rtErr(pos, "invalid pointer operation %v", op))
+}
+
+// samePtr compares a pointer with another pointer or the null constant 0.
+func samePtr(x, y Value) bool {
+	px, py := x, y
+	if px.K == KInt {
+		px = Value{K: KPtr}
+	}
+	if py.K == KInt {
+		py = Value{K: KPtr}
+	}
+	return px.P.seg == py.P.seg && (px.P.seg == nil || px.P.off == py.P.off)
+}
+
+func ptrElemWords(t minic.Type) int {
+	elem := minic.ElemOf(decayT(t))
+	if elem == nil {
+		return 1
+	}
+	w := elem.Words()
+	if w == 0 {
+		return 1
+	}
+	return w
+}
+
+func cmpInt(op minic.TokKind, a, b int64) bool {
+	switch op {
+	case minic.Lt:
+		return a < b
+	case minic.Gt:
+		return a > b
+	case minic.Le:
+		return a <= b
+	default:
+		return a >= b
+	}
+}
+
+func cmpFloat(op minic.TokKind, a, b float64) bool {
+	switch op {
+	case minic.Lt:
+		return a < b
+	case minic.Gt:
+		return a > b
+	case minic.Le:
+		return a <= b
+	case minic.Ge:
+		return a >= b
+	case minic.EqEq:
+		return a == b
+	default:
+		return a != b
+	}
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return IntVal(1)
+	}
+	return IntVal(0)
+}
+
+func sign(a float64) float64 {
+	if a < 0 {
+		return -1
+	}
+	return 1
+}
+
+func (mc *Machine) evalAssign(e *minic.AssignExpr, fr *Seg) Value {
+	p := mc.evalLValue(e.LHS, fr)
+	lt := e.LHS.Type()
+
+	if e.Op == minic.Assign {
+		rhs := mc.evalExpr(e.RHS, fr)
+		// Struct copy.
+		if st, ok := lt.(*minic.Struct); ok {
+			if rhs.K != KPtr {
+				panic(rtErr(e.Pos(), "struct assignment from non-aggregate"))
+			}
+			n := st.Words()
+			for i := 0; i < n; i++ {
+				src := mc.loadPtr(Ptr{seg: rhs.P.seg, off: rhs.P.off + i}, minic.IntType, e.Pos())
+				mc.storePtr(Ptr{seg: p.seg, off: p.off + i}, src, e.Pos())
+			}
+			return rhs
+		}
+		v := convert(rhs, lt)
+		mc.storePtr(p, v, e.Pos())
+		return v
+	}
+
+	old := mc.loadPtr(p, lt, e.Pos())
+	rhs := mc.evalExpr(e.RHS, fr)
+	fake := &minic.Binary{Op: compound(e.Op), X: e.LHS, Y: e.RHS}
+	nv := convert(mc.applyBinary(fake.Op, old, rhs, fake), lt)
+	mc.storePtr(p, nv, e.Pos())
+	return nv
+}
+
+func compound(op minic.TokKind) minic.TokKind {
+	switch op {
+	case minic.PlusEq:
+		return minic.Plus
+	case minic.MinusEq:
+		return minic.Minus
+	case minic.StarEq:
+		return minic.Star
+	case minic.SlashEq:
+		return minic.Slash
+	case minic.PercentEq:
+		return minic.Percent
+	case minic.ShlEq:
+		return minic.Shl
+	case minic.ShrEq:
+		return minic.Shr
+	case minic.AndEq:
+		return minic.Amp
+	case minic.OrEq:
+		return minic.Pipe
+	default:
+		return minic.Caret
+	}
+}
+
+func (mc *Machine) evalCall(e *minic.Call, fr *Seg) Value {
+	// Builtins.
+	if id, ok := e.Fun.(*minic.Ident); ok && id.Sym != nil &&
+		id.Sym.Kind == minic.SymFunc && id.Sym.FuncDecl == nil {
+		return mc.callBuiltin(e, id.Name, fr)
+	}
+	fv := mc.evalExpr(e.Fun, fr)
+	if fv.K != KFunc || fv.Fn == nil {
+		panic(rtErr(e.Pos(), "call of non-function value"))
+	}
+	args := make([]Value, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = mc.evalExpr(a, fr)
+	}
+	return mc.call(fv.Fn, args, e.Pos())
+}
+
+func (mc *Machine) callBuiltin(e *minic.Call, name string, fr *Seg) Value {
+	mc.charge(mc.m.Call)
+	mc.ops.Calls++
+	switch name {
+	case "print_int":
+		v := mc.evalExpr(e.Args[0], fr)
+		writeInt(&mc.out, convert(v, minic.IntType).I)
+		mc.out.WriteByte('\n')
+		return Value{}
+	case "print_float":
+		v := mc.evalExpr(e.Args[0], fr)
+		writeFloat(&mc.out, convert(v, minic.FloatType).F)
+		mc.out.WriteByte('\n')
+		return Value{}
+	case "print_str":
+		s := e.Args[0].(*minic.StrLit)
+		mc.out.WriteString(s.Val)
+		mc.out.WriteByte('\n')
+		return Value{}
+	case "__assert":
+		v := mc.evalExpr(e.Args[0], fr)
+		if !v.Truthy() {
+			panic(rtErr(e.Pos(), "assertion failed"))
+		}
+		return Value{}
+	}
+	panic(rtErr(e.Pos(), "unknown builtin %s", name))
+}

@@ -1,0 +1,242 @@
+package interp
+
+import (
+	"strings"
+
+	"compreuse/internal/cost"
+	"compreuse/internal/minic"
+	"compreuse/internal/reusetab"
+)
+
+// OpCounts tallies executed operations by class, feeding the energy model.
+type OpCounts struct {
+	IntOps   int64
+	MulOps   int64
+	DivOps   int64
+	FloatOps int64
+	MemOps   int64
+	Branches int64
+	Calls    int64
+	HashOps  int64 // hashing-overhead cycles converted to op count equivalents
+}
+
+// SegRunStats accumulates per-ReuseRegion dynamic statistics (keyed by the
+// region's AST node id).
+type SegRunStats struct {
+	// Instances is the number of times the region was entered.
+	Instances int64
+	// BodyCycles is the total cycles spent executing the region body
+	// (misses only in ModeReuse; every instance in ModeProfile). Dividing
+	// by body executions yields the measured granularity C.
+	BodyCycles int64
+	// BodyRuns is the number of body executions.
+	BodyRuns int64
+	// OverheadCycles is the total hashing overhead charged.
+	OverheadCycles int64
+	// Hits is the number of table hits.
+	Hits int64
+}
+
+// MeasuredC returns the measured per-instance granularity in cycles.
+func (s *SegRunStats) MeasuredC() float64 {
+	if s.BodyRuns == 0 {
+		return 0
+	}
+	return float64(s.BodyCycles) / float64(s.BodyRuns)
+}
+
+// Options configures a VM run.
+type Options struct {
+	// Model is the cycle cost model; defaults to cost.O0().
+	Model *cost.Model
+	// Tables maps ReuseRegion.TableID to its table. Regions referencing a
+	// missing table fault at first use.
+	Tables map[int]*reusetab.Table
+	// MaxSteps bounds executed statements (0 = 4e9).
+	MaxSteps int64
+	// CollectFreq enables per-node execution-frequency profiling.
+	CollectFreq bool
+	// MaxDepth bounds the call stack (0 = 10000).
+	MaxDepth int
+	// Args are the integer arguments passed to main (if it takes any).
+	Args []int64
+}
+
+// Result is the outcome of a VM run.
+type Result struct {
+	// Ret is main's return value.
+	Ret int64
+	// Cycles is the total modeled cycle count.
+	Cycles int64
+	// Output is everything printed by the program.
+	Output string
+	// Ops are the executed operation counts by class.
+	Ops OpCounts
+	// Freq maps node id to execution count when Options.CollectFreq is set.
+	Freq []int64
+	// Segs holds per-ReuseRegion stats keyed by region node id.
+	Segs map[int]*SegRunStats
+	// Tables echoes the tables used by the run.
+	Tables map[int]*reusetab.Table
+}
+
+// Seconds returns the modeled wall-clock time of the run.
+func (r *Result) Seconds() float64 { return cost.Seconds(r.Cycles) }
+
+// Machine executes one program. A Machine is single-use: create, Run, read
+// results.
+type Machine struct {
+	prog    *minic.Program
+	m       *cost.Model
+	globals *Seg
+	out     strings.Builder
+	cycles  int64
+	ops     OpCounts
+	steps   int64
+	maxStep int64
+	depth   int
+	maxDep  int
+	tables  map[int]*reusetab.Table
+	segs    map[int]*SegRunStats
+	freq    []int64
+	retVal  Value
+	// overheadMemo caches the hashing overhead per (table, seg).
+	overheadMemo map[[2]int]int64
+}
+
+// New creates a machine for prog (which must be Checked).
+func New(prog *minic.Program, opts Options) *Machine {
+	m := opts.Model
+	if m == nil {
+		m = cost.O0()
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 4e9
+	}
+	maxDep := opts.MaxDepth
+	if maxDep == 0 {
+		maxDep = 10000
+	}
+	mc := &Machine{
+		prog:         prog,
+		m:            m,
+		globals:      &Seg{data: make([]Value, prog.GlobalWords), name: "globals"},
+		maxStep:      maxSteps,
+		maxDep:       maxDep,
+		tables:       opts.Tables,
+		segs:         map[int]*SegRunStats{},
+		overheadMemo: map[[2]int]int64{},
+	}
+	if opts.CollectFreq {
+		mc.freq = make([]int64, prog.NumNodes)
+	}
+	return mc
+}
+
+// Run executes the program from main and returns the result. Runtime
+// faults are returned as *RuntimeError.
+func Run(prog *minic.Program, opts Options) (res *Result, err error) {
+	mc := New(prog, opts)
+	defer func() {
+		if r := recover(); r != nil {
+			if re, ok := r.(*RuntimeError); ok {
+				err = re
+				return
+			}
+			panic(r)
+		}
+	}()
+	mc.initGlobals()
+	mainFn := prog.Func("main")
+	if mainFn == nil {
+		return nil, rtErr(minic.Pos{}, "program has no main function")
+	}
+	args := make([]Value, len(opts.Args))
+	for i, a := range opts.Args {
+		args[i] = IntVal(a)
+	}
+	if len(args) != len(mainFn.Params) {
+		return nil, rtErr(mainFn.Pos(), "main takes %d arguments, got %d", len(mainFn.Params), len(args))
+	}
+	ret := mc.call(mainFn, args, mainFn.Pos())
+	return &Result{
+		Ret:    ret.I,
+		Cycles: mc.cycles,
+		Output: mc.out.String(),
+		Ops:    mc.ops,
+		Freq:   mc.freq,
+		Segs:   mc.segs,
+		Tables: mc.tables,
+	}, nil
+}
+
+// initGlobals zero-fills global storage and evaluates initializers in
+// declaration order (later globals may read earlier ones).
+func (mc *Machine) initGlobals() {
+	fr := &Seg{data: nil, name: "init"}
+	for _, g := range mc.prog.Globals {
+		base := g.Sym.Slot
+		if g.Init != nil {
+			v := mc.evalExpr(g.Init, fr)
+			mc.globals.data[base] = convert(v, g.Type)
+		}
+		if g.InitList != nil {
+			at := g.Type.(*minic.Array)
+			et := scalarElem(at)
+			for i, e := range g.InitList {
+				v := mc.evalExpr(e, fr)
+				mc.globals.data[base+i] = convert(v, et)
+			}
+			// Remaining cells stay zero, with the element's kind.
+			zero := convert(IntVal(0), et)
+			for i := len(g.InitList); i < at.Words(); i++ {
+				mc.globals.data[base+i] = zero
+			}
+		}
+	}
+}
+
+// scalarElem returns the ultimate scalar element type of a (possibly
+// nested) array type.
+func scalarElem(t minic.Type) minic.Type {
+	for {
+		at, ok := t.(*minic.Array)
+		if !ok {
+			return t
+		}
+		t = at.Elem
+	}
+}
+
+func (mc *Machine) charge(c int64) { mc.cycles += c }
+func (mc *Machine) chargeInt()     { mc.cycles += mc.m.IntALU; mc.ops.IntOps++ }
+func (mc *Machine) chargeMul()     { mc.cycles += mc.m.IntMul; mc.ops.MulOps++ }
+func (mc *Machine) chargeDiv()     { mc.cycles += mc.m.IntDiv; mc.ops.DivOps++ }
+func (mc *Machine) chargeLoad()    { mc.cycles += mc.m.Load; mc.ops.MemOps++ }
+func (mc *Machine) chargeStore()   { mc.cycles += mc.m.Store; mc.ops.MemOps++ }
+func (mc *Machine) chargeLocal() {
+	if mc.m.LocalAccess != 0 {
+		mc.cycles += mc.m.LocalAccess
+		mc.ops.MemOps++
+	}
+}
+func (mc *Machine) chargeBranch() { mc.cycles += mc.m.Branch; mc.ops.Branches++ }
+func (mc *Machine) chargeFloat(c int64) {
+	mc.cycles += c
+	mc.ops.FloatOps++
+}
+
+// step counts one executed statement against the step limit.
+func (mc *Machine) step(pos minic.Pos) {
+	mc.steps++
+	if mc.steps > mc.maxStep {
+		panic(rtErr(pos, "step limit exceeded (%d statements)", mc.maxStep))
+	}
+}
+
+func (mc *Machine) countNode(id int) {
+	if mc.freq != nil && id < len(mc.freq) {
+		mc.freq[id]++
+	}
+}

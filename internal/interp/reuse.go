@@ -1,0 +1,220 @@
+package interp
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"compreuse/internal/minic"
+	"compreuse/internal/reusetab"
+)
+
+// execReuse executes a ReuseRegion (paper Fig. 2b):
+//
+//	key := concat(inputs)
+//	if probe(key) misses { run body; record(key, outputs) }
+//	else { copy stored outputs }
+//
+// In ModeReuse the modeled hashing overhead is charged on every instance
+// (the paper notes hits and misses perform the same extra work). In
+// ModeProfile no overhead is charged — profiling is an offline activity —
+// and the body always runs while the table takes the input census; the
+// region additionally measures the body's granularity.
+func (mc *Machine) execReuse(s *minic.ReuseRegion, fr *Seg) ctrl {
+	tab := mc.tables[s.TableID]
+	if tab == nil {
+		panic(rtErr(s.Pos(), "reuse region %q references unknown table %d", s.SegName, s.TableID))
+	}
+	st := mc.segs[s.ID()]
+	if st == nil {
+		st = &SegRunStats{}
+		mc.segs[s.ID()] = st
+	}
+	st.Instances++
+
+	key := mc.buildKey(s, fr)
+	profile := tab.Config().Mode == reusetab.ModeProfile
+
+	if !profile {
+		oh := mc.hashOverhead(tab, s)
+		mc.charge(oh)
+		mc.ops.HashOps += oh
+		st.OverheadCycles += oh
+	}
+
+	outs, hit := tab.Probe(s.SegBit, key)
+	if hit {
+		st.Hits++
+		mc.writeOutputs(s, outs, fr)
+		return cNone
+	}
+
+	before := mc.cycles
+	c := mc.execStmt(s.Body, fr)
+	st.BodyCycles += mc.cycles - before
+	st.BodyRuns++
+	if c == cRet || c == cBreak || c == cCont {
+		// A body that escapes abnormally does not reach the region exit;
+		// its outputs are not well-defined there, so nothing is recorded.
+		// (The transform pass only wraps single-entry single-exit bodies,
+		// so this is defensive.)
+		return c
+	}
+	tab.Record(s.SegBit, key, mc.readOutputs(s, fr))
+	return cNone
+}
+
+// hashOverhead returns the memoized per-instance overhead for (table, seg).
+func (mc *Machine) hashOverhead(tab *reusetab.Table, s *minic.ReuseRegion) int64 {
+	k := [2]int{s.TableID, s.SegBit}
+	if oh, ok := mc.overheadMemo[k]; ok {
+		return oh
+	}
+	cfg := tab.Config()
+	oh := mc.m.HashOverhead(cfg.KeyBytes, cfg.OutBytes[s.SegBit])
+	mc.overheadMemo[k] = oh
+	return oh
+}
+
+// buildKey concatenates the bit patterns of the input values (paper §2.1).
+// Scalar ints contribute 4 bytes, floats 8; aggregate inputs contribute
+// every element.
+func (mc *Machine) buildKey(s *minic.ReuseRegion, fr *Seg) []byte {
+	var key []byte
+	for _, in := range s.Inputs {
+		key = mc.appendValue(key, in, fr)
+	}
+	return key
+}
+
+func (mc *Machine) appendValue(key []byte, e minic.Expr, fr *Seg) []byte {
+	t := e.Type()
+	if minic.IsAggregate(t) {
+		base := mc.evalLValue(e, fr)
+		return mc.appendWords(key, base, t, e.Pos())
+	}
+	v := mc.evalExpr(e, fr)
+	switch {
+	case minic.IsFloat(t):
+		return reusetab.AppendFloat(key, convert(v, minic.FloatType).F)
+	default:
+		return reusetab.AppendInt(key, convert(v, minic.IntType).I)
+	}
+}
+
+// appendWords flattens an aggregate at base into the key, element by
+// element, following the type structure.
+func (mc *Machine) appendWords(key []byte, base Ptr, t minic.Type, pos minic.Pos) []byte {
+	switch t := t.(type) {
+	case *minic.Array:
+		ew := t.Elem.Words()
+		for i := 0; i < t.Len; i++ {
+			key = mc.appendWords(key, Ptr{seg: base.seg, off: base.off + i*ew}, t.Elem, pos)
+		}
+		return key
+	case *minic.Struct:
+		for _, f := range t.Fields {
+			key = mc.appendWords(key, Ptr{seg: base.seg, off: base.off + f.WordOff}, f.Type, pos)
+		}
+		return key
+	default:
+		v := mc.loadPtr(base, t, pos)
+		if minic.IsFloat(t) {
+			return reusetab.AppendFloat(key, v.F)
+		}
+		return reusetab.AppendInt(key, v.I)
+	}
+}
+
+// readOutputs encodes the current values of the output lvalues.
+func (mc *Machine) readOutputs(s *minic.ReuseRegion, fr *Seg) []uint64 {
+	var out []uint64
+	for _, o := range s.Outputs {
+		t := o.Type()
+		if minic.IsAggregate(t) {
+			base := mc.evalLValue(o, fr)
+			out = mc.readWords(out, base, t, o.Pos())
+			continue
+		}
+		v := mc.evalExpr(o, fr)
+		out = append(out, encodeScalar(v, t))
+	}
+	return out
+}
+
+func (mc *Machine) readWords(out []uint64, base Ptr, t minic.Type, pos minic.Pos) []uint64 {
+	switch t := t.(type) {
+	case *minic.Array:
+		ew := t.Elem.Words()
+		for i := 0; i < t.Len; i++ {
+			out = mc.readWords(out, Ptr{seg: base.seg, off: base.off + i*ew}, t.Elem, pos)
+		}
+		return out
+	case *minic.Struct:
+		for _, f := range t.Fields {
+			out = mc.readWords(out, Ptr{seg: base.seg, off: base.off + f.WordOff}, f.Type, pos)
+		}
+		return out
+	default:
+		return append(out, encodeScalar(mc.loadPtr(base, t, pos), t))
+	}
+}
+
+// writeOutputs decodes stored words into the output lvalues on a hit.
+func (mc *Machine) writeOutputs(s *minic.ReuseRegion, words []uint64, fr *Seg) {
+	i := 0
+	for _, o := range s.Outputs {
+		t := o.Type()
+		base := mc.evalLValue(o, fr)
+		i = mc.writeWords(words, i, base, t, o.Pos())
+	}
+	if i != len(words) {
+		panic(rtErr(s.Pos(), "reuse region %q: output width mismatch (%d of %d words)", s.SegName, i, len(words)))
+	}
+}
+
+func (mc *Machine) writeWords(words []uint64, i int, base Ptr, t minic.Type, pos minic.Pos) int {
+	switch t := t.(type) {
+	case *minic.Array:
+		ew := t.Elem.Words()
+		for j := 0; j < t.Len; j++ {
+			i = mc.writeWords(words, i, Ptr{seg: base.seg, off: base.off + j*ew}, t.Elem, pos)
+		}
+		return i
+	case *minic.Struct:
+		for _, f := range t.Fields {
+			i = mc.writeWords(words, i, Ptr{seg: base.seg, off: base.off + f.WordOff}, f.Type, pos)
+		}
+		return i
+	default:
+		mc.storePtr(base, decodeScalar(words[i], t), pos)
+		return i + 1
+	}
+}
+
+func encodeScalar(v Value, t minic.Type) uint64 {
+	if minic.IsFloat(t) {
+		return math.Float64bits(convert(v, minic.FloatType).F)
+	}
+	return uint64(convert(v, minic.IntType).I)
+}
+
+func decodeScalar(w uint64, t minic.Type) Value {
+	if minic.IsFloat(t) {
+		return FloatVal(math.Float64frombits(w))
+	}
+	return IntVal(int64(w))
+}
+
+// ---------------------------------------------------------------------------
+// Print formatting, shared by the builtins.
+
+func writeInt(sb *strings.Builder, v int64) {
+	sb.WriteString(strconv.FormatInt(v, 10))
+}
+
+func writeFloat(sb *strings.Builder, v float64) {
+	// %.6g keeps output stable across O-levels with differing rounding of
+	// the same computation.
+	sb.WriteString(strconv.FormatFloat(v, 'g', 6, 64))
+}

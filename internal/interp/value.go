@@ -1,0 +1,146 @@
+// Package interp is the MiniC virtual machine. It executes checked MiniC
+// programs with cycle-accurate accounting against a cost.Model, standing in
+// for the paper's 206 MHz StrongARM SA-1110 (Compaq iPAQ 3650).
+//
+// Beyond plain execution the VM provides the two services the
+// computation-reuse scheme needs:
+//
+//   - execution-frequency profiling (the gprof/gcov stand-in of §2.1):
+//     per-node execution counts for functions, loop bodies and branches;
+//   - ReuseRegion execution: value-set profiling (ModeProfile tables) and
+//     the production table look-up semantics of Figure 2(b) (ModeReuse),
+//     charging the modeled hashing overhead so that transformed programs
+//     pay for their probes exactly as the cost model predicts.
+package interp
+
+import (
+	"fmt"
+
+	"compreuse/internal/minic"
+)
+
+// Kind discriminates VM values.
+type Kind uint8
+
+// Value kinds.
+const (
+	KInt Kind = iota
+	KFloat
+	KPtr
+	KFunc
+)
+
+// Seg is a storage segment: the global area or one call frame. Pointers
+// reference cells within a segment, so frames stay valid while pointed-to.
+type Seg struct {
+	data []Value
+	name string
+}
+
+// Ptr is a VM pointer: a cell offset within a segment. The zero Ptr is the
+// null pointer. ElemWords is the pointee size used to scale pointer
+// arithmetic and is carried on the value (MiniC pointers are typed, so this
+// is statically consistent).
+type Ptr struct {
+	seg *Seg
+	off int
+}
+
+// IsNull reports whether p is the null pointer.
+func (p Ptr) IsNull() bool { return p.seg == nil }
+
+// Value is one VM scalar.
+type Value struct {
+	K  Kind
+	I  int64
+	F  float64
+	P  Ptr
+	Fn *minic.FuncDecl
+}
+
+// IntVal makes an int value.
+func IntVal(v int64) Value { return Value{K: KInt, I: v} }
+
+// FloatVal makes a float value.
+func FloatVal(v float64) Value { return Value{K: KFloat, F: v} }
+
+// Truthy reports C truth: nonzero / non-null.
+func (v Value) Truthy() bool {
+	switch v.K {
+	case KInt:
+		return v.I != 0
+	case KFloat:
+		return v.F != 0
+	case KPtr:
+		return !v.P.IsNull()
+	case KFunc:
+		return v.Fn != nil
+	}
+	return false
+}
+
+func (v Value) String() string {
+	switch v.K {
+	case KInt:
+		return fmt.Sprintf("%d", v.I)
+	case KFloat:
+		return fmt.Sprintf("%g", v.F)
+	case KPtr:
+		if v.P.IsNull() {
+			return "null"
+		}
+		return fmt.Sprintf("&%s[%d]", v.P.seg.name, v.P.off)
+	case KFunc:
+		if v.Fn == nil {
+			return "func(null)"
+		}
+		return "func " + v.Fn.Name
+	}
+	return "?"
+}
+
+// convert coerces v to the representation of type t (assignment semantics).
+func convert(v Value, t minic.Type) Value {
+	switch {
+	case minic.IsInt(t):
+		if v.K == KFloat {
+			return IntVal(int64(v.F))
+		}
+		if v.K == KPtr {
+			// Pointer-to-int: expose a stable-ish integer (segment-relative).
+			return IntVal(int64(v.P.off))
+		}
+		return Value{K: KInt, I: v.I}
+	case minic.IsFloat(t):
+		if v.K == KInt {
+			return FloatVal(float64(v.I))
+		}
+		return Value{K: KFloat, F: v.F}
+	default:
+		if _, ok := t.(*minic.Pointer); ok && v.K == KInt {
+			// Integer-to-pointer: only the null constant is meaningful in
+			// the VM's segmented memory; any integer converts to null.
+			return Value{K: KPtr}
+		}
+		// Function pointers, struct words: bit-preserving.
+		return v
+	}
+}
+
+// RuntimeError is a MiniC execution fault (null dereference, division by
+// zero, out-of-bounds access, step limit, assertion failure).
+type RuntimeError struct {
+	Pos minic.Pos
+	Msg string
+}
+
+func (e *RuntimeError) Error() string {
+	if e.Pos.IsValid() {
+		return fmt.Sprintf("runtime error at %s: %s", e.Pos, e.Msg)
+	}
+	return "runtime error: " + e.Msg
+}
+
+func rtErr(pos minic.Pos, format string, args ...any) *RuntimeError {
+	return &RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

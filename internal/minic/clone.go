@@ -1,0 +1,49 @@
+package minic
+
+// CloneExpr returns a deep copy of e with fresh node ids from p. Types and
+// symbol bindings are shared (symbols are interned program entities).
+// Synthesizing passes use it to reference the same lvalue from several
+// places without aliasing AST nodes.
+func (p *Program) CloneExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	base := func(old Expr) exprBase {
+		return exprBase{pos: old.Pos(), id: p.NewID(), typ: old.Type()}
+	}
+	switch e := e.(type) {
+	case *IntLit:
+		return &IntLit{exprBase: base(e), Val: e.Val}
+	case *FloatLit:
+		return &FloatLit{exprBase: base(e), Val: e.Val}
+	case *StrLit:
+		return &StrLit{exprBase: base(e), Val: e.Val}
+	case *Ident:
+		return &Ident{exprBase: base(e), Name: e.Name, Sym: e.Sym}
+	case *SizeofExpr:
+		return &SizeofExpr{exprBase: base(e), T: e.T}
+	case *Unary:
+		return &Unary{exprBase: base(e), Op: e.Op, X: p.CloneExpr(e.X)}
+	case *IncDec:
+		return &IncDec{exprBase: base(e), Op: e.Op, Post: e.Post, X: p.CloneExpr(e.X)}
+	case *Binary:
+		return &Binary{exprBase: base(e), Op: e.Op, X: p.CloneExpr(e.X), Y: p.CloneExpr(e.Y)}
+	case *AssignExpr:
+		return &AssignExpr{exprBase: base(e), Op: e.Op, LHS: p.CloneExpr(e.LHS), RHS: p.CloneExpr(e.RHS)}
+	case *Cond:
+		return &Cond{exprBase: base(e), Cond: p.CloneExpr(e.Cond), Then: p.CloneExpr(e.Then), Else: p.CloneExpr(e.Else)}
+	case *Call:
+		c := &Call{exprBase: base(e), Fun: p.CloneExpr(e.Fun)}
+		for _, a := range e.Args {
+			c.Args = append(c.Args, p.CloneExpr(a))
+		}
+		return c
+	case *Index:
+		return &Index{exprBase: base(e), X: p.CloneExpr(e.X), Idx: p.CloneExpr(e.Idx)}
+	case *FieldExpr:
+		return &FieldExpr{exprBase: base(e), X: p.CloneExpr(e.X), Name: e.Name, Arrow: e.Arrow, Info: e.Info}
+	case *Cast:
+		return &Cast{exprBase: base(e), To: e.To, X: p.CloneExpr(e.X)}
+	}
+	panic("CloneExpr: unhandled expression")
+}

@@ -1,0 +1,111 @@
+package minic
+
+import "testing"
+
+func TestCloneExprDeep(t *testing.T) {
+	prog := mustCheck(t, "c.c", `
+struct s { int f; };
+struct s gs;
+int arr[4];
+int fn(int a, float b) {
+    int r = (a + 3) * (int)(b / 2.0) + arr[a & 3] + gs.f + (a > 0 ? a : -a);
+    return r;
+}`)
+	var orig Expr
+	Inspect(prog.Func("fn").Body, func(n Node) bool {
+		if d, ok := n.(*VarDecl); ok && orig == nil {
+			orig = d.Init
+		}
+		return true
+	})
+	if orig == nil {
+		t.Fatal("no expression found")
+	}
+	clone := prog.CloneExpr(orig)
+
+	// Same rendering, same types, distinct node identities and fresh ids.
+	if PrintExpr(clone) != PrintExpr(orig) {
+		t.Fatalf("clone prints differently: %s vs %s", PrintExpr(clone), PrintExpr(orig))
+	}
+	origIDs := map[int]bool{}
+	InspectExprs(orig, func(e Expr) bool { origIDs[e.ID()] = true; return true })
+	InspectExprs(clone, func(e Expr) bool {
+		if origIDs[e.ID()] {
+			t.Fatalf("clone shares node id %d", e.ID())
+		}
+		if e.Type() == nil {
+			t.Fatalf("clone lost type at %s", PrintExpr(e))
+		}
+		return true
+	})
+	// Symbols are shared (interned program entities).
+	co := Idents(orig)
+	cc := Idents(clone)
+	if len(co) != len(cc) {
+		t.Fatalf("ident counts differ: %d vs %d", len(co), len(cc))
+	}
+	for i := range co {
+		if co[i].Sym != cc[i].Sym {
+			t.Fatalf("ident %d symbol not shared", i)
+		}
+	}
+}
+
+func TestCloneExprNil(t *testing.T) {
+	prog := mustCheck(t, "n.c", `int main(void) { return 0; }`)
+	if prog.CloneExpr(nil) != nil {
+		t.Fatal("nil must clone to nil")
+	}
+}
+
+func TestInspectOrder(t *testing.T) {
+	prog := mustCheck(t, "o.c", `
+int f(int a) {
+    int x = a + 1;
+    if (x > 2)
+        x = x * 3;
+    return x;
+}`)
+	var kinds []string
+	Inspect(prog.Func("f").Body, func(n Node) bool {
+		switch n.(type) {
+		case *DeclStmt:
+			kinds = append(kinds, "decl")
+		case *IfStmt:
+			kinds = append(kinds, "if")
+		case *ReturnStmt:
+			kinds = append(kinds, "return")
+		}
+		return true
+	})
+	want := []string{"decl", "if", "return"}
+	if len(kinds) != 3 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("order = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestInspectPrune(t *testing.T) {
+	prog := mustCheck(t, "p.c", `
+int f(int a) {
+    if (a) { a = a + 1; }
+    return a;
+}`)
+	seenAssign := false
+	Inspect(prog.Func("f").Body, func(n Node) bool {
+		if _, ok := n.(*IfStmt); ok {
+			return false // prune the subtree
+		}
+		if _, ok := n.(*AssignExpr); ok {
+			seenAssign = true
+		}
+		return true
+	})
+	if seenAssign {
+		t.Fatal("pruned subtree was visited")
+	}
+}

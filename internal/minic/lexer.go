@@ -1,0 +1,372 @@
+package minic
+
+import (
+	"strings"
+)
+
+// Lexer turns MiniC source text into a token stream. It handles // and
+// /* */ comments, decimal/hex/octal integer literals, float literals,
+// character and string literals with the common escape sequences, and all
+// MiniC operators.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	err  *Error
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes src completely and returns the token slice (terminated by
+// an EOF token) or the first lexical error.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t := lx.Next()
+		if lx.err != nil {
+			return nil, lx.err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				lx.err = errf(start, "unterminated block comment")
+				return
+			}
+		case c == '#':
+			// Preprocessor lines (e.g. #include) are skipped wholesale so
+			// that lightly-edited C sources lex cleanly.
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// Next returns the next token. After an error, Next returns EOF and the
+// error is available from the Lex driver.
+func (lx *Lexer) Next() Token {
+	lx.skipSpaceAndComments()
+	if lx.err != nil || lx.off >= len(lx.src) {
+		return Token{Kind: EOF, Pos: lx.pos()}
+	}
+	pos := lx.pos()
+	c := lx.peek()
+
+	switch {
+	case isIdentStart(c):
+		start := lx.off
+		for lx.off < len(lx.src) && isIdentCont(lx.peek()) {
+			lx.advance()
+		}
+		word := lx.src[start:lx.off]
+		if kw, ok := keywords[word]; ok {
+			if kw == kwIgnored {
+				return lx.Next() // qualifier: drop and continue
+			}
+			return Token{Kind: kw, Pos: pos}
+		}
+		return Token{Kind: IDENT, Text: word, Pos: pos}
+
+	case isDigit(c) || (c == '.' && isDigit(lx.peek2())):
+		return lx.lexNumber(pos)
+
+	case c == '"':
+		return lx.lexString(pos)
+
+	case c == '\'':
+		return lx.lexChar(pos)
+	}
+
+	// Operators and punctuation.
+	lx.advance()
+	two := func(next byte, k2, k1 TokKind) Token {
+		if lx.peek() == next {
+			lx.advance()
+			return Token{Kind: k2, Pos: pos}
+		}
+		return Token{Kind: k1, Pos: pos}
+	}
+	switch c {
+	case '(':
+		return Token{Kind: LParen, Pos: pos}
+	case ')':
+		return Token{Kind: RParen, Pos: pos}
+	case '{':
+		return Token{Kind: LBrace, Pos: pos}
+	case '}':
+		return Token{Kind: RBrace, Pos: pos}
+	case '[':
+		return Token{Kind: LBracket, Pos: pos}
+	case ']':
+		return Token{Kind: RBracket, Pos: pos}
+	case ';':
+		return Token{Kind: Semi, Pos: pos}
+	case ',':
+		return Token{Kind: Comma, Pos: pos}
+	case '.':
+		return Token{Kind: Dot, Pos: pos}
+	case '?':
+		return Token{Kind: Question, Pos: pos}
+	case ':':
+		return Token{Kind: Colon, Pos: pos}
+	case '~':
+		return Token{Kind: Tilde, Pos: pos}
+	case '+':
+		if lx.peek() == '+' {
+			lx.advance()
+			return Token{Kind: Inc, Pos: pos}
+		}
+		return two('=', PlusEq, Plus)
+	case '-':
+		switch lx.peek() {
+		case '-':
+			lx.advance()
+			return Token{Kind: Dec, Pos: pos}
+		case '>':
+			lx.advance()
+			return Token{Kind: Arrow, Pos: pos}
+		}
+		return two('=', MinusEq, Minus)
+	case '*':
+		return two('=', StarEq, Star)
+	case '/':
+		return two('=', SlashEq, Slash)
+	case '%':
+		return two('=', PercentEq, Percent)
+	case '=':
+		return two('=', EqEq, Assign)
+	case '!':
+		return two('=', NotEq, Not)
+	case '<':
+		if lx.peek() == '<' {
+			lx.advance()
+			return two('=', ShlEq, Shl)
+		}
+		return two('=', Le, Lt)
+	case '>':
+		if lx.peek() == '>' {
+			lx.advance()
+			return two('=', ShrEq, Shr)
+		}
+		return two('=', Ge, Gt)
+	case '&':
+		if lx.peek() == '&' {
+			lx.advance()
+			return Token{Kind: AndAnd, Pos: pos}
+		}
+		return two('=', AndEq, Amp)
+	case '|':
+		if lx.peek() == '|' {
+			lx.advance()
+			return Token{Kind: OrOr, Pos: pos}
+		}
+		return two('=', OrEq, Pipe)
+	case '^':
+		return two('=', XorEq, Caret)
+	}
+	lx.err = errf(pos, "unexpected character %q", c)
+	return Token{Kind: EOF, Pos: pos}
+}
+
+func (lx *Lexer) lexNumber(pos Pos) Token {
+	start := lx.off
+	isFloat := false
+
+	if lx.peek() == '0' && (lx.peek2() == 'x' || lx.peek2() == 'X') {
+		lx.advance()
+		lx.advance()
+		for lx.off < len(lx.src) && isHexDigit(lx.peek()) {
+			lx.advance()
+		}
+		lx.skipIntSuffix()
+		return Token{Kind: INTLIT, Text: lx.src[start:lx.off], Pos: pos}
+	}
+
+	for lx.off < len(lx.src) && isDigit(lx.peek()) {
+		lx.advance()
+	}
+	if lx.peek() == '.' && lx.peek2() != '.' {
+		isFloat = true
+		lx.advance()
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			lx.advance()
+		}
+	}
+	if c := lx.peek(); c == 'e' || c == 'E' {
+		// Exponent: e[+-]?digits. Only treat as exponent if digits follow.
+		save, saveLine, saveCol := lx.off, lx.line, lx.col
+		lx.advance()
+		if lx.peek() == '+' || lx.peek() == '-' {
+			lx.advance()
+		}
+		if isDigit(lx.peek()) {
+			isFloat = true
+			for lx.off < len(lx.src) && isDigit(lx.peek()) {
+				lx.advance()
+			}
+		} else {
+			lx.off, lx.line, lx.col = save, saveLine, saveCol
+		}
+	}
+	text := lx.src[start:lx.off]
+	if isFloat {
+		if c := lx.peek(); c == 'f' || c == 'F' {
+			lx.advance()
+		}
+		return Token{Kind: FLOATLIT, Text: text, Pos: pos}
+	}
+	lx.skipIntSuffix()
+	return Token{Kind: INTLIT, Text: text, Pos: pos}
+}
+
+func (lx *Lexer) skipIntSuffix() {
+	for {
+		switch lx.peek() {
+		case 'u', 'U', 'l', 'L':
+			lx.advance()
+		default:
+			return
+		}
+	}
+}
+
+func (lx *Lexer) lexEscape(pos Pos) (byte, bool) {
+	if lx.off >= len(lx.src) {
+		lx.err = errf(pos, "unterminated escape sequence")
+		return 0, false
+	}
+	c := lx.advance()
+	switch c {
+	case 'n':
+		return '\n', true
+	case 't':
+		return '\t', true
+	case 'r':
+		return '\r', true
+	case '0':
+		return 0, true
+	case '\\', '\'', '"':
+		return c, true
+	}
+	lx.err = errf(pos, "unknown escape sequence \\%c", c)
+	return 0, false
+}
+
+func (lx *Lexer) lexString(pos Pos) Token {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if lx.off >= len(lx.src) {
+			lx.err = errf(pos, "unterminated string literal")
+			return Token{Kind: EOF, Pos: pos}
+		}
+		c := lx.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			e, ok := lx.lexEscape(pos)
+			if !ok {
+				return Token{Kind: EOF, Pos: pos}
+			}
+			sb.WriteByte(e)
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	return Token{Kind: STRLIT, Text: sb.String(), Pos: pos}
+}
+
+func (lx *Lexer) lexChar(pos Pos) Token {
+	lx.advance() // opening quote
+	if lx.off >= len(lx.src) {
+		lx.err = errf(pos, "unterminated character literal")
+		return Token{Kind: EOF, Pos: pos}
+	}
+	c := lx.advance()
+	if c == '\\' {
+		e, ok := lx.lexEscape(pos)
+		if !ok {
+			return Token{Kind: EOF, Pos: pos}
+		}
+		c = e
+	}
+	if lx.off >= len(lx.src) || lx.advance() != '\'' {
+		lx.err = errf(pos, "unterminated character literal")
+		return Token{Kind: EOF, Pos: pos}
+	}
+	return Token{Kind: CHARLIT, Text: string(c), Pos: pos}
+}

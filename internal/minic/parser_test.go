@@ -1,0 +1,374 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+// quanSrc is the paper's Figure 2(a) example from G721.
+const quanSrc = `
+int power2[15] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384};
+
+int quan(int val) {
+    int i;
+    for (i = 0; i < 15; i++)
+        if (val < power2[i])
+            break;
+    return (i);
+}
+`
+
+func mustCheck(t *testing.T, name, src string) *Program {
+	t.Helper()
+	prog, err := Parse(name, src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return prog
+}
+
+func TestParseQuan(t *testing.T) {
+	prog, err := Parse("quan.c", quanSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Globals) != 1 || prog.Globals[0].Name != "power2" {
+		t.Fatalf("globals: %+v", prog.Globals)
+	}
+	at, ok := prog.Globals[0].Type.(*Array)
+	if !ok || at.Len != 15 || !IsInt(at.Elem) {
+		t.Fatalf("power2 type = %v", prog.Globals[0].Type)
+	}
+	if len(prog.Globals[0].InitList) != 15 {
+		t.Fatalf("power2 init list has %d entries", len(prog.Globals[0].InitList))
+	}
+	fn := prog.Func("quan")
+	if fn == nil {
+		t.Fatal("quan not found")
+	}
+	if len(fn.Params) != 1 || fn.Params[0].Name != "val" {
+		t.Fatalf("params: %+v", fn.Params)
+	}
+	if !IsInt(fn.Ret) {
+		t.Fatalf("ret: %v", fn.Ret)
+	}
+	// Body: decl, for, return.
+	if len(fn.Body.Stmts) != 3 {
+		t.Fatalf("body has %d statements", len(fn.Body.Stmts))
+	}
+	if _, ok := fn.Body.Stmts[1].(*ForStmt); !ok {
+		t.Fatalf("stmt 1 is %T, want *ForStmt", fn.Body.Stmts[1])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog := mustCheck(t, "p.c", `
+int f(int a, int b, int c) {
+    return a + b * c - a % b + (a << 2) / c;
+}`)
+	ret := prog.Func("f").Body.Stmts[0].(*ReturnStmt)
+	// ((a + (b*c)) - (a%b)) + ((a<<2)/c)
+	top, ok := ret.X.(*Binary)
+	if !ok || top.Op != Plus {
+		t.Fatalf("top = %v", PrintExpr(ret.X))
+	}
+	if got := PrintExpr(ret.X); got != "a + b * c - a % b + (a << 2) / c" {
+		t.Errorf("printed: %s", got)
+	}
+}
+
+func TestParseTernaryRightAssoc(t *testing.T) {
+	prog := mustCheck(t, "t.c", `int f(int a) { return a ? 1 : a ? 2 : 3; }`)
+	ret := prog.Func("f").Body.Stmts[0].(*ReturnStmt)
+	c, ok := ret.X.(*Cond)
+	if !ok {
+		t.Fatalf("not a Cond: %T", ret.X)
+	}
+	if _, ok := c.Else.(*Cond); !ok {
+		t.Fatalf("else branch is %T, want nested Cond", c.Else)
+	}
+}
+
+func TestParseAssignRightAssoc(t *testing.T) {
+	prog := mustCheck(t, "a.c", `int f(void) { int a; int b; a = b = 3; return a; }`)
+	es := prog.Func("f").Body.Stmts[2].(*ExprStmt)
+	outer, ok := es.X.(*AssignExpr)
+	if !ok {
+		t.Fatalf("not an assignment: %T", es.X)
+	}
+	if _, ok := outer.RHS.(*AssignExpr); !ok {
+		t.Fatalf("rhs is %T, want nested assignment", outer.RHS)
+	}
+}
+
+func TestParsePointerDeclarators(t *testing.T) {
+	prog := mustCheck(t, "ptr.c", `
+int g;
+int *p = &g;
+int **pp = &p;
+int arr[4][8];
+int f(int *x, float *y) { return *x; }
+`)
+	if _, ok := prog.Global("p").Type.(*Pointer); !ok {
+		t.Errorf("p type: %v", prog.Global("p").Type)
+	}
+	pp := prog.Global("pp").Type.(*Pointer)
+	if _, ok := pp.Elem.(*Pointer); !ok {
+		t.Errorf("pp type: %v", prog.Global("pp").Type)
+	}
+	at := prog.Global("arr").Type.(*Array)
+	if at.Len != 4 {
+		t.Errorf("arr outer len %d", at.Len)
+	}
+	inner := at.Elem.(*Array)
+	if inner.Len != 8 {
+		t.Errorf("arr inner len %d", inner.Len)
+	}
+	if at.Words() != 32 || at.Bytes() != 128 {
+		t.Errorf("arr words=%d bytes=%d", at.Words(), at.Bytes())
+	}
+}
+
+func TestParseFunctionPointer(t *testing.T) {
+	prog := mustCheck(t, "fp.c", `
+int add1(int x) { return x + 1; }
+int apply(int (*f)(int), int v) { return f(v); }
+int main(void) { return apply(add1, 41); }
+`)
+	ap := prog.Func("apply")
+	pt, ok := ap.Params[0].Type.(*Pointer)
+	if !ok {
+		t.Fatalf("param type: %v", ap.Params[0].Type)
+	}
+	ft, ok := pt.Elem.(*FuncType)
+	if !ok || len(ft.Params) != 1 || !IsInt(ft.Ret) {
+		t.Fatalf("func pointer type: %v", pt.Elem)
+	}
+}
+
+func TestParseStruct(t *testing.T) {
+	prog := mustCheck(t, "s.c", `
+struct point { int x; int y; float w; };
+struct point origin;
+int f(struct point *p) { return p->x + origin.y; }
+`)
+	st := prog.StructType("point")
+	if st == nil || len(st.Fields) != 3 {
+		t.Fatalf("struct: %+v", st)
+	}
+	if st.Fields[1].WordOff != 1 || st.Fields[1].ByteOff != 4 {
+		t.Errorf("field y offsets: word=%d byte=%d", st.Fields[1].WordOff, st.Fields[1].ByteOff)
+	}
+	if st.Words() != 3 || st.Bytes() != 16 {
+		t.Errorf("struct size: words=%d bytes=%d", st.Words(), st.Bytes())
+	}
+}
+
+func TestParseSelfRefStruct(t *testing.T) {
+	mustCheck(t, "list.c", `
+struct node { int val; struct node *next; };
+int len(struct node *n) {
+    int k = 0;
+    while (n != 0) { k++; n = n->next; }
+    return k;
+}`)
+}
+
+func TestParseDoWhile(t *testing.T) {
+	prog := mustCheck(t, "dw.c", `int f(int n) { int s = 0; do { s += n; n--; } while (n > 0); return s; }`)
+	ws, ok := prog.Func("f").Body.Stmts[1].(*WhileStmt)
+	if !ok || !ws.DoWhile {
+		t.Fatalf("not a do-while: %T", prog.Func("f").Body.Stmts[1])
+	}
+}
+
+func TestParseForVariants(t *testing.T) {
+	mustCheck(t, "for.c", `
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) s += i;
+    for (;;) { break; }
+    int j;
+    for (j = n; j > 0; j--) continue;
+    return s;
+}`)
+}
+
+func TestParseNestedInitList(t *testing.T) {
+	prog := mustCheck(t, "init.c", `int m[2][3] = {{1, 2, 3}, {4, 5, 6}};`)
+	if len(prog.Global("m").InitList) != 6 {
+		t.Fatalf("flattened init list: %d", len(prog.Global("m").InitList))
+	}
+}
+
+func TestParsePrototypeIgnored(t *testing.T) {
+	prog := mustCheck(t, "proto.c", `
+int g(int x);
+int g(int x) { return x * 2; }
+int main(void) { return g(21); }
+`)
+	if len(prog.Funcs) != 2 {
+		t.Fatalf("funcs: %d", len(prog.Funcs))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"missing semi", "int f(void) { return 1 }", "expected ;"},
+		{"bad token", "int f(void) { return @; }", "unexpected"},
+		{"unclosed block", "int f(void) { return 1;", "unexpected EOF"},
+		{"bad array len", "int a[0];", "bad array length"},
+		{"struct redecl", "struct s { int x; }; struct s { int y; };", "redeclared"},
+		{"undefined struct", "struct nope x;", "undefined struct"},
+		{"func redef", "int f(void) { return 1; } int f(void) { return 2; }", "redefined"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse("e.c", c.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestNodeIDsUnique(t *testing.T) {
+	prog := mustCheck(t, "ids.c", quanSrc)
+	seen := map[int]bool{}
+	Inspect(prog, func(n Node) bool {
+		type ider interface{ ID() int }
+		if x, ok := n.(ider); ok {
+			if seen[x.ID()] {
+				t.Fatalf("duplicate node id %d", x.ID())
+			}
+			seen[x.ID()] = true
+		}
+		return true
+	})
+	if len(seen) < 10 {
+		t.Fatalf("too few nodes visited: %d", len(seen))
+	}
+	if prog.NumNodes <= 0 {
+		t.Fatal("NumNodes not set")
+	}
+}
+
+func TestParseSwitchDesugar(t *testing.T) {
+	prog := mustCheck(t, "sw.c", `
+int classify(int x) {
+    int r;
+    switch (x) {
+    case 0:
+        r = 100;
+        break;
+    case 1:
+    case 2:
+        r = 200;
+        break;
+    case -3:
+        r = 300;
+        break;
+    default:
+        r = 999;
+    }
+    return r;
+}
+int main(void) { return classify(1); }`)
+	// The desugared form is a block with a scrutinee temp and an if chain.
+	body := prog.Func("classify").Body
+	sw, ok := body.Stmts[1].(*Block)
+	if !ok {
+		t.Fatalf("switch did not desugar to a block: %T", body.Stmts[1])
+	}
+	if _, ok := sw.Stmts[0].(*DeclStmt); !ok {
+		t.Fatalf("first stmt is %T, want scrutinee decl", sw.Stmts[0])
+	}
+	if _, ok := sw.Stmts[1].(*IfStmt); !ok {
+		t.Fatalf("second stmt is %T, want if chain", sw.Stmts[1])
+	}
+}
+
+func TestParseSwitchErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"fallthrough", `int f(int x) { switch (x) { case 1: x = 2; case 2: x = 3; break; } return x; }`, "falls through"},
+		{"mid break", `int f(int x) { switch (x) { case 1: break; x = 2; break; } return x; }`, "last statement"},
+		{"non-const label", `int f(int x) { switch (x) { case x: x = 2; break; } return x; }`, "integer constant"},
+		{"default not last", `int f(int x) { switch (x) { default: x = 1; break; case 2: x = 3; break; } return x; }`, "default must be the last"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse("e.c", c.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestSwitchDesugarRoundTrip(t *testing.T) {
+	// The desugared switch prints as plain blocks/ifs that re-parse and
+	// re-check cleanly.
+	src := `
+int f(int x) {
+    int r;
+    switch (x & 3) {
+    case 0:
+        r = 1;
+        break;
+    case 1:
+    case 2:
+        r = 2;
+        break;
+    default:
+        r = 3;
+    }
+    return r;
+}
+int main(void) { return f(5); }`
+	p1 := mustCheck(t, "sw.c", src)
+	out := Print(p1)
+	p2, err := Parse("sw2.c", out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+	if err := Check(p2); err != nil {
+		t.Fatalf("re-check: %v\n%s", err, out)
+	}
+	if Print(p2) != out {
+		t.Fatal("print not stable after switch desugar")
+	}
+}
+
+func TestSwitchTempNamesUniquePerProgram(t *testing.T) {
+	prog := mustCheck(t, "two.c", `
+int f(int x) {
+    int a;
+    switch (x) { case 1: a = 1; break; default: a = 2; }
+    int b;
+    switch (a) { case 2: b = 9; break; default: b = 8; }
+    return a + b;
+}
+int main(void) { return f(1); }`)
+	names := map[string]int{}
+	for _, id := range Idents(prog.Func("f").Body) {
+		if id.Sym != nil && id.Sym.Kind == SymLocal {
+			names[id.Sym.Name]++
+		}
+	}
+	if names["__switch0"] == 0 || names["__switch1"] == 0 {
+		t.Fatalf("temp names: %v", names)
+	}
+}

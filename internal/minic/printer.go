@@ -1,0 +1,419 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders the program back to MiniC source. The output of the
+// computation-reuse transformation is printed with explicit __crc_probe /
+// __crc_record / __crc_fetch pseudo-calls in the style of the paper's
+// Figure 2(b).
+func Print(prog *Program) string {
+	p := &printer{}
+	for _, st := range prog.Structs {
+		p.printf("struct %s {\n", st.Name)
+		p.indent++
+		for _, f := range st.Fields {
+			p.line(declString(f.Type, f.Name) + ";")
+		}
+		p.indent--
+		p.line("};")
+		p.line("")
+	}
+	for _, g := range prog.Globals {
+		p.ws()
+		p.buf.WriteString(declString(g.Type, g.Name))
+		if g.Init != nil {
+			p.buf.WriteString(" = ")
+			p.expr(g.Init, 0)
+		}
+		if g.InitList != nil {
+			p.buf.WriteString(" = {")
+			for i, e := range g.InitList {
+				if i > 0 {
+					p.buf.WriteString(", ")
+				}
+				p.expr(e, 0)
+			}
+			p.buf.WriteString("}")
+		}
+		p.buf.WriteString(";\n")
+	}
+	if len(prog.Globals) > 0 {
+		p.line("")
+	}
+	for i, fn := range prog.Funcs {
+		if i > 0 {
+			p.line("")
+		}
+		p.printFunc(fn)
+	}
+	return p.buf.String()
+}
+
+// PrintStmt renders a single statement (used in tests and diagnostics).
+func PrintStmt(s Stmt) string {
+	p := &printer{}
+	p.stmt(s)
+	return p.buf.String()
+}
+
+// PrintExpr renders a single expression.
+func PrintExpr(e Expr) string {
+	p := &printer{}
+	p.expr(e, 0)
+	return p.buf.String()
+}
+
+// declString renders "type name" with C declarator syntax (arrays and
+// function pointers need the name woven into the type).
+func declString(t Type, name string) string {
+	switch t := t.(type) {
+	case *Array:
+		var dims strings.Builder
+		inner := Type(t)
+		for {
+			at, ok := inner.(*Array)
+			if !ok {
+				break
+			}
+			fmt.Fprintf(&dims, "[%d]", at.Len)
+			inner = at.Elem
+		}
+		return declString(inner, name) + dims.String()
+	case *Pointer:
+		if ft, ok := t.Elem.(*FuncType); ok {
+			parts := make([]string, len(ft.Params))
+			for i, pt := range ft.Params {
+				parts[i] = pt.String()
+			}
+			return fmt.Sprintf("%s (*%s)(%s)", ft.Ret, name, strings.Join(parts, ", "))
+		}
+		return declString(t.Elem, "*"+name)
+	default:
+		return t.String() + " " + name
+	}
+}
+
+type printer struct {
+	buf    strings.Builder
+	indent int
+}
+
+func (p *printer) ws() {
+	for i := 0; i < p.indent; i++ {
+		p.buf.WriteString("    ")
+	}
+}
+
+func (p *printer) line(s string) {
+	p.ws()
+	p.buf.WriteString(s)
+	p.buf.WriteString("\n")
+}
+
+func (p *printer) printf(format string, args ...any) {
+	p.ws()
+	fmt.Fprintf(&p.buf, format, args...)
+}
+
+func (p *printer) printFunc(fn *FuncDecl) {
+	p.ws()
+	var params []string
+	for _, par := range fn.Params {
+		params = append(params, declString(par.Type, par.Name))
+	}
+	if len(params) == 0 {
+		params = []string{"void"}
+	}
+	fmt.Fprintf(&p.buf, "%s %s(%s)", fn.Ret, fn.Name, strings.Join(params, ", "))
+	if fn.Body == nil {
+		p.buf.WriteString(";\n")
+		return
+	}
+	p.buf.WriteString(" ")
+	p.blockBody(fn.Body)
+	p.buf.WriteString("\n")
+}
+
+// blockBody prints "{...}" without a leading indent (assumes caller
+// positioned the cursor) and without a trailing newline.
+func (p *printer) blockBody(b *Block) {
+	p.buf.WriteString("{\n")
+	p.indent++
+	for _, s := range b.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.ws()
+	p.buf.WriteString("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *DeclStmt:
+		for _, d := range s.Decls {
+			p.ws()
+			p.buf.WriteString(declString(d.Type, d.Name))
+			if d.Init != nil {
+				p.buf.WriteString(" = ")
+				p.expr(d.Init, 0)
+			}
+			if d.InitList != nil {
+				p.buf.WriteString(" = {")
+				for i, e := range d.InitList {
+					if i > 0 {
+						p.buf.WriteString(", ")
+					}
+					p.expr(e, 0)
+				}
+				p.buf.WriteString("}")
+			}
+			p.buf.WriteString(";\n")
+		}
+	case *ExprStmt:
+		p.ws()
+		p.expr(s.X, 0)
+		p.buf.WriteString(";\n")
+	case *Block:
+		p.ws()
+		p.blockBody(s)
+		p.buf.WriteString("\n")
+	case *IfStmt:
+		p.ws()
+		p.buf.WriteString("if (")
+		p.expr(s.Cond, 0)
+		p.buf.WriteString(") ")
+		p.nestedStmt(s.Then)
+		if s.Else != nil {
+			p.ws()
+			p.buf.WriteString("else ")
+			p.nestedStmt(s.Else)
+		}
+	case *WhileStmt:
+		p.ws()
+		if s.DoWhile {
+			p.buf.WriteString("do ")
+			p.nestedStmt(s.Body)
+			p.ws()
+			p.buf.WriteString("while (")
+			p.expr(s.Cond, 0)
+			p.buf.WriteString(");\n")
+			return
+		}
+		p.buf.WriteString("while (")
+		p.expr(s.Cond, 0)
+		p.buf.WriteString(") ")
+		p.nestedStmt(s.Body)
+	case *ForStmt:
+		p.ws()
+		p.buf.WriteString("for (")
+		if init, ok := s.Init.(*ExprStmt); ok {
+			p.expr(init.X, 0)
+		} else if ds, ok := s.Init.(*DeclStmt); ok {
+			// Single-line declaration clause.
+			for i, d := range ds.Decls {
+				if i > 0 {
+					p.buf.WriteString(", ")
+				}
+				p.buf.WriteString(declString(d.Type, d.Name))
+				if d.Init != nil {
+					p.buf.WriteString(" = ")
+					p.expr(d.Init, 0)
+				}
+			}
+		}
+		p.buf.WriteString("; ")
+		if s.Cond != nil {
+			p.expr(s.Cond, 0)
+		}
+		p.buf.WriteString("; ")
+		if s.Post != nil {
+			p.expr(s.Post, 0)
+		}
+		p.buf.WriteString(") ")
+		p.nestedStmt(s.Body)
+	case *BreakStmt:
+		p.line("break;")
+	case *ContinueStmt:
+		p.line("continue;")
+	case *ReturnStmt:
+		p.ws()
+		p.buf.WriteString("return")
+		if s.X != nil {
+			p.buf.WriteString(" (")
+			p.expr(s.X, 0)
+			p.buf.WriteString(")")
+		}
+		p.buf.WriteString(";\n")
+	case *EmptyStmt:
+		p.line(";")
+	case *ReuseRegion:
+		p.printReuse(s)
+	default:
+		p.line(fmt.Sprintf("/* unhandled %T */", s))
+	}
+}
+
+// nestedStmt prints the body of an if/while/for: blocks share the header
+// line; other statements go on their own indented line.
+func (p *printer) nestedStmt(s Stmt) {
+	if b, ok := s.(*Block); ok {
+		p.blockBody(b)
+		p.buf.WriteString("\n")
+		return
+	}
+	p.buf.WriteString("\n")
+	p.indent++
+	p.stmt(s)
+	p.indent--
+}
+
+// printReuse renders a ReuseRegion in the style of the paper's Fig. 2(b).
+func (p *printer) printReuse(s *ReuseRegion) {
+	args := func(es []Expr) string {
+		var sb strings.Builder
+		for _, e := range es {
+			sb.WriteString(", ")
+			sb.WriteString(PrintExpr(e))
+		}
+		return sb.String()
+	}
+	p.printf("/* computation reuse: %s (table %d, seg %d) */\n", s.SegName, s.TableID, s.SegBit)
+	p.printf("if (__crc_probe(%d, %d%s) == 0) {\n", s.TableID, s.SegBit, args(s.Inputs))
+	p.indent++
+	if b, ok := s.Body.(*Block); ok {
+		for _, st := range b.Stmts {
+			p.stmt(st)
+		}
+	} else {
+		p.stmt(s.Body)
+	}
+	p.printf("__crc_record(%d, %d%s);\n", s.TableID, s.SegBit, args(s.Outputs))
+	p.indent--
+	p.line("}")
+	p.printf("else __crc_fetch(%d, %d%s);\n", s.TableID, s.SegBit, args(s.Outputs))
+}
+
+func (p *printer) expr(e Expr, parentPrec int) {
+	switch e := e.(type) {
+	case *IntLit:
+		p.buf.WriteString(strconv.FormatInt(e.Val, 10))
+	case *FloatLit:
+		s := strconv.FormatFloat(e.Val, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		p.buf.WriteString(s)
+	case *StrLit:
+		p.buf.WriteString(strconv.Quote(e.Val))
+	case *Ident:
+		p.buf.WriteString(e.Name)
+	case *SizeofExpr:
+		fmt.Fprintf(&p.buf, "sizeof(%s)", e.T)
+	case *Unary:
+		p.paren(parentPrec, 12, func() {
+			p.buf.WriteString(unaryOpStr(e.Op))
+			p.expr(e.X, 12)
+		})
+	case *IncDec:
+		op := "++"
+		if e.Op == Dec {
+			op = "--"
+		}
+		if e.Post {
+			p.paren(parentPrec, 13, func() {
+				p.expr(e.X, 13)
+				p.buf.WriteString(op)
+			})
+		} else {
+			p.paren(parentPrec, 12, func() {
+				p.buf.WriteString(op)
+				p.expr(e.X, 12)
+			})
+		}
+	case *Binary:
+		prec := binPrec[e.Op]
+		p.paren(parentPrec, prec, func() {
+			p.expr(e.X, prec)
+			fmt.Fprintf(&p.buf, " %s ", e.Op)
+			p.expr(e.Y, prec+1)
+		})
+	case *AssignExpr:
+		p.paren(parentPrec, 0, func() {
+			p.expr(e.LHS, 13)
+			fmt.Fprintf(&p.buf, " %s ", e.Op)
+			p.expr(e.RHS, 0)
+		})
+	case *Cond:
+		p.paren(parentPrec, 0, func() {
+			p.expr(e.Cond, 1)
+			p.buf.WriteString(" ? ")
+			p.expr(e.Then, 0)
+			p.buf.WriteString(" : ")
+			p.expr(e.Else, 0)
+		})
+	case *Call:
+		p.expr(e.Fun, 13)
+		p.buf.WriteString("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				p.buf.WriteString(", ")
+			}
+			p.expr(a, 0)
+		}
+		p.buf.WriteString(")")
+	case *Index:
+		p.expr(e.X, 13)
+		p.buf.WriteString("[")
+		p.expr(e.Idx, 0)
+		p.buf.WriteString("]")
+	case *FieldExpr:
+		p.expr(e.X, 13)
+		if e.Arrow {
+			p.buf.WriteString("->")
+		} else {
+			p.buf.WriteString(".")
+		}
+		p.buf.WriteString(e.Name)
+	case *Cast:
+		p.paren(parentPrec, 12, func() {
+			fmt.Fprintf(&p.buf, "(%s)", e.To)
+			p.expr(e.X, 12)
+		})
+	default:
+		fmt.Fprintf(&p.buf, "/* unhandled %T */", e)
+	}
+}
+
+// paren wraps body() in parentheses when the construct's precedence is
+// below the context's requirement.
+func (p *printer) paren(parentPrec, prec int, body func()) {
+	if prec < parentPrec {
+		p.buf.WriteString("(")
+		body()
+		p.buf.WriteString(")")
+		return
+	}
+	body()
+}
+
+func unaryOpStr(op TokKind) string {
+	switch op {
+	case Not:
+		return "!"
+	case Tilde:
+		return "~"
+	case Minus:
+		return "-"
+	case Plus:
+		return "+"
+	case Star:
+		return "*"
+	case Amp:
+		return "&"
+	}
+	return op.String()
+}

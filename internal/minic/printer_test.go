@@ -1,0 +1,167 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrintRoundTrip checks that printing a program and re-parsing the
+// output yields a program that prints identically (print∘parse is a
+// fixpoint after one iteration).
+func TestPrintRoundTrip(t *testing.T) {
+	srcs := map[string]string{
+		"quan": quanSrc,
+		"mixed": `
+struct pt { int x; int y; };
+
+int g[4] = {1, 2, 3, 4};
+float scale = 2.5;
+struct pt origin;
+
+int helper(int a, int *out) {
+    *out = a * 2;
+    return a > 0 ? a : -a;
+}
+
+int main(void) {
+    int r = 0;
+    int i;
+    for (i = 0; i < 4; i++) {
+        int tmp;
+        r += helper(g[i], &tmp);
+        r ^= tmp << 1;
+        if (r & 1)
+            r--;
+        else
+            r /= 2;
+    }
+    while (r > 100) r -= 7;
+    do { r++; } while (r < 0);
+    origin.x = r;
+    return origin.x;
+}`,
+		"ptrs": `
+int deref(int **pp) { return **pp; }
+int f(void) {
+    int v = 9;
+    int *p = &v;
+    int **pp = &p;
+    return deref(pp) + *p + p[0];
+}`,
+	}
+	for name, src := range srcs {
+		t.Run(name, func(t *testing.T) {
+			p1 := mustCheck(t, name, src)
+			out1 := Print(p1)
+			p2, err := Parse(name+"_rt", out1)
+			if err != nil {
+				t.Fatalf("re-parse failed: %v\n--- printed ---\n%s", err, out1)
+			}
+			if err := Check(p2); err != nil {
+				t.Fatalf("re-check failed: %v\n--- printed ---\n%s", err, out1)
+			}
+			out2 := Print(p2)
+			if out1 != out2 {
+				t.Errorf("print not stable:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+			}
+		})
+	}
+}
+
+func TestPrintPrecedenceParens(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"int f(int a, int b) { return (a + b) * 2; }", "(a + b) * 2"},
+		{"int f(int a, int b) { return a + b * 2; }", "a + b * 2"},
+		{"int f(int a, int b) { return -(a + b); }", "-(a + b)"},
+		{"int f(int a, int b) { return a - (b - 1); }", "a - (b - 1)"},
+		{"int f(int a, int b) { return (a & 3) == 1; }", "(a & 3) == 1"},
+		{"int f(int a, int b) { return a < b == 1; }", "a < b == 1"},
+	}
+	for _, c := range cases {
+		prog := mustCheck(t, "pp.c", c.src)
+		ret := prog.Func("f").Body.Stmts[0].(*ReturnStmt)
+		if got := PrintExpr(ret.X); got != c.want {
+			t.Errorf("src %q: printed %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPrintDeclarators(t *testing.T) {
+	cases := []struct {
+		mk   func() Type
+		name string
+		want string
+	}{
+		{func() Type { return IntType }, "x", "int x"},
+		{func() Type { return &Pointer{Elem: IntType} }, "p", "int *p"},
+		{func() Type { return &Pointer{Elem: &Pointer{Elem: FloatType}} }, "pp", "float **pp"},
+		{func() Type { return &Array{Elem: IntType, Len: 5} }, "a", "int a[5]"},
+		{func() Type { return &Array{Elem: &Array{Elem: IntType, Len: 3}, Len: 2} }, "m", "int m[2][3]"},
+		{func() Type { return &Array{Elem: &Pointer{Elem: IntType}, Len: 4} }, "ap", "int *ap[4]"},
+		{func() Type {
+			return &Pointer{Elem: &FuncType{Params: []Type{IntType}, Ret: IntType}}
+		}, "fp", "int (*fp)(int)"},
+	}
+	for _, c := range cases {
+		if got := declString(c.mk(), c.name); got != c.want {
+			t.Errorf("declString(%s) = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestPrintReuseRegion(t *testing.T) {
+	prog := mustCheck(t, "quan.c", quanSrc)
+	fn := prog.Func("quan")
+	valSym := fn.Params[0].Sym
+	var iSym *Symbol
+	for _, id := range Idents(fn.Body) {
+		if id.Name == "i" {
+			iSym = id.Sym
+			break
+		}
+	}
+	if iSym == nil {
+		t.Fatal("no i symbol")
+	}
+	rr := &ReuseRegion{
+		TableID: 0,
+		SegBit:  0,
+		SegName: "quan@body",
+		Inputs:  []Expr{prog.NewIdent(valSym)},
+		Outputs: []Expr{prog.NewIdent(iSym)},
+		Body:    fn.Body.Stmts[1], // the for loop
+	}
+	out := PrintStmt(rr)
+	for _, want := range []string{"__crc_probe(0, 0, val)", "__crc_record(0, 0, i)", "__crc_fetch(0, 0, i)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed reuse region missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintFloatLiterals(t *testing.T) {
+	prog := mustCheck(t, "fl.c", `float a = 1.0; float b = 0.5; float c = 1e10;`)
+	out := Print(prog)
+	if !strings.Contains(out, "1.0") {
+		t.Errorf("1.0 printed badly:\n%s", out)
+	}
+	if !strings.Contains(out, "0.5") {
+		t.Errorf("0.5 printed badly:\n%s", out)
+	}
+	// Whatever the exact form, it must re-parse as float.
+	p2, err := Parse("fl2", out)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if err := Check(p2); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range p2.Globals {
+		if !IsFloat(g.Type) {
+			t.Errorf("%s lost float type", g.Name)
+		}
+		if _, ok := g.Init.(*FloatLit); !ok {
+			t.Errorf("%s init is %T", g.Name, g.Init)
+		}
+	}
+}

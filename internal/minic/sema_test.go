@@ -1,0 +1,237 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckQuanTypes(t *testing.T) {
+	prog := mustCheck(t, "quan.c", quanSrc)
+	fn := prog.Func("quan")
+	if fn.Sym == nil || fn.Sym.Kind != SymFunc {
+		t.Fatal("quan symbol not set")
+	}
+	// val resolves to the parameter everywhere.
+	for _, id := range Idents(fn.Body) {
+		if id.Name == "val" && id.Sym != fn.Params[0].Sym {
+			t.Errorf("val at %v bound to %v", id.Pos(), id.Sym)
+		}
+		if id.Sym == nil {
+			t.Errorf("unresolved ident %s at %v", id.Name, id.Pos())
+		}
+	}
+	// power2[i] has int type.
+	InspectExprs(fn.Body, func(e Expr) bool {
+		if ix, ok := e.(*Index); ok {
+			if !IsInt(ix.Type()) {
+				t.Errorf("power2[i] type = %v", ix.Type())
+			}
+		}
+		return true
+	})
+}
+
+func TestCheckSlotAssignment(t *testing.T) {
+	prog := mustCheck(t, "slots.c", `
+int g1;
+float g2;
+int g3[10];
+int f(int a, float b) {
+    int x;
+    float y;
+    int z[3];
+    return a + x;
+}`)
+	if prog.Global("g1").Sym.Slot != 0 {
+		t.Errorf("g1 slot %d", prog.Global("g1").Sym.Slot)
+	}
+	if prog.Global("g2").Sym.Slot != 1 {
+		t.Errorf("g2 slot %d", prog.Global("g2").Sym.Slot)
+	}
+	if prog.Global("g3").Sym.Slot != 2 {
+		t.Errorf("g3 slot %d", prog.Global("g3").Sym.Slot)
+	}
+	if prog.GlobalWords != 12 {
+		t.Errorf("GlobalWords = %d, want 12", prog.GlobalWords)
+	}
+	fn := prog.Func("f")
+	if fn.Params[0].Sym.Slot != 0 || fn.Params[1].Sym.Slot != 1 {
+		t.Errorf("param slots: %d %d", fn.Params[0].Sym.Slot, fn.Params[1].Sym.Slot)
+	}
+	// frame: a(1) b(1) x(1) y(1) z(3) = 7
+	if fn.FrameWords != 7 {
+		t.Errorf("FrameWords = %d, want 7", fn.FrameWords)
+	}
+}
+
+func TestCheckShadowing(t *testing.T) {
+	prog := mustCheck(t, "shadow.c", `
+int x = 1;
+int f(void) {
+    int x = 2;
+    { int x = 3; x++; }
+    return x;
+}`)
+	fn := prog.Func("f")
+	syms := map[*Symbol]bool{}
+	for _, id := range Idents(fn.Body) {
+		if id.Name == "x" {
+			syms[id.Sym] = true
+		}
+	}
+	if len(syms) != 2 {
+		t.Fatalf("distinct x symbols in body = %d, want 2", len(syms))
+	}
+	ret := fn.Body.Stmts[2].(*ReturnStmt)
+	if ret.X.(*Ident).Sym.Kind != SymLocal {
+		t.Errorf("return x bound to %v", ret.X.(*Ident).Sym.Kind)
+	}
+}
+
+func TestCheckAddrTaken(t *testing.T) {
+	prog := mustCheck(t, "addr.c", `
+int a;
+int b;
+int arr[4];
+int take(int *p) { return *p; }
+int main(void) {
+    int local;
+    take(&a);
+    take(arr);
+    local = b;
+    return local;
+}`)
+	if !prog.Global("a").Sym.AddrTaken {
+		t.Error("a should be AddrTaken (&a)")
+	}
+	if !prog.Global("arr").Sym.AddrTaken {
+		t.Error("arr should be AddrTaken (decayed argument)")
+	}
+	if prog.Global("b").Sym.AddrTaken {
+		t.Error("b should not be AddrTaken")
+	}
+}
+
+func TestCheckPointerArith(t *testing.T) {
+	prog := mustCheck(t, "pa.c", `
+int sum(int *p, int n) {
+    int s = 0;
+    int i;
+    for (i = 0; i < n; i++)
+        s += *(p + i);
+    int *q = p + n;
+    int diff = q - p;
+    return s + diff;
+}`)
+	_ = prog
+}
+
+func TestCheckTernaryTypes(t *testing.T) {
+	prog := mustCheck(t, "tern.c", `
+float pick(int c, int a, float b) { return c ? a : b; }
+`)
+	ret := prog.Func("pick").Body.Stmts[0].(*ReturnStmt)
+	if !IsFloat(ret.X.Type()) {
+		t.Errorf("mixed ternary type = %v, want float", ret.X.Type())
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"undefined var", "int f(void) { return nope; }", "undefined: nope"},
+		{"undefined func", "int f(void) { return g(); }", "undefined function: g"},
+		{"redeclared", "int f(void) { int x; int x; return 0; }", "redeclared"},
+		{"bad call arity", "int g(int a) { return a; } int f(void) { return g(1, 2); }", "argument count"},
+		{"assign to rvalue", "int f(void) { 3 = 4; return 0; }", "not an lvalue"},
+		{"break outside loop", "int f(void) { break; return 0; }", "break outside loop"},
+		{"continue outside loop", "int f(void) { continue; return 0; }", "continue outside loop"},
+		{"void variable", "void v; int f(void) { return 0; }", "void type"},
+		{"deref int", "int f(int x) { return *x; }", "cannot dereference"},
+		{"mod float", "int f(float x) { return x % 2; }", "must be int"},
+		{"index by float", "int a[3]; int f(float x) { return a[x]; }", "index must be int"},
+		{"field on non-struct", "int f(int x) { return x.y; }", "non-struct"},
+		{"missing field", "struct s { int a; }; struct s v; int f(void) { return v.b; }", "no field b"},
+		{"return value from void", "void f(void) { return 3; }", "void function"},
+		{"missing return value", "int f(void) { return; }", "missing return value"},
+		{"addr of rvalue", "int f(int x) { return *(&(x + 1)); }", "non-lvalue"},
+		{"aggregate param", "struct s { int a; }; int f(struct s v) { return v.a; }", "scalar type"},
+		{"print_str non-literal", "int f(int x) { print_str(x); return 0; }", "string literal"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			prog, err := Parse("e.c", c.src)
+			if err != nil {
+				t.Fatalf("parse failed first: %v", err)
+			}
+			err = Check(prog)
+			if err == nil {
+				t.Fatal("expected check error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestCheckBuiltins(t *testing.T) {
+	mustCheck(t, "b.c", `
+int main(void) {
+    print_int(42);
+    print_float(3.5);
+    print_str("hello");
+    __assert(1 == 1);
+    return 0;
+}`)
+}
+
+func TestCheckFuncPointerAssignment(t *testing.T) {
+	prog := mustCheck(t, "fpa.c", `
+int inc(int x) { return x + 1; }
+int dec(int x) { return x - 1; }
+int main(void) {
+    int (*op)(int);
+    op = inc;
+    int a = op(1);
+    op = dec;
+    return a + op(1);
+}`)
+	_ = prog
+}
+
+func TestIdenticalTypes(t *testing.T) {
+	if !Identical(IntType, &Basic{Kind: IntKind}) {
+		t.Error("int not identical to int")
+	}
+	if Identical(IntType, FloatType) {
+		t.Error("int identical to float")
+	}
+	p1 := &Pointer{Elem: IntType}
+	p2 := &Pointer{Elem: IntType}
+	if !Identical(p1, p2) {
+		t.Error("int* not identical to int*")
+	}
+	if Identical(p1, &Pointer{Elem: FloatType}) {
+		t.Error("int* identical to float*")
+	}
+	a1 := &Array{Elem: IntType, Len: 3}
+	a2 := &Array{Elem: IntType, Len: 4}
+	if Identical(a1, a2) {
+		t.Error("int[3] identical to int[4]")
+	}
+	s1 := &Struct{Name: "s"}
+	s2 := &Struct{Name: "s"}
+	if !Identical(s1, s2) {
+		t.Error("struct identity is by name")
+	}
+	f1 := &FuncType{Params: []Type{IntType}, Ret: IntType}
+	f2 := &FuncType{Params: []Type{IntType}, Ret: IntType}
+	f3 := &FuncType{Params: []Type{FloatType}, Ret: IntType}
+	if !Identical(f1, f2) || Identical(f1, f3) {
+		t.Error("function type identity broken")
+	}
+}

@@ -1,0 +1,253 @@
+// Package minic implements the front end of MiniC, the C subset on which
+// the computation-reuse compiler operates. MiniC stands in for the C
+// programs (and the GCC 3.3 AST) used by Ding & Li (CGO 2004): it keeps the
+// constructs their analyses need — integers, floats, pointers, fixed-size
+// arrays, structs, function pointers, loops and branches — and omits the
+// rest of C.
+//
+// The package provides a lexer (Lex), a recursive-descent parser (Parse), a
+// symbol-resolving type checker (Check), and a pretty printer (Print) used
+// for the scheme's source-to-source output.
+package minic
+
+import "fmt"
+
+// Pos is a source position, 1-based.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// TokKind enumerates MiniC token kinds.
+type TokKind int
+
+// Token kinds. Keyword and punctuation tokens carry no payload; IDENT,
+// INTLIT, FLOATLIT, STRLIT and CHARLIT carry their text in Token.Text.
+const (
+	EOF TokKind = iota
+	IDENT
+	INTLIT
+	FLOATLIT
+	STRLIT
+	CHARLIT
+
+	// Keywords.
+	KwInt
+	KwFloat
+	KwVoid
+	KwStruct
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwDo
+	KwBreak
+	KwContinue
+	KwReturn
+	KwSizeof
+	KwSwitch
+	KwCase
+	KwDefault
+
+	// Punctuation and operators.
+	LParen    // (
+	RParen    // )
+	LBrace    // {
+	RBrace    // }
+	LBracket  // [
+	RBracket  // ]
+	Semi      // ;
+	Comma     // ,
+	Dot       // .
+	Arrow     // ->
+	Question  // ?
+	Colon     // :
+	Assign    // =
+	PlusEq    // +=
+	MinusEq   // -=
+	StarEq    // *=
+	SlashEq   // /=
+	PercentEq // %=
+	ShlEq     // <<=
+	ShrEq     // >>=
+	AndEq     // &=
+	OrEq      // |=
+	XorEq     // ^=
+	Inc       // ++
+	Dec       // --
+	Plus      // +
+	Minus     // -
+	Star      // *
+	Slash     // /
+	Percent   // %
+	Shl       // <<
+	Shr       // >>
+	Lt        // <
+	Gt        // >
+	Le        // <=
+	Ge        // >=
+	EqEq      // ==
+	NotEq     // !=
+	Amp       // &
+	Pipe      // |
+	Caret     // ^
+	AndAnd    // &&
+	OrOr      // ||
+	Not       // !
+	Tilde     // ~
+)
+
+var tokNames = map[TokKind]string{
+	EOF:      "EOF",
+	IDENT:    "identifier",
+	INTLIT:   "integer literal",
+	FLOATLIT: "float literal",
+	STRLIT:   "string literal",
+	CHARLIT:  "char literal",
+
+	KwInt:      "int",
+	KwFloat:    "float",
+	KwVoid:     "void",
+	KwStruct:   "struct",
+	KwIf:       "if",
+	KwElse:     "else",
+	KwWhile:    "while",
+	KwFor:      "for",
+	KwDo:       "do",
+	KwBreak:    "break",
+	KwContinue: "continue",
+	KwReturn:   "return",
+	KwSizeof:   "sizeof",
+	KwSwitch:   "switch",
+	KwCase:     "case",
+	KwDefault:  "default",
+
+	LParen:    "(",
+	RParen:    ")",
+	LBrace:    "{",
+	RBrace:    "}",
+	LBracket:  "[",
+	RBracket:  "]",
+	Semi:      ";",
+	Comma:     ",",
+	Dot:       ".",
+	Arrow:     "->",
+	Question:  "?",
+	Colon:     ":",
+	Assign:    "=",
+	PlusEq:    "+=",
+	MinusEq:   "-=",
+	StarEq:    "*=",
+	SlashEq:   "/=",
+	PercentEq: "%=",
+	ShlEq:     "<<=",
+	ShrEq:     ">>=",
+	AndEq:     "&=",
+	OrEq:      "|=",
+	XorEq:     "^=",
+	Inc:       "++",
+	Dec:       "--",
+	Plus:      "+",
+	Minus:     "-",
+	Star:      "*",
+	Slash:     "/",
+	Percent:   "%",
+	Shl:       "<<",
+	Shr:       ">>",
+	Lt:        "<",
+	Gt:        ">",
+	Le:        "<=",
+	Ge:        ">=",
+	EqEq:      "==",
+	NotEq:     "!=",
+	Amp:       "&",
+	Pipe:      "|",
+	Caret:     "^",
+	AndAnd:    "&&",
+	OrOr:      "||",
+	Not:       "!",
+	Tilde:     "~",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+var keywords = map[string]TokKind{
+	"int":      KwInt,
+	"float":    KwFloat,
+	"double":   KwFloat, // accepted as an alias for float
+	"void":     KwVoid,
+	"struct":   KwStruct,
+	"if":       KwIf,
+	"else":     KwElse,
+	"while":    KwWhile,
+	"for":      KwFor,
+	"do":       KwDo,
+	"break":    KwBreak,
+	"continue": KwContinue,
+	"return":   KwReturn,
+	"sizeof":   KwSizeof,
+	"switch":   KwSwitch,
+	"case":     KwCase,
+	"default":  KwDefault,
+	// Storage classes and sign qualifiers are tolerated and dropped;
+	// integer width keywords map to int (the parser coalesces sequences
+	// such as "long int").
+	"static":   kwIgnored,
+	"const":    kwIgnored,
+	"unsigned": kwIgnored,
+	"signed":   kwIgnored,
+	"register": kwIgnored,
+	"long":     KwInt,
+	"short":    KwInt,
+	"char":     KwInt,
+}
+
+// kwIgnored marks storage-class and sign qualifiers MiniC accepts but
+// discards.
+const kwIgnored TokKind = -1
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string // payload for IDENT and literals; empty otherwise
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INTLIT, FLOATLIT, CHARLIT:
+		return t.Text
+	case STRLIT:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a front-end diagnostic carrying a source position.
+type Error struct {
+	Pos  Pos
+	Msg  string
+	File string // optional file or program name
+}
+
+func (e *Error) Error() string {
+	if e.File != "" {
+		return fmt.Sprintf("%s:%s: %s", e.File, e.Pos, e.Msg)
+	}
+	return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+}
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

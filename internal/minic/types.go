@@ -1,0 +1,245 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is a MiniC type. MiniC has int (32-bit in the ARM cost model,
+// stored as int64 in the VM), float (C double), void, pointers, fixed-size
+// arrays, named structs and function types.
+//
+// Two size notions coexist:
+//
+//   - Bytes: the C object size on the modeled 32-bit StrongARM target
+//     (int 4, float 8, pointer 4). The paper's hash-table sizes (Table 3,
+//     Table 5) are reported in these bytes.
+//   - Words: the number of scalar slots the VM uses to store a value of
+//     this type. Every scalar is one word; aggregates are flattened.
+type Type interface {
+	String() string
+	// Bytes is the modeled C object size in bytes.
+	Bytes() int
+	// Words is the number of VM scalar slots.
+	Words() int
+	typeNode()
+}
+
+// BasicKind enumerates the scalar base types.
+type BasicKind int
+
+// Basic type kinds.
+const (
+	IntKind BasicKind = iota
+	FloatKind
+	VoidKind
+)
+
+// Basic is a scalar or void type.
+type Basic struct{ Kind BasicKind }
+
+// Singleton basic types. Types are compared with Identical, which treats
+// all Basic values of equal kind as identical, so using these singletons is
+// a convenience, not a requirement.
+var (
+	IntType   = &Basic{Kind: IntKind}
+	FloatType = &Basic{Kind: FloatKind}
+	VoidType  = &Basic{Kind: VoidKind}
+)
+
+func (b *Basic) String() string {
+	switch b.Kind {
+	case IntKind:
+		return "int"
+	case FloatKind:
+		return "float"
+	default:
+		return "void"
+	}
+}
+
+func (b *Basic) Bytes() int {
+	switch b.Kind {
+	case IntKind:
+		return 4
+	case FloatKind:
+		return 8
+	default:
+		return 0
+	}
+}
+
+func (b *Basic) Words() int {
+	if b.Kind == VoidKind {
+		return 0
+	}
+	return 1
+}
+
+func (b *Basic) typeNode() {}
+
+// Pointer is a pointer type.
+type Pointer struct{ Elem Type }
+
+func (p *Pointer) String() string { return p.Elem.String() + "*" }
+func (p *Pointer) Bytes() int     { return 4 }
+func (p *Pointer) Words() int     { return 1 }
+func (p *Pointer) typeNode()      {}
+
+// Array is a fixed-size array type.
+type Array struct {
+	Elem Type
+	Len  int
+}
+
+func (a *Array) String() string { return fmt.Sprintf("%s[%d]", a.Elem, a.Len) }
+func (a *Array) Bytes() int     { return a.Len * a.Elem.Bytes() }
+func (a *Array) Words() int     { return a.Len * a.Elem.Words() }
+func (a *Array) typeNode()      {}
+
+// Field is one member of a struct.
+type Field struct {
+	Name string
+	Type Type
+	// WordOff is the field's slot offset within the flattened struct.
+	WordOff int
+	// ByteOff is the field's byte offset in the modeled C layout
+	// (no padding: MiniC packs fields).
+	ByteOff int
+}
+
+// Struct is a named struct type. Struct identity is by name: two Struct
+// values with the same name are the same type (the checker interns them).
+type Struct struct {
+	Name   string
+	Fields []Field
+}
+
+func (s *Struct) String() string { return "struct " + s.Name }
+
+func (s *Struct) Bytes() int {
+	n := 0
+	for _, f := range s.Fields {
+		n += f.Type.Bytes()
+	}
+	return n
+}
+
+func (s *Struct) Words() int {
+	n := 0
+	for _, f := range s.Fields {
+		n += f.Type.Words()
+	}
+	return n
+}
+
+func (s *Struct) typeNode() {}
+
+// FieldByName returns the field with the given name, or nil.
+func (s *Struct) FieldByName(name string) *Field {
+	for i := range s.Fields {
+		if s.Fields[i].Name == name {
+			return &s.Fields[i]
+		}
+	}
+	return nil
+}
+
+// FuncType is a function type (used for function symbols and function
+// pointers).
+type FuncType struct {
+	Params []Type
+	Ret    Type
+}
+
+func (f *FuncType) String() string {
+	var sb strings.Builder
+	sb.WriteString(f.Ret.String())
+	sb.WriteString(" (")
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.String())
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+func (f *FuncType) Bytes() int { return 4 } // code address
+func (f *FuncType) Words() int { return 1 }
+func (f *FuncType) typeNode()  {}
+
+// Identical reports whether two types are the same MiniC type.
+func Identical(a, b Type) bool {
+	switch a := a.(type) {
+	case *Basic:
+		b, ok := b.(*Basic)
+		return ok && a.Kind == b.Kind
+	case *Pointer:
+		b, ok := b.(*Pointer)
+		return ok && Identical(a.Elem, b.Elem)
+	case *Array:
+		b, ok := b.(*Array)
+		return ok && a.Len == b.Len && Identical(a.Elem, b.Elem)
+	case *Struct:
+		b, ok := b.(*Struct)
+		return ok && a.Name == b.Name
+	case *FuncType:
+		b, ok := b.(*FuncType)
+		if !ok || len(a.Params) != len(b.Params) || !Identical(a.Ret, b.Ret) {
+			return false
+		}
+		for i := range a.Params {
+			if !Identical(a.Params[i], b.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// IsInt reports whether t is the int type.
+func IsInt(t Type) bool { b, ok := t.(*Basic); return ok && b.Kind == IntKind }
+
+// IsFloat reports whether t is the float type.
+func IsFloat(t Type) bool { b, ok := t.(*Basic); return ok && b.Kind == FloatKind }
+
+// IsVoid reports whether t is void.
+func IsVoid(t Type) bool { b, ok := t.(*Basic); return ok && b.Kind == VoidKind }
+
+// IsScalar reports whether t occupies a single VM word (int, float,
+// pointer, or function value).
+func IsScalar(t Type) bool {
+	switch t := t.(type) {
+	case *Basic:
+		return t.Kind != VoidKind
+	case *Pointer, *FuncType:
+		return true
+	}
+	return false
+}
+
+// IsArith reports whether t supports arithmetic (int or float).
+func IsArith(t Type) bool { return IsInt(t) || IsFloat(t) }
+
+// IsAggregate reports whether t is an array or struct.
+func IsAggregate(t Type) bool {
+	switch t.(type) {
+	case *Array, *Struct:
+		return true
+	}
+	return false
+}
+
+// ElemOf returns the pointee/element type of a pointer or array, or nil.
+func ElemOf(t Type) Type {
+	switch t := t.(type) {
+	case *Pointer:
+		return t.Elem
+	case *Array:
+		return t.Elem
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package minic
+
+// Inspect traverses the AST rooted at n in depth-first, source order,
+// calling f for each non-nil node. If f returns false for a node, its
+// children are skipped. Accepted roots: *Program, *FuncDecl, *VarDecl,
+// Stmt and Expr nodes.
+func Inspect(n Node, f func(Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	switch n := n.(type) {
+	case *Program:
+		for _, g := range n.Globals {
+			Inspect(g, f)
+		}
+		for _, fn := range n.Funcs {
+			Inspect(fn, f)
+		}
+	case *FuncDecl:
+		for _, p := range n.Params {
+			Inspect(p, f)
+		}
+		if n.Body != nil {
+			Inspect(n.Body, f)
+		}
+	case *VarDecl:
+		if n.Init != nil {
+			Inspect(n.Init, f)
+		}
+		for _, e := range n.InitList {
+			Inspect(e, f)
+		}
+
+	// Statements.
+	case *DeclStmt:
+		for _, d := range n.Decls {
+			Inspect(d, f)
+		}
+	case *ExprStmt:
+		Inspect(n.X, f)
+	case *Block:
+		for _, s := range n.Stmts {
+			Inspect(s, f)
+		}
+	case *IfStmt:
+		Inspect(n.Cond, f)
+		Inspect(n.Then, f)
+		if n.Else != nil {
+			Inspect(n.Else, f)
+		}
+	case *WhileStmt:
+		if n.DoWhile {
+			Inspect(n.Body, f)
+			Inspect(n.Cond, f)
+		} else {
+			Inspect(n.Cond, f)
+			Inspect(n.Body, f)
+		}
+	case *ForStmt:
+		if n.Init != nil {
+			Inspect(n.Init, f)
+		}
+		if n.Cond != nil {
+			Inspect(n.Cond, f)
+		}
+		Inspect(n.Body, f)
+		if n.Post != nil {
+			Inspect(n.Post, f)
+		}
+	case *ReturnStmt:
+		if n.X != nil {
+			Inspect(n.X, f)
+		}
+	case *ReuseRegion:
+		for _, e := range n.Inputs {
+			Inspect(e, f)
+		}
+		Inspect(n.Body, f)
+		for _, e := range n.Outputs {
+			Inspect(e, f)
+		}
+	case *BreakStmt, *ContinueStmt, *EmptyStmt:
+		// leaves
+
+	// Expressions.
+	case *IntLit, *FloatLit, *StrLit, *Ident, *SizeofExpr:
+		// leaves
+	case *Unary:
+		Inspect(n.X, f)
+	case *IncDec:
+		Inspect(n.X, f)
+	case *Binary:
+		Inspect(n.X, f)
+		Inspect(n.Y, f)
+	case *AssignExpr:
+		Inspect(n.LHS, f)
+		Inspect(n.RHS, f)
+	case *Cond:
+		Inspect(n.Cond, f)
+		Inspect(n.Then, f)
+		Inspect(n.Else, f)
+	case *Call:
+		Inspect(n.Fun, f)
+		for _, a := range n.Args {
+			Inspect(a, f)
+		}
+	case *Index:
+		Inspect(n.X, f)
+		Inspect(n.Idx, f)
+	case *FieldExpr:
+		Inspect(n.X, f)
+	case *Cast:
+		Inspect(n.X, f)
+	}
+}
+
+// InspectStmts calls f for every statement in the subtree, in source order.
+func InspectStmts(n Node, f func(Stmt) bool) {
+	Inspect(n, func(m Node) bool {
+		if s, ok := m.(Stmt); ok {
+			return f(s)
+		}
+		return true
+	})
+}
+
+// InspectExprs calls f for every expression in the subtree, in source order.
+func InspectExprs(n Node, f func(Expr) bool) {
+	Inspect(n, func(m Node) bool {
+		if e, ok := m.(Expr); ok {
+			return f(e)
+		}
+		return true
+	})
+}
+
+// Idents returns every identifier use in the subtree, in source order.
+func Idents(n Node) []*Ident {
+	var out []*Ident
+	Inspect(n, func(m Node) bool {
+		if id, ok := m.(*Ident); ok {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}

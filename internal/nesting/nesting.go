@@ -1,0 +1,426 @@
+// Package nesting implements the paper's nested-code-segment resolution
+// (§2.3): when profitable segments nest — nested loops, loops in a
+// routine, a routine called inside a loop, routines calling routines —
+// only one level of a nest is transformed. The choice is made with
+// formula (4): reusing the inner segment outperforms the outer iff
+// g1 − n·g2 < 0, where g1/g2 are per-instance gains and n is the number of
+// inner instances per outer instance; sums are taken over sequential
+// siblings.
+//
+// The interprocedural nesting graph may contain cycles when functions
+// recurse; each non-singleton strongly connected component is condensed to
+// its best-gain member (the others stop being candidates), after which the
+// DAG is traversed bottom-up.
+package nesting
+
+import (
+	"sort"
+
+	"compreuse/internal/callgraph"
+	"compreuse/internal/minic"
+	"compreuse/internal/segment"
+)
+
+// Candidate couples a segment with its profiled economics.
+type Candidate struct {
+	Seg *segment.Segment
+	// Gain is the per-instance gain R·C − O in cycles (formula 2).
+	Gain float64
+	// Instances is the profiled execution count N.
+	Instances int64
+}
+
+// TotalGain is the whole-run gain Gain·N. Formula (4) compared across a
+// nest is equivalent to comparing total gains, since n = N_inner/N_outer.
+func (c *Candidate) TotalGain() float64 { return c.Gain * float64(c.Instances) }
+
+// Graph is the nesting graph over candidates.
+type Graph struct {
+	Cands []*Candidate
+	// Children[i] lists the direct inner candidates of candidate i
+	// (transitive reduction of the nesting partial order).
+	Children [][]int
+	// SCCs lists strongly connected components (recursion) in the raw
+	// nesting relation, each sorted; used for condensation.
+	SCCs [][]int
+
+	// nested is the raw nesting relation: nested[i][j] means j is inside i.
+	nested [][]bool
+	// overlap marks candidates sharing statements without nesting (only
+	// possible for the sub-block extension's partially overlapping runs);
+	// formula (4) may not sum such siblings.
+	overlap [][]bool
+}
+
+// Build constructs the nesting graph. cg resolves interprocedural nesting
+// (a segment containing a call that can reach another segment's function).
+func Build(cands []*Candidate, cg *callgraph.Graph) *Graph {
+	n := len(cands)
+	g := &Graph{Cands: cands, Children: make([][]int, n)}
+
+	// nested[i][j]: candidate j is nested inside candidate i.
+	nested := make([][]bool, n)
+	for i := range nested {
+		nested[i] = make([]bool, n)
+	}
+	ids := make([]map[int]bool, n)
+	callees := make([]map[*minic.FuncDecl]bool, n)
+	for i, c := range cands {
+		ids[i] = nodeIDsOf(c.Seg.Body)
+		callees[i] = reachableFromBody(c.Seg.Body, cg)
+	}
+	for i := range cands {
+		for j := range cands {
+			if i == j {
+				continue
+			}
+			nested[i][j] = isNested(cands[i], cands[j], ids[i], ids[j], callees[i])
+		}
+	}
+	overlap := make([][]bool, n)
+	for i := range overlap {
+		overlap[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if nested[i][j] || nested[j][i] {
+				continue
+			}
+			if idsIntersect(ids[i], ids[j]) {
+				overlap[i][j] = true
+				overlap[j][i] = true
+			}
+		}
+	}
+
+	// SCCs over the raw relation (mutual nesting = recursion).
+	g.SCCs = tarjan(n, func(i int) []int {
+		var out []int
+		for j := 0; j < n; j++ {
+			if nested[i][j] {
+				out = append(out, j)
+			}
+		}
+		return out
+	})
+
+	// Direct edges: transitive reduction restricted to cross-SCC pairs.
+	comp := make([]int, n)
+	for ci, members := range g.SCCs {
+		for _, m := range members {
+			comp[m] = ci
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !nested[i][j] || comp[i] == comp[j] {
+				continue
+			}
+			direct := true
+			for k := 0; k < n; k++ {
+				if k == i || k == j || comp[k] == comp[i] || comp[k] == comp[j] {
+					continue
+				}
+				if nested[i][k] && nested[k][j] {
+					direct = false
+					break
+				}
+			}
+			if direct {
+				g.Children[i] = append(g.Children[i], j)
+			}
+		}
+	}
+	for i := range g.Children {
+		sort.Ints(g.Children[i])
+	}
+	g.nested = nested
+	g.overlap = overlap
+	return g
+}
+
+func idsIntersect(a, b map[int]bool) bool {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for id := range a {
+		if b[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// isNested reports whether inner is nested inside outer: same function and
+// inner's body statements are a strict subset of outer's (FuncBody and
+// SubBlock segments wrap the original statements in fresh blocks, so
+// containment is tested on the original statement id sets, not on the
+// wrapper nodes), or outer's body calls into a function containing inner.
+func isNested(outer, inner *Candidate, outerIDs, innerIDs map[int]bool, outerCallees map[*minic.FuncDecl]bool) bool {
+	if outer.Seg.Fn == inner.Seg.Fn {
+		if len(innerIDs) < len(outerIDs) && subsetOriginal(innerIDs, outerIDs, inner.Seg.Body) {
+			return true
+		}
+	}
+	return outerCallees[inner.Seg.Fn]
+}
+
+// subsetOriginal reports whether inner's ORIGINAL statement ids all appear
+// in outerIDs; the inner body's own wrapper-block id (absent from any
+// other segment) is skipped.
+func subsetOriginal(innerIDs, outerIDs map[int]bool, innerBody minic.Stmt) bool {
+	wrapperID := innerBody.ID()
+	for id := range innerIDs {
+		if id == wrapperID {
+			continue
+		}
+		if !outerIDs[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// nodeIDsOf collects statement/expression ids in the subtree.
+func nodeIDsOf(body minic.Stmt) map[int]bool {
+	ids := map[int]bool{}
+	minic.Inspect(body, func(n minic.Node) bool {
+		type ider interface{ ID() int }
+		if x, ok := n.(ider); ok {
+			ids[x.ID()] = true
+		}
+		return true
+	})
+	return ids
+}
+
+// reachableFromBody returns the functions transitively callable from calls
+// inside body.
+func reachableFromBody(body minic.Stmt, cg *callgraph.Graph) map[*minic.FuncDecl]bool {
+	out := map[*minic.FuncDecl]bool{}
+	minic.InspectExprs(body, func(e minic.Expr) bool {
+		c, ok := e.(*minic.Call)
+		if !ok {
+			return true
+		}
+		if id, ok := c.Fun.(*minic.Ident); ok && id.Sym != nil && id.Sym.Kind == minic.SymFunc {
+			if id.Sym.FuncDecl != nil {
+				for f := range cg.Reachable(id.Sym.FuncDecl) {
+					out[f] = true
+				}
+			}
+			return true
+		}
+		// Indirect call: all edges recorded in the call graph from the
+		// enclosing function would over-approximate; use every callee of
+		// every function as a safe fallback is too coarse — instead rely
+		// on the call graph's per-site edges.
+		return true
+	})
+	// Per-site indirect edges.
+	for _, edge := range cg.Edges {
+		if !edge.Indirect || edge.Site == nil {
+			continue
+		}
+		if containsExpr(body, edge.Site) {
+			for f := range cg.Reachable(edge.Callee) {
+				out[f] = true
+			}
+		}
+	}
+	return out
+}
+
+func containsExpr(body minic.Stmt, target minic.Expr) bool {
+	found := false
+	minic.InspectExprs(body, func(e minic.Expr) bool {
+		if e == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// tarjan computes SCCs over 0..n-1 with the given successor function,
+// returned in reverse topological order.
+func tarjan(n int, succs func(int) []int) [][]int {
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var sccs [][]int
+	next := 0
+	var connect func(v int)
+	connect = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succs(v) {
+			if index[w] == -1 {
+				connect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Ints(comp)
+			sccs = append(sccs, comp)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] == -1 {
+			connect(v)
+		}
+	}
+	return sccs
+}
+
+// Select resolves the nesting graph: it returns the candidates to
+// transform, maximizing total gain under the one-per-nest rule, and never
+// selecting a candidate with non-positive gain.
+func (g *Graph) Select() []*Candidate {
+	n := len(g.Cands)
+
+	// Condense SCCs: in each non-singleton component only the best-gain
+	// member survives (paper §2.3).
+	alive := make([]bool, n)
+	for _, comp := range g.SCCs {
+		if len(comp) == 1 {
+			alive[comp[0]] = true
+			continue
+		}
+		best := comp[0]
+		for _, m := range comp[1:] {
+			if g.Cands[m].TotalGain() > g.Cands[best].TotalGain() {
+				best = m
+			}
+		}
+		alive[best] = true
+	}
+
+	// Roots: alive candidates with no alive parent.
+	hasParent := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if !alive[i] {
+			continue
+		}
+		for _, j := range g.Children[i] {
+			if alive[j] {
+				hasParent[j] = true
+			}
+		}
+	}
+
+	// Bottom-up: best(i) = max(own total gain, sum of children's best).
+	memoBest := make([]float64, n)
+	memoSel := make([][]*Candidate, n)
+	visited := make([]bool, n)
+	var solve func(i int) (float64, []*Candidate)
+	solve = func(i int) (float64, []*Candidate) {
+		if visited[i] {
+			return memoBest[i], memoSel[i]
+		}
+		visited[i] = true
+		// Formula (4) sums over *sequential* (disjoint) inner segments.
+		// Overlapping sub-block children may not be summed together: take
+		// a greedy best-first disjoint subset.
+		type childRes struct {
+			j    int
+			best float64
+			sel  []*Candidate
+		}
+		var results []childRes
+		for _, j := range g.Children[i] {
+			if !alive[j] {
+				continue
+			}
+			b, sel := solve(j)
+			if b > 0 {
+				results = append(results, childRes{j, b, sel})
+			}
+		}
+		sort.SliceStable(results, func(a, b int) bool { return results[a].best > results[b].best })
+		childSum := 0.0
+		var childSel []*Candidate
+		var taken []int
+		for _, res := range results {
+			conflict := false
+			for _, tj := range taken {
+				if g.overlap[res.j][tj] {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				continue
+			}
+			taken = append(taken, res.j)
+			childSum += res.best
+			childSel = append(childSel, res.sel...)
+		}
+		own := g.Cands[i].TotalGain()
+		if own > childSum && own > 0 {
+			memoBest[i] = own
+			memoSel[i] = []*Candidate{g.Cands[i]}
+		} else {
+			memoBest[i] = childSum
+			memoSel[i] = childSel
+		}
+		return memoBest[i], memoSel[i]
+	}
+
+	chosen := map[*Candidate]bool{}
+	var out []*Candidate
+	for i := 0; i < n; i++ {
+		if !alive[i] || hasParent[i] {
+			continue
+		}
+		_, sel := solve(i)
+		for _, c := range sel {
+			if !chosen[c] {
+				chosen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	// Safety: in a DAG diamond two roots can select conflicting levels of
+	// a shared nest; drop any selection nested inside another selection.
+	idxOf := map[*Candidate]int{}
+	for i, c := range g.Cands {
+		idxOf[c] = i
+	}
+	var final []*Candidate
+	for _, c := range out {
+		inner := false
+		for _, o := range out {
+			if o != c && g.nested[idxOf[o]][idxOf[c]] {
+				inner = true
+				break
+			}
+		}
+		if !inner {
+			final = append(final, c)
+		}
+	}
+	sort.Slice(final, func(i, j int) bool { return final[i].Seg.Index < final[j].Seg.Index })
+	return final
+}

@@ -1,0 +1,325 @@
+package nesting
+
+import (
+	"testing"
+
+	"compreuse/internal/callgraph"
+	"compreuse/internal/dataflow"
+	"compreuse/internal/minic"
+	"compreuse/internal/pointer"
+	"compreuse/internal/segment"
+)
+
+// setup compiles src and returns the segment analysis plus the call graph.
+func setup(t *testing.T, src string) (*segment.Analysis, *callgraph.Graph) {
+	t.Helper()
+	prog, err := minic.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minic.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	pts := pointer.Analyze(prog)
+	cg := callgraph.Build(prog, pts)
+	eff := dataflow.ComputeEffects(prog, pts, cg)
+	return segment.Analyze(prog, pts, cg, eff, segment.Options{}), cg
+}
+
+func cand(t *testing.T, a *segment.Analysis, name string, gain float64, n int64) *Candidate {
+	t.Helper()
+	for _, s := range a.Segments {
+		if s.Name == name {
+			return &Candidate{Seg: s, Gain: gain, Instances: n}
+		}
+	}
+	t.Fatalf("no segment %s", name)
+	return nil
+}
+
+func selNames(cands []*Candidate) []string {
+	var out []string
+	for _, c := range cands {
+		out = append(out, c.Seg.Name)
+	}
+	return out
+}
+
+const loopInFunc = `
+int table[8];
+int f(int v) {
+    int r = 0;
+    int k;
+    for (k = 0; k < 8; k++)
+        r += table[k] * v;
+    return r;
+}
+int main(void) {
+    int s = 0;
+    int i;
+    for (i = 0; i < 100; i++)
+        s += f(i & 3);
+    return s;
+}
+`
+
+func TestFormula4InnerWins(t *testing.T) {
+	a, cg := setup(t, loopInFunc)
+	// Outer f@func: g1=100/instance, 100 instances -> 10000 total.
+	// Inner f@loop1: g2=20/instance, 800 instances -> 16000 total.
+	// Formula (4): g1 - n·g2 = 100 - 8·20 < 0 -> inner wins.
+	outer := cand(t, a, "f@func", 100, 100)
+	inner := cand(t, a, "f@loop1", 20, 800)
+	g := Build([]*Candidate{outer, inner}, cg)
+	got := selNames(g.Select())
+	if len(got) != 1 || got[0] != "f@loop1" {
+		t.Fatalf("selected %v, want [f@loop1]", got)
+	}
+}
+
+func TestFormula4OuterWins(t *testing.T) {
+	a, cg := setup(t, loopInFunc)
+	// g1 - n·g2 = 200 - 8·20 > 0 -> outer wins.
+	outer := cand(t, a, "f@func", 200, 100)
+	inner := cand(t, a, "f@loop1", 20, 100*8)
+	// Make outer clearly better: raise its gain.
+	outer.Gain = 200
+	g := Build([]*Candidate{outer, inner}, cg)
+	got := selNames(g.Select())
+	if len(got) != 1 || got[0] != "f@func" {
+		t.Fatalf("selected %v, want [f@func]", got)
+	}
+}
+
+func TestInterproceduralNesting(t *testing.T) {
+	a, cg := setup(t, loopInFunc)
+	// main@loop1 encloses f@func through the call.
+	outer := cand(t, a, "main@loop1", 50, 100) // total 5000
+	inner := cand(t, a, "f@func", 500, 100)    // total 50000
+	g := Build([]*Candidate{outer, inner}, cg)
+	// There must be a nesting edge outer -> inner.
+	if len(g.Children[0]) != 1 || g.Children[0][0] != 1 {
+		t.Fatalf("children of main@loop1 = %v, want [1]", g.Children[0])
+	}
+	got := selNames(g.Select())
+	if len(got) != 1 || got[0] != "f@func" {
+		t.Fatalf("selected %v, want [f@func]", got)
+	}
+}
+
+func TestSequentialSiblingsSum(t *testing.T) {
+	// Paper Fig. 3: outer CS3 compared against the SUM of sequential CS5
+	// and CS6.
+	a, cg := setup(t, `
+int t1[4];
+int t2[4];
+int f(int v) {
+    int r = 0;
+    int k;
+    for (k = 0; k < 4; k++)
+        r += t1[k] * v;
+    int m;
+    for (m = 0; m < 4; m++)
+        r += t2[m] + v;
+    return r;
+}
+int main(void) { return f(3); }`)
+	outer := cand(t, a, "f@func", 90, 100) // total 9000
+	in1 := cand(t, a, "f@loop1", 15, 400)  // total 6000
+	in2 := cand(t, a, "f@loop2", 10, 400)  // total 4000
+	g := Build([]*Candidate{outer, in1, in2}, cg)
+	// 9000 < 6000 + 4000: both inners win.
+	got := selNames(g.Select())
+	if len(got) != 2 || got[0] != "f@loop1" || got[1] != "f@loop2" {
+		t.Fatalf("selected %v, want both inner loops", got)
+	}
+	// With a stronger outer, the outer wins alone.
+	outer.Gain = 150 // total 15000 > 10000
+	g = Build([]*Candidate{outer, in1, in2}, cg)
+	got = selNames(g.Select())
+	if len(got) != 1 || got[0] != "f@func" {
+		t.Fatalf("selected %v, want [f@func]", got)
+	}
+}
+
+func TestRecursionSCCCondensed(t *testing.T) {
+	a, cg := setup(t, `
+int even(int n);
+int odd(int n) { int r; if (n == 0) { r = 0; } else { r = even(n - 1); } return r; }
+int even(int n) { int r; if (n == 0) { r = 1; } else { r = odd(n - 1); } return r; }
+int main(void) { return even(10); }`)
+	// odd@func and even@func mutually nest -> one SCC; only the better
+	// gain survives.
+	co := cand(t, a, "odd@func", 10, 100)  // total 1000
+	ce := cand(t, a, "even@func", 30, 100) // total 3000
+	g := Build([]*Candidate{co, ce}, cg)
+	foundMulti := false
+	for _, comp := range g.SCCs {
+		if len(comp) == 2 {
+			foundMulti = true
+		}
+	}
+	if !foundMulti {
+		t.Fatalf("expected a 2-member SCC, got %v", g.SCCs)
+	}
+	got := selNames(g.Select())
+	if len(got) != 1 || got[0] != "even@func" {
+		t.Fatalf("selected %v, want [even@func]", got)
+	}
+}
+
+func TestNegativeGainNeverSelected(t *testing.T) {
+	a, cg := setup(t, loopInFunc)
+	outer := cand(t, a, "f@func", -5, 100)
+	inner := cand(t, a, "f@loop1", -1, 800)
+	g := Build([]*Candidate{outer, inner}, cg)
+	if got := g.Select(); len(got) != 0 {
+		t.Fatalf("selected %v, want none (all gains negative)", selNames(got))
+	}
+}
+
+func TestTransitiveReduction(t *testing.T) {
+	// main@func > main@loop1 > f@func: edge main@func->f@func must be
+	// removed by transitive reduction.
+	a, cg := setup(t, loopInFunc)
+	c0 := cand(t, a, "main@func", 1, 1)
+	c1 := cand(t, a, "main@loop1", 1, 100)
+	c2 := cand(t, a, "f@func", 1, 100)
+	g := Build([]*Candidate{c0, c1, c2}, cg)
+	if len(g.Children[0]) != 1 || g.Children[0][0] != 1 {
+		t.Fatalf("children(main@func) = %v, want [1] only", g.Children[0])
+	}
+	if len(g.Children[1]) != 1 || g.Children[1][0] != 2 {
+		t.Fatalf("children(main@loop1) = %v, want [2]", g.Children[1])
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	// Reproduce the decision structure of the paper's Figure 3:
+	// CS1 encloses CS2 and CS3; CS2 encloses CS4; CS3 encloses CS5, CS6.
+	a, cg := setup(t, `
+int ta[4];
+int cs4(int v) {
+    int r = 0;
+    int k;
+    for (k = 0; k < 4; k++) r += ta[k] & v;
+    return r;
+}
+int cs5(int v) {
+    int r = v * 3;
+    return r;
+}
+int cs6(int v) {
+    int r = v ^ 5;
+    return r;
+}
+int cs2(int v) {
+    int r = cs4(v) + 1;
+    return r;
+}
+int cs3(int v) {
+    int r = cs5(v) + cs6(v);
+    return r;
+}
+int cs1(int v) {
+    int r = cs2(v) + cs3(v);
+    return r;
+}
+int main(void) { return cs1(7); }`)
+	c1 := cand(t, a, "cs1@func", 100, 10) // 1000
+	c2 := cand(t, a, "cs2@func", 30, 10)  // 300
+	c3 := cand(t, a, "cs3@func", 20, 10)  // 200
+	c4 := cand(t, a, "cs4@func", 50, 10)  // 500: beats cs2
+	c5 := cand(t, a, "cs5@func", 8, 10)   // 80
+	c6 := cand(t, a, "cs6@func", 7, 10)   // 70: 80+70 < 200 -> cs3 wins over {cs5,cs6}
+	g := Build([]*Candidate{c1, c2, c3, c4, c5, c6}, cg)
+	// cs1's decision: own 1000 vs best(cs2)=500 + best(cs3)=200 = 700 ->
+	// cs1 wins overall.
+	got := selNames(g.Select())
+	if len(got) != 1 || got[0] != "cs1@func" {
+		t.Fatalf("selected %v, want [cs1@func]", got)
+	}
+	// Weaken cs1: now the best mix is cs4 (500) + cs3 (200).
+	c1.Gain = 60 // total 600 < 700
+	g = Build([]*Candidate{c1, c2, c3, c4, c5, c6}, cg)
+	got = selNames(g.Select())
+	want := map[string]bool{"cs4@func": true, "cs3@func": true}
+	if len(got) != 2 || !want[got[0]] || !want[got[1]] {
+		t.Fatalf("selected %v, want cs3 and cs4", got)
+	}
+}
+
+func TestOverlappingChildrenNotSummed(t *testing.T) {
+	// Two sub-block candidates cover overlapping parts of f's body. Their
+	// gains must not be summed against the enclosing function (formula 4
+	// sums *sequential* inner segments only): individually each is worth
+	// 600, together they must count as 600, not 1200 — so the outer 900
+	// must win.
+	prog, err := minic.Parse("t.c", `
+int w[8];
+int f(int v) {
+    int a = 0;
+    int k;
+    for (k = 0; k < 8; k++)
+        a += w[k] * v;
+    int b = 0;
+    int m;
+    for (m = 0; m < 8; m++)
+        b += w[m] + v + a;
+    int r = a + b;
+    return r;
+}
+int main(void) { return f(3); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minic.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	pts := pointer.Analyze(prog)
+	cg := callgraph.Build(prog, pts)
+	eff := dataflow.ComputeEffects(prog, pts, cg)
+	an := segment.Analyze(prog, pts, cg, eff, segment.Options{SubBlocks: true})
+
+	var outer *segment.Segment
+	var subs []*segment.Segment
+	for _, s := range an.Segments {
+		switch {
+		case s.Name == "f@func":
+			outer = s
+		case s.Kind == segment.SubBlock && s.Fn.Name == "f" && s.Eligible:
+			subs = append(subs, s)
+		}
+	}
+	if outer == nil || len(subs) < 2 {
+		t.Skipf("need an outer and >=2 sub candidates, have outer=%v subs=%d", outer != nil, len(subs))
+	}
+	// Find two overlapping subs (shared statements).
+	var s1, s2 *segment.Segment
+	for i := 0; i < len(subs) && s1 == nil; i++ {
+		for j := i + 1; j < len(subs); j++ {
+			if subs[i].ParentBlock == subs[j].ParentBlock &&
+				subs[i].RunStart < subs[j].RunEnd && subs[j].RunStart < subs[i].RunEnd {
+				s1, s2 = subs[i], subs[j]
+				break
+			}
+		}
+	}
+	if s1 == nil {
+		t.Skip("no overlapping sub pair enumerated")
+	}
+	cands := []*Candidate{
+		{Seg: outer, Gain: 900, Instances: 1},
+		{Seg: s1, Gain: 600, Instances: 1},
+		{Seg: s2, Gain: 600, Instances: 1},
+	}
+	g := Build(cands, cg)
+	sel := g.Select()
+	if len(sel) != 1 || sel[0].Seg != outer {
+		var names []string
+		for _, c := range sel {
+			names = append(names, c.Seg.Name)
+		}
+		t.Fatalf("selected %v, want only f@func (overlapping children must not sum)", names)
+	}
+}

@@ -1,0 +1,181 @@
+package opt
+
+import (
+	"compreuse/internal/minic"
+)
+
+// Block-local copy propagation: after "x = y" (both address-free scalar
+// locals), subsequent reads of x become reads of y until either variable
+// is written. Tracking is reset at control flow and calls — deliberately
+// simple, as befits a per-basic-block pass.
+
+// copyPropBlock runs copy propagation over b and nested blocks.
+func (o *optimizer) copyPropBlock(b *minic.Block) {
+	copies := map[*minic.Symbol]*minic.Symbol{} // x -> y
+	kill := func(sym *minic.Symbol) {
+		delete(copies, sym)
+		for x, y := range copies {
+			if y == sym {
+				delete(copies, x)
+			}
+		}
+	}
+	reset := func() { copies = map[*minic.Symbol]*minic.Symbol{} }
+
+	for _, s := range b.Stmts {
+		switch st := s.(type) {
+		case *minic.DeclStmt:
+			for _, d := range st.Decls {
+				if d.Init != nil {
+					d.Init = o.propagate(d.Init, copies)
+					if !exprHasEffects(d.Init) {
+						if src, ok := copySource(d.Init); ok && eligibleCopy(d.Sym, src) {
+							kill(d.Sym)
+							copies[d.Sym] = src
+							continue
+						}
+					} else {
+						reset()
+					}
+				}
+				kill(d.Sym)
+			}
+		case *minic.ExprStmt:
+			as, isAssign := st.X.(*minic.AssignExpr)
+			if !isAssign || as.Op != minic.Assign {
+				st.X = o.propagate(st.X, copies)
+				if exprHasEffects(st.X) {
+					reset()
+				}
+				continue
+			}
+			as.RHS = o.propagate(as.RHS, copies)
+			lhs, isIdent := as.LHS.(*minic.Ident)
+			if exprHasEffects(as.RHS) || !isIdent {
+				// Complex targets or effectful sources: be conservative.
+				as.LHS = o.propagate(as.LHS, copies)
+				reset()
+				continue
+			}
+			kill(lhs.Sym)
+			if src, ok := copySource(as.RHS); ok && eligibleCopy(lhs.Sym, src) {
+				copies[lhs.Sym] = src
+			}
+		case *minic.Block:
+			o.copyPropBlock(st)
+			reset()
+		case *minic.IfStmt, *minic.WhileStmt, *minic.ForStmt, *minic.ReturnStmt, *minic.ReuseRegion:
+			// Conditions and nested bodies are handled by the recursive
+			// optimizer walk; at this block's level they are barriers.
+			o.copyPropNested(s)
+			reset()
+		default:
+			reset()
+		}
+	}
+}
+
+// copyPropNested recurses into the blocks of a control statement.
+func (o *optimizer) copyPropNested(s minic.Stmt) {
+	switch st := s.(type) {
+	case *minic.IfStmt:
+		if b, ok := st.Then.(*minic.Block); ok {
+			o.copyPropBlock(b)
+		}
+		if b, ok := st.Else.(*minic.Block); ok {
+			o.copyPropBlock(b)
+		}
+	case *minic.WhileStmt:
+		if b, ok := st.Body.(*minic.Block); ok {
+			o.copyPropBlock(b)
+		}
+	case *minic.ForStmt:
+		if b, ok := st.Body.(*minic.Block); ok {
+			o.copyPropBlock(b)
+		}
+	case *minic.ReuseRegion:
+		if b, ok := st.Body.(*minic.Block); ok {
+			o.copyPropBlock(b)
+		}
+	}
+}
+
+// copySource recognizes a plain scalar-variable read.
+func copySource(e minic.Expr) (*minic.Symbol, bool) {
+	id, ok := e.(*minic.Ident)
+	if !ok || id.Sym == nil {
+		return nil, false
+	}
+	return id.Sym, true
+}
+
+// eligibleCopy restricts propagation to address-free scalar locals of the
+// same type (globals may change across calls; aliased variables through
+// stores).
+func eligibleCopy(dst, src *minic.Symbol) bool {
+	if dst == src {
+		return false // a self-copy must not register (it would re-propagate forever)
+	}
+	okKind := func(s *minic.Symbol) bool {
+		return (s.Kind == minic.SymLocal || s.Kind == minic.SymParam) &&
+			!s.AddrTaken && minic.IsScalar(s.Type)
+	}
+	return okKind(dst) && okKind(src) && minic.Identical(dst.Type, src.Type)
+}
+
+// propagate replaces reads of copied variables inside e (but never
+// assignment targets).
+func (o *optimizer) propagate(e minic.Expr, copies map[*minic.Symbol]*minic.Symbol) minic.Expr {
+	if len(copies) == 0 {
+		return e
+	}
+	switch x := e.(type) {
+	case *minic.Ident:
+		if y, ok := copies[x.Sym]; ok {
+			o.stats.Propagated++
+			return o.prog.NewIdent(y)
+		}
+		return x
+	case *minic.Unary:
+		if x.Op == minic.Amp {
+			return x // never rewrite address-of operands
+		}
+		x.X = o.propagate(x.X, copies)
+		return x
+	case *minic.Binary:
+		x.X = o.propagate(x.X, copies)
+		x.Y = o.propagate(x.Y, copies)
+		return x
+	case *minic.Cond:
+		x.Cond = o.propagate(x.Cond, copies)
+		x.Then = o.propagate(x.Then, copies)
+		x.Else = o.propagate(x.Else, copies)
+		return x
+	case *minic.Call:
+		for i := range x.Args {
+			x.Args[i] = o.propagate(x.Args[i], copies)
+		}
+		return x
+	case *minic.Index:
+		x.X = o.propagate(x.X, copies)
+		x.Idx = o.propagate(x.Idx, copies)
+		return x
+	case *minic.Cast:
+		x.X = o.propagate(x.X, copies)
+		return x
+	case *minic.FieldExpr:
+		x.X = o.propagate(x.X, copies)
+		return x
+	case *minic.AssignExpr:
+		// Only the RHS reads; the target keeps its own variable.
+		x.RHS = o.propagate(x.RHS, copies)
+		return x
+	case *minic.IncDec:
+		return x
+	default:
+		return e
+	}
+}
+
+// exprHasEffects reports writes or calls anywhere in e.
+func exprHasEffects(e minic.Expr) bool { return !sideEffectFree(e) }

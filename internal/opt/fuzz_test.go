@@ -1,0 +1,158 @@
+package opt
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"compreuse/internal/cost"
+	"compreuse/internal/interp"
+	"compreuse/internal/minic"
+)
+
+// This file is a differential fuzzer over randomly generated MiniC
+// programs: for each program it checks that (1) printing and re-parsing
+// reproduces the same program, (2) the optimizer preserves results and
+// output, and (3) the O0 and O3 cost models agree on semantics. Division
+// and modulo are generated with guards so the programs are fault-free.
+
+// exprGen builds random integer expressions over the in-scope variables.
+type exprGen struct {
+	rng  *rand.Rand
+	vars []string
+}
+
+func (g *exprGen) expr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		if len(g.vars) > 0 && g.rng.Intn(2) == 0 {
+			return g.vars[g.rng.Intn(len(g.vars))]
+		}
+		return fmt.Sprintf("%d", g.rng.Intn(201)-100)
+	}
+	switch g.rng.Intn(10) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.expr(depth-1), g.expr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.expr(depth-1), g.expr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", g.expr(depth-1), g.expr(depth-1))
+	case 3:
+		// Guarded division: divisor is |e| + 1..8.
+		return fmt.Sprintf("(%s / (((%s < 0) ? (0 - %s) : %s) + %d))",
+			g.expr(depth-1), g.vars[0], g.vars[0], g.vars[0], g.rng.Intn(8)+1)
+	case 4:
+		return fmt.Sprintf("(%s %% (((%s < 0) ? (0 - %s) : %s) + %d))",
+			g.expr(depth-1), g.vars[0], g.vars[0], g.vars[0], g.rng.Intn(8)+1)
+	case 5:
+		return fmt.Sprintf("(%s & %s)", g.expr(depth-1), g.expr(depth-1))
+	case 6:
+		return fmt.Sprintf("(%s | %s)", g.expr(depth-1), g.expr(depth-1))
+	case 7:
+		return fmt.Sprintf("(%s ^ %s)", g.expr(depth-1), g.expr(depth-1))
+	case 8:
+		return fmt.Sprintf("(%s << %d)", g.expr(depth-1), g.rng.Intn(8))
+	default:
+		return fmt.Sprintf("((%s < %s) ? %s : %s)",
+			g.expr(depth-1), g.expr(depth-1), g.expr(depth-1), g.expr(depth-1))
+	}
+}
+
+// genProgram builds a random straight-line-plus-control program.
+func genProgram(rng *rand.Rand) string {
+	g := &exprGen{rng: rng, vars: []string{"a", "b", "c"}}
+	var sb strings.Builder
+	sb.WriteString("int main(int a, int b) {\n")
+	sb.WriteString("    int c = a ^ b;\n")
+	nStmts := 3 + rng.Intn(6)
+	for i := 0; i < nStmts; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			fmt.Fprintf(&sb, "    c = %s;\n", g.expr(3))
+		case 1:
+			fmt.Fprintf(&sb, "    if (%s) { c = %s; } else { c = %s; }\n",
+				g.expr(2), g.expr(2), g.expr(2))
+		case 2:
+			fmt.Fprintf(&sb, "    { int k%d; for (k%d = 0; k%d < %d; k%d++) c = (c + %s) & 65535; }\n",
+				i, i, i, rng.Intn(9)+1, i, g.expr(2))
+		case 3:
+			fmt.Fprintf(&sb, "    switch (c & 3) {\n    case 0:\n        c = %s;\n        break;\n"+
+				"    case 1:\n    case 2:\n        c = %s;\n        break;\n    default:\n        c = %s;\n    }\n",
+				g.expr(2), g.expr(2), g.expr(2))
+		default:
+			fmt.Fprintf(&sb, "    a = (a + %s) & 32767;\n", g.expr(2))
+		}
+	}
+	sb.WriteString("    print_int(c);\n")
+	sb.WriteString("    return c & 255;\n")
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func compileSrc(t *testing.T, src string) *minic.Program {
+	t.Helper()
+	prog, err := minic.Parse("fuzz.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	if err := minic.Check(prog); err != nil {
+		t.Fatalf("check: %v\n%s", err, src)
+	}
+	return prog
+}
+
+func TestFuzzDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20040320)) // CGO 2004's opening day
+	iters := 200
+	if testing.Short() {
+		iters = 40
+	}
+	for i := 0; i < iters; i++ {
+		src := genProgram(rng)
+		args := []int64{int64(rng.Intn(2001) - 1000), int64(rng.Intn(2001) - 1000)}
+
+		ref, err := interp.Run(compileSrc(t, src), interp.Options{Args: args})
+		if err != nil {
+			t.Fatalf("iter %d: reference run: %v\n%s", i, err, src)
+		}
+
+		// (1) print -> re-parse -> identical behavior.
+		printed := minic.Print(compileSrc(t, src))
+		rt, err := interp.Run(compileSrc(t, printed), interp.Options{Args: args})
+		if err != nil {
+			t.Fatalf("iter %d: reprint run: %v\n--- printed ---\n%s", i, err, printed)
+		}
+		if rt.Ret != ref.Ret || rt.Output != ref.Output {
+			t.Fatalf("iter %d: print round-trip changed semantics\n%s\n--- printed ---\n%s",
+				i, src, printed)
+		}
+
+		// (2) optimizer preserves semantics.
+		op := compileSrc(t, src)
+		Run(op)
+		or, err := interp.Run(op, interp.Options{Args: args})
+		if err != nil {
+			t.Fatalf("iter %d: optimized run: %v\n%s\n--- optimized ---\n%s",
+				i, err, src, minic.Print(op))
+		}
+		if or.Ret != ref.Ret || or.Output != ref.Output {
+			t.Fatalf("iter %d: optimization changed semantics: ret %d->%d out %q->%q\n%s\n--- optimized ---\n%s",
+				i, ref.Ret, or.Ret, ref.Output, or.Output, src, minic.Print(op))
+		}
+
+		// (3) O3 cost model agrees on results and never costs more.
+		o3p := compileSrc(t, src)
+		Run(o3p)
+		o3r, err := interp.Run(o3p, interp.Options{Model: cost.O3(), Args: args})
+		if err != nil {
+			t.Fatalf("iter %d: O3 run: %v", i, err)
+		}
+		if o3r.Ret != ref.Ret || o3r.Output != ref.Output {
+			t.Fatalf("iter %d: O3 changed semantics", i)
+		}
+		if o3r.Cycles > ref.Cycles {
+			t.Fatalf("iter %d: O3 (%d cycles) costs more than O0 (%d)\n%s",
+				i, o3r.Cycles, ref.Cycles, src)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package opt
+
+import (
+	"compreuse/internal/minic"
+)
+
+// Loop-invariant code motion, in a deliberately conservative form: a
+// top-level declaration of a loop body whose initializer is pure (no
+// calls, assignments, increments, dereferences) and reads only symbols the
+// loop never writes is moved in front of the loop. Moving a declaration is
+// safe even for zero-trip loops — the variable is invisible outside the
+// body, and a pure initializer has no observable effect beyond its cost.
+//
+//	for (i = 0; i < n; i++) {          int scale = base * 4;
+//	    int scale = base * 4;    =>    for (i = 0; i < n; i++) {
+//	    use(scale, i);                     use(scale, i);
+//	}                                  }
+
+// licmBlock hoists invariant declarations inside the loops of b, rewriting
+// the statement list in place. Returns the number of hoists.
+func (o *optimizer) licmBlock(b *minic.Block) int {
+	hoists := 0
+	var out []minic.Stmt
+	for _, s := range b.Stmts {
+		pre := o.licmStmt(s)
+		hoists += len(pre)
+		out = append(out, pre...)
+		out = append(out, s)
+	}
+	b.Stmts = out
+	return hoists
+}
+
+// licmStmt recurses into control statements and returns declarations
+// hoisted out of loops to be placed before the statement.
+func (o *optimizer) licmStmt(s minic.Stmt) []minic.Stmt {
+	switch s := s.(type) {
+	case *minic.Block:
+		o.licmBlock(s)
+		return nil
+	case *minic.IfStmt:
+		o.licmNested(&s.Then)
+		if s.Else != nil {
+			o.licmNested(&s.Else)
+		}
+		return nil
+	case *minic.WhileStmt:
+		pre := o.hoistFromLoop(s.Body, s)
+		o.licmNested(&s.Body)
+		return pre
+	case *minic.ForStmt:
+		pre := o.hoistFromLoop(s.Body, s)
+		o.licmNested(&s.Body)
+		return pre
+	case *minic.ReuseRegion:
+		o.licmNested(&s.Body)
+		return nil
+	}
+	return nil
+}
+
+func (o *optimizer) licmNested(sp *minic.Stmt) {
+	if b, ok := (*sp).(*minic.Block); ok {
+		o.licmBlock(b)
+		return
+	}
+	pre := o.licmStmt(*sp)
+	if len(pre) > 0 {
+		*sp = o.prog.NewBlock(append(pre, *sp)...)
+	}
+}
+
+// hoistFromLoop removes hoistable declarations from the top level of a
+// loop body and returns them.
+func (o *optimizer) hoistFromLoop(body minic.Stmt, loop minic.Stmt) []minic.Stmt {
+	blk, ok := body.(*minic.Block)
+	if !ok {
+		return nil
+	}
+	written, declared := loopWrites(loop)
+	if written == nil {
+		return nil // a call somewhere: assume everything may change
+	}
+	// A read of a body-declared variable is only invariant if that
+	// variable is itself being hoisted (its per-iteration value would
+	// otherwise differ from the hoisted single evaluation).
+	hoistedSyms := map[*minic.Symbol]bool{}
+	varies := func(sym *minic.Symbol) bool {
+		if written[sym] {
+			return true
+		}
+		return declared[sym] && !hoistedSyms[sym]
+	}
+
+	var hoisted []minic.Stmt
+	var kept []minic.Stmt
+	for _, st := range blk.Stmts {
+		ds, isDecl := st.(*minic.DeclStmt)
+		if !isDecl {
+			kept = append(kept, st)
+			continue
+		}
+		var keepDecls []*minic.VarDecl
+		for _, d := range ds.Decls {
+			if d.Init != nil && d.InitList == nil &&
+				!written[d.Sym] && invariantExpr(d.Init, varies) {
+				hoisted = append(hoisted, o.prog.NewDeclStmt(d))
+				hoistedSyms[d.Sym] = true
+				o.stats.Hoisted++
+			} else {
+				keepDecls = append(keepDecls, d)
+			}
+		}
+		if len(keepDecls) > 0 {
+			ds.Decls = keepDecls
+			kept = append(kept, ds)
+		}
+	}
+	blk.Stmts = kept
+	return hoisted
+}
+
+// loopWrites collects the symbols the loop may assign (assignment targets,
+// inc/dec, array-element bases, reuse outputs) and, separately, the
+// symbols it declares. It returns (nil, nil) — meaning "unknown" — if the
+// loop contains any call or pointer store.
+func loopWrites(loop minic.Stmt) (written, declared map[*minic.Symbol]bool) {
+	w := map[*minic.Symbol]bool{}
+	d := map[*minic.Symbol]bool{}
+	ok := true
+	minic.Inspect(loop, func(n minic.Node) bool {
+		switch x := n.(type) {
+		case *minic.Call:
+			ok = false
+		case *minic.VarDecl:
+			d[x.Sym] = true
+		case *minic.AssignExpr:
+			collectWriteTarget(x.LHS, w, &ok)
+		case *minic.IncDec:
+			collectWriteTarget(x.X, w, &ok)
+		case *minic.ReuseRegion:
+			for _, out := range x.Outputs {
+				collectWriteTarget(out, w, &ok)
+			}
+		}
+		return ok
+	})
+	if !ok {
+		return nil, nil
+	}
+	return w, d
+}
+
+func collectWriteTarget(lv minic.Expr, w map[*minic.Symbol]bool, ok *bool) {
+	switch lv := lv.(type) {
+	case *minic.Ident:
+		if lv.Sym != nil {
+			w[lv.Sym] = true
+		}
+	case *minic.Index:
+		if id, isID := lv.X.(*minic.Ident); isID && id.Sym != nil {
+			w[id.Sym] = true
+			return
+		}
+		*ok = false // complex base: give up
+	case *minic.FieldExpr:
+		root := minic.Expr(lv)
+		for {
+			f, isF := root.(*minic.FieldExpr)
+			if !isF || f.Arrow {
+				break
+			}
+			root = f.X
+		}
+		if id, isID := root.(*minic.Ident); isID && id.Sym != nil {
+			w[id.Sym] = true
+			return
+		}
+		*ok = false
+	default:
+		*ok = false // pointer store etc.
+	}
+}
+
+// invariantExpr reports whether e is pure and reads nothing that varies
+// per iteration. Array reads are allowed only when the base array is
+// unwritten; dereferences are never allowed (aliasing is not tracked
+// here).
+func invariantExpr(e minic.Expr, varies func(*minic.Symbol) bool) bool {
+	ok := true
+	minic.InspectExprs(e, func(x minic.Expr) bool {
+		switch x := x.(type) {
+		case *minic.Call, *minic.AssignExpr, *minic.IncDec:
+			ok = false
+		case *minic.Unary:
+			if x.Op == minic.Star || x.Op == minic.Amp {
+				ok = false
+			}
+		case *minic.FieldExpr:
+			if x.Arrow {
+				ok = false
+			}
+		case *minic.Ident:
+			if x.Sym == nil || varies(x.Sym) || x.Sym.AddrTaken {
+				ok = false
+			}
+		}
+		return ok
+	})
+	return ok
+}

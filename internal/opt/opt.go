@@ -1,0 +1,494 @@
+// Package opt is the MiniC optimizer standing in for GCC -O3 in the
+// paper's Tables 7 and 9. Together with the registerized O3 cost model
+// (cost.O3), it narrows — but, as in the paper, does not close — the gap
+// that computation reuse exploits.
+//
+// Passes (applied to a fixpoint):
+//
+//   - constant folding (integer and float, including casts and unary ops)
+//   - algebraic simplification (x+0, x*1, x|0, x^0, x<<0, ...)
+//   - strength reduction (x*2^k → x<<k)
+//   - dead control elimination (if with constant condition, while(0))
+//   - pure-statement elimination (expression statements with no effects)
+//   - block-local copy propagation (x = y; use(x) → use(y))
+//   - conservative loop-invariant code motion (hoisting pure, invariant
+//     top-level declarations out of loop bodies)
+//
+// All rewrites are semantics-preserving on MiniC's evaluation rules;
+// integer division and modulo are never strength-reduced because C's
+// truncating division differs from arithmetic shifts on negatives.
+package opt
+
+import (
+	"compreuse/internal/minic"
+)
+
+// Stats counts the rewrites performed.
+type Stats struct {
+	Folded          int
+	Simplified      int
+	StrengthReduced int
+	DeadRemoved     int
+	Hoisted         int
+	Propagated      int
+}
+
+// Total returns the total number of rewrites.
+func (s Stats) Total() int {
+	return s.Folded + s.Simplified + s.StrengthReduced + s.DeadRemoved +
+		s.Hoisted + s.Propagated
+}
+
+// Run optimizes prog in place until no more rewrites apply (bounded by a
+// generous iteration cap as a livelock backstop — rewrites monotonically
+// shrink or canonicalize the tree, so real programs converge in a few
+// passes).
+func Run(prog *minic.Program) Stats {
+	o := &optimizer{prog: prog}
+	for iter := 0; iter < 50; iter++ {
+		before := o.stats.Total()
+		for _, fn := range prog.Funcs {
+			if fn.Body != nil {
+				o.block(fn.Body)
+				o.copyPropBlock(fn.Body)
+				o.licmBlock(fn.Body)
+			}
+		}
+		if o.stats.Total() == before {
+			break
+		}
+	}
+	return o.stats
+}
+
+type optimizer struct {
+	prog  *minic.Program
+	stats Stats
+}
+
+// sideEffectFree reports whether evaluating e has no observable effect.
+func sideEffectFree(e minic.Expr) bool {
+	pure := true
+	minic.InspectExprs(e, func(x minic.Expr) bool {
+		switch x.(type) {
+		case *minic.AssignExpr, *minic.IncDec, *minic.Call:
+			pure = false
+		}
+		return pure
+	})
+	return pure
+}
+
+func (o *optimizer) block(b *minic.Block) {
+	var out []minic.Stmt
+	for _, s := range b.Stmts {
+		s = o.stmt(s)
+		if s == nil {
+			continue
+		}
+		// Flatten a block substituted for an if/while.
+		if inner, ok := s.(*minic.Block); ok {
+			o.block(inner)
+			out = append(out, inner.Stmts...)
+			continue
+		}
+		out = append(out, s)
+	}
+	b.Stmts = out
+}
+
+// stmt rewrites one statement; nil means "delete".
+func (o *optimizer) stmt(s minic.Stmt) minic.Stmt {
+	switch s := s.(type) {
+	case *minic.Block:
+		o.block(s)
+		if len(s.Stmts) == 0 {
+			o.stats.DeadRemoved++
+			return nil
+		}
+		return s
+	case *minic.DeclStmt:
+		for _, d := range s.Decls {
+			if d.Init != nil {
+				d.Init = o.expr(d.Init)
+			}
+			for i := range d.InitList {
+				d.InitList[i] = o.expr(d.InitList[i])
+			}
+		}
+		return s
+	case *minic.ExprStmt:
+		s.X = o.expr(s.X)
+		if sideEffectFree(s.X) {
+			o.stats.DeadRemoved++
+			return nil
+		}
+		return s
+	case *minic.IfStmt:
+		s.Cond = o.expr(s.Cond)
+		if lit, ok := s.Cond.(*minic.IntLit); ok {
+			o.stats.DeadRemoved++
+			if lit.Val != 0 {
+				return o.stmt(s.Then)
+			}
+			if s.Else != nil {
+				return o.stmt(s.Else)
+			}
+			return nil
+		}
+		s.Then = o.keepStmt(s.Then)
+		if s.Else != nil {
+			s.Else = o.stmt(s.Else)
+			if s.Else == nil {
+				// fine: if without else
+			}
+		}
+		return s
+	case *minic.WhileStmt:
+		s.Cond = o.expr(s.Cond)
+		if lit, ok := s.Cond.(*minic.IntLit); ok && lit.Val == 0 {
+			o.stats.DeadRemoved++
+			if s.DoWhile {
+				// Body runs exactly once.
+				return o.keepStmt(s.Body)
+			}
+			return nil
+		}
+		s.Body = o.keepStmt(s.Body)
+		return s
+	case *minic.ForStmt:
+		if s.Init != nil {
+			s.Init = o.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			s.Cond = o.expr(s.Cond)
+			if lit, ok := s.Cond.(*minic.IntLit); ok && lit.Val == 0 {
+				o.stats.DeadRemoved++
+				if s.Init != nil {
+					return s.Init
+				}
+				return nil
+			}
+		}
+		if s.Post != nil {
+			s.Post = o.expr(s.Post)
+		}
+		s.Body = o.keepStmt(s.Body)
+		return s
+	case *minic.ReturnStmt:
+		if s.X != nil {
+			s.X = o.expr(s.X)
+		}
+		return s
+	case *minic.ReuseRegion:
+		for i := range s.Inputs {
+			s.Inputs[i] = o.expr(s.Inputs[i])
+		}
+		s.Body = o.keepStmt(s.Body)
+		return s
+	default:
+		return s
+	}
+}
+
+// keepStmt rewrites a nested statement, substituting an empty statement if
+// it is deleted (if/loop bodies must remain present).
+func (o *optimizer) keepStmt(s minic.Stmt) minic.Stmt {
+	ns := o.stmt(s)
+	if ns == nil {
+		e := &minic.EmptyStmt{}
+		o.prog.AssignID(e)
+		return e
+	}
+	return ns
+}
+
+func (o *optimizer) expr(e minic.Expr) minic.Expr {
+	switch e := e.(type) {
+	case *minic.Unary:
+		e.X = o.expr(e.X)
+		return o.foldUnary(e)
+	case *minic.IncDec:
+		e.X = o.expr(e.X)
+		return e
+	case *minic.Binary:
+		e.X = o.expr(e.X)
+		e.Y = o.expr(e.Y)
+		return o.foldBinary(e)
+	case *minic.AssignExpr:
+		e.RHS = o.expr(e.RHS)
+		e.LHS = o.expr(e.LHS)
+		return e
+	case *minic.Cond:
+		e.Cond = o.expr(e.Cond)
+		if lit, ok := e.Cond.(*minic.IntLit); ok {
+			o.stats.Folded++
+			if lit.Val != 0 {
+				return o.expr(e.Then)
+			}
+			return o.expr(e.Else)
+		}
+		e.Then = o.expr(e.Then)
+		e.Else = o.expr(e.Else)
+		return e
+	case *minic.Call:
+		for i := range e.Args {
+			e.Args[i] = o.expr(e.Args[i])
+		}
+		return e
+	case *minic.Index:
+		e.X = o.expr(e.X)
+		e.Idx = o.expr(e.Idx)
+		return e
+	case *minic.FieldExpr:
+		e.X = o.expr(e.X)
+		return e
+	case *minic.Cast:
+		e.X = o.expr(e.X)
+		if minic.IsInt(e.To) {
+			if lit, ok := e.X.(*minic.FloatLit); ok {
+				o.stats.Folded++
+				return o.intLit(int64(lit.Val))
+			}
+			if lit, ok := e.X.(*minic.IntLit); ok {
+				o.stats.Folded++
+				return lit
+			}
+		}
+		if minic.IsFloat(e.To) {
+			if lit, ok := e.X.(*minic.IntLit); ok {
+				o.stats.Folded++
+				return o.floatLit(float64(lit.Val))
+			}
+			if lit, ok := e.X.(*minic.FloatLit); ok {
+				o.stats.Folded++
+				return lit
+			}
+		}
+		return e
+	case *minic.SizeofExpr:
+		o.stats.Folded++
+		return o.intLit(int64(e.T.Bytes()))
+	default:
+		return e
+	}
+}
+
+func (o *optimizer) intLit(v int64) *minic.IntLit { return o.prog.NewIntLit(v) }
+
+func (o *optimizer) floatLit(v float64) *minic.FloatLit { return o.prog.NewFloatLit(v) }
+
+func (o *optimizer) foldUnary(e *minic.Unary) minic.Expr {
+	switch x := e.X.(type) {
+	case *minic.IntLit:
+		switch e.Op {
+		case minic.Minus:
+			o.stats.Folded++
+			return o.intLit(-x.Val)
+		case minic.Plus:
+			o.stats.Folded++
+			return x
+		case minic.Tilde:
+			o.stats.Folded++
+			return o.intLit(^x.Val)
+		case minic.Not:
+			o.stats.Folded++
+			return o.intLit(b2i(x.Val == 0))
+		}
+	case *minic.FloatLit:
+		switch e.Op {
+		case minic.Minus:
+			o.stats.Folded++
+			return o.floatLit(-x.Val)
+		case minic.Plus:
+			o.stats.Folded++
+			return x
+		case minic.Not:
+			o.stats.Folded++
+			return o.intLit(b2i(x.Val == 0))
+		}
+	}
+	return e
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (o *optimizer) foldBinary(e *minic.Binary) minic.Expr {
+	xl, xIsInt := e.X.(*minic.IntLit)
+	yl, yIsInt := e.Y.(*minic.IntLit)
+	xf, xIsFlt := e.X.(*minic.FloatLit)
+	yf, yIsFlt := e.Y.(*minic.FloatLit)
+
+	// Full integer fold.
+	if xIsInt && yIsInt {
+		if v, ok := foldIntOp(e.Op, xl.Val, yl.Val); ok {
+			o.stats.Folded++
+			return o.intLit(v)
+		}
+		return e
+	}
+	// Float folds (mixed int/float promote).
+	if (xIsFlt || yIsFlt) && (xIsFlt || xIsInt) && (yIsFlt || yIsInt) {
+		a, b := 0.0, 0.0
+		if xIsFlt {
+			a = xf.Val
+		} else {
+			a = float64(xl.Val)
+		}
+		if yIsFlt {
+			b = yf.Val
+		} else {
+			b = float64(yl.Val)
+		}
+		if v, isInt, ok := foldFloatOp(e.Op, a, b); ok {
+			o.stats.Folded++
+			if isInt {
+				return o.intLit(int64(v))
+			}
+			return o.floatLit(v)
+		}
+		return e
+	}
+
+	// Algebraic identities (side-effect considerations: the kept operand
+	// is returned unchanged; the dropped operand is a literal, so nothing
+	// is lost).
+	if yIsInt {
+		switch {
+		case yl.Val == 0 && (e.Op == minic.Plus || e.Op == minic.Minus ||
+			e.Op == minic.Pipe || e.Op == minic.Caret ||
+			e.Op == minic.Shl || e.Op == minic.Shr):
+			o.stats.Simplified++
+			return e.X
+		case yl.Val == 1 && (e.Op == minic.Star || e.Op == minic.Slash):
+			if minic.IsInt(e.X.Type()) {
+				o.stats.Simplified++
+				return e.X
+			}
+		case yl.Val == 0 && e.Op == minic.Star && sideEffectFree(e.X) && minic.IsInt(e.X.Type()):
+			o.stats.Simplified++
+			return o.intLit(0)
+		}
+		// Strength reduction: x * 2^k -> x << k (int only).
+		if e.Op == minic.Star && minic.IsInt(e.X.Type()) && yl.Val > 1 && isPow2(yl.Val) {
+			o.stats.StrengthReduced++
+			return o.prog.NewBinary(minic.Shl, e.X, o.intLit(log2(yl.Val)))
+		}
+	}
+	if xIsInt {
+		switch {
+		case xl.Val == 0 && (e.Op == minic.Plus || e.Op == minic.Pipe || e.Op == minic.Caret):
+			o.stats.Simplified++
+			return e.Y
+		case xl.Val == 1 && e.Op == minic.Star && minic.IsInt(e.Y.Type()):
+			o.stats.Simplified++
+			return e.Y
+		case xl.Val == 0 && e.Op == minic.Star && sideEffectFree(e.Y) && minic.IsInt(e.Y.Type()):
+			o.stats.Simplified++
+			return o.intLit(0)
+		}
+		if e.Op == minic.Star && minic.IsInt(e.Y.Type()) && xl.Val > 1 && isPow2(xl.Val) {
+			o.stats.StrengthReduced++
+			return o.prog.NewBinary(minic.Shl, e.Y, o.intLit(log2(xl.Val)))
+		}
+	}
+	// Float identities: x*1.0, x+0.0 are unsafe in full IEEE (signed
+	// zeros, NaN); MiniC floats follow Go float64 semantics where these
+	// hold for the workloads, but we stay conservative and skip them.
+	return e
+}
+
+func isPow2(v int64) bool { return v > 0 && v&(v-1) == 0 }
+
+func log2(v int64) int64 {
+	var k int64
+	for v > 1 {
+		v >>= 1
+		k++
+	}
+	return k
+}
+
+// foldIntOp evaluates an integer binary op at compile time.
+func foldIntOp(op minic.TokKind, a, b int64) (int64, bool) {
+	switch op {
+	case minic.Plus:
+		return a + b, true
+	case minic.Minus:
+		return a - b, true
+	case minic.Star:
+		return a * b, true
+	case minic.Slash:
+		if b == 0 {
+			return 0, false // preserve the runtime fault
+		}
+		return a / b, true
+	case minic.Percent:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case minic.Shl:
+		return a << uint(b&63), true
+	case minic.Shr:
+		return a >> uint(b&63), true
+	case minic.Amp:
+		return a & b, true
+	case minic.Pipe:
+		return a | b, true
+	case minic.Caret:
+		return a ^ b, true
+	case minic.Lt:
+		return b2i(a < b), true
+	case minic.Gt:
+		return b2i(a > b), true
+	case minic.Le:
+		return b2i(a <= b), true
+	case minic.Ge:
+		return b2i(a >= b), true
+	case minic.EqEq:
+		return b2i(a == b), true
+	case minic.NotEq:
+		return b2i(a != b), true
+	case minic.AndAnd:
+		return b2i(a != 0 && b != 0), true
+	case minic.OrOr:
+		return b2i(a != 0 || b != 0), true
+	}
+	return 0, false
+}
+
+// foldFloatOp evaluates a float binary op; isInt marks comparison results.
+func foldFloatOp(op minic.TokKind, a, b float64) (v float64, isInt, ok bool) {
+	switch op {
+	case minic.Plus:
+		return a + b, false, true
+	case minic.Minus:
+		return a - b, false, true
+	case minic.Star:
+		return a * b, false, true
+	case minic.Slash:
+		if b == 0 {
+			return 0, false, false
+		}
+		return a / b, false, true
+	case minic.Lt:
+		return float64(b2i(a < b)), true, true
+	case minic.Gt:
+		return float64(b2i(a > b)), true, true
+	case minic.Le:
+		return float64(b2i(a <= b)), true, true
+	case minic.Ge:
+		return float64(b2i(a >= b)), true, true
+	case minic.EqEq:
+		return float64(b2i(a == b)), true, true
+	case minic.NotEq:
+		return float64(b2i(a != b)), true, true
+	}
+	return 0, false, false
+}

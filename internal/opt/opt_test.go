@@ -1,0 +1,468 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"compreuse/internal/cost"
+	"compreuse/internal/interp"
+	"compreuse/internal/minic"
+)
+
+func compile(t *testing.T, src string) *minic.Program {
+	t.Helper()
+	prog, err := minic.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minic.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// optBoth runs src unoptimized and optimized and checks identical results.
+func optBoth(t *testing.T, src string) (before, after *interp.Result, stats Stats) {
+	t.Helper()
+	p1 := compile(t, src)
+	r1, err := interp.Run(p1, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := compile(t, src)
+	st := Run(p2)
+	r2, err := interp.Run(p2, interp.Options{})
+	if err != nil {
+		t.Fatalf("optimized run: %v\n%s", err, minic.Print(p2))
+	}
+	if r1.Ret != r2.Ret || r1.Output != r2.Output {
+		t.Fatalf("optimization changed semantics: ret %d->%d out %q->%q\n%s",
+			r1.Ret, r2.Ret, r1.Output, r2.Output, minic.Print(p2))
+	}
+	return r1, r2, st
+}
+
+func TestConstantFolding(t *testing.T) {
+	_, _, st := optBoth(t, `
+int main(void) {
+    int a = 2 + 3 * 4;           // 14
+    int b = (10 / 3) % 2;        // 1
+    int c = 1 << 10;             // 1024
+    float f = 2.5 * 4.0;         // 10.0
+    int d = (int)(1.0 + 2.5);    // 3
+    return a + b + c + d + (int)f;
+}`)
+	if st.Folded == 0 {
+		t.Fatal("nothing folded")
+	}
+}
+
+func TestFoldedProgramIsCheaper(t *testing.T) {
+	r1, r2, _ := optBoth(t, `
+int main(void) {
+    int s = 0;
+    int i;
+    for (i = 0; i < 1000; i++)
+        s += 3 * 4 + (i * 8);    // folds and strength-reduces
+    return s & 1023;
+}`)
+	if r2.Cycles >= r1.Cycles {
+		t.Fatalf("optimized not cheaper: %d vs %d", r2.Cycles, r1.Cycles)
+	}
+}
+
+func TestStrengthReduction(t *testing.T) {
+	p := compile(t, `int f(int x) { return x * 8; }`)
+	st := Run(p)
+	if st.StrengthReduced != 1 {
+		t.Fatalf("strength reduced = %d", st.StrengthReduced)
+	}
+	out := minic.Print(p)
+	if !strings.Contains(out, "x << 3") {
+		t.Fatalf("expected shift:\n%s", out)
+	}
+}
+
+func TestStrengthReductionProperty(t *testing.T) {
+	// x*2^k == x<<k for all int32 x (the fold must preserve semantics on
+	// negatives too).
+	f := func(x int32, k uint8) bool {
+		shift := int64(k % 16)
+		mult := int64(1) << uint(shift)
+		return int64(x)*mult == int64(x)<<uint(shift)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoDivStrengthReduction(t *testing.T) {
+	// -7/2 == -3 but -7>>1 == -4: division must never become a shift.
+	p := compile(t, `int f(int x) { return x / 2; }`)
+	Run(p)
+	out := minic.Print(p)
+	if strings.Contains(out, ">>") {
+		t.Fatalf("unsound division strength reduction:\n%s", out)
+	}
+	optBoth(t, `int main(void) { int x = -7; return x / 2; }`)
+}
+
+func TestAlgebraicIdentities(t *testing.T) {
+	p := compile(t, `int f(int x) { return (x + 0) * 1 + (x | 0) + (x ^ 0) + (x << 0); }`)
+	st := Run(p)
+	if st.Simplified < 4 {
+		t.Fatalf("simplified = %d, want >= 4", st.Simplified)
+	}
+	optBoth(t, `int main(void) { int x = 5; return (x + 0) * 1 + (x | 0); }`)
+}
+
+func TestMulZeroKeepsSideEffects(t *testing.T) {
+	// f() * 0 must still call f.
+	_, _, _ = optBoth(t, `
+int calls = 0;
+int f(void) { calls++; return 7; }
+int main(void) {
+    int r = f() * 0;
+    __assert(calls == 1);
+    return r;
+}`)
+}
+
+func TestDeadBranchElimination(t *testing.T) {
+	p := compile(t, `
+int main(void) {
+    int s = 0;
+    if (1) s = 10; else s = 20;
+    if (0) s += 100;
+    while (0) s += 1000;
+    return s;
+}`)
+	st := Run(p)
+	if st.DeadRemoved == 0 {
+		t.Fatal("no dead code removed")
+	}
+	out := minic.Print(p)
+	if strings.Contains(out, "100") || strings.Contains(out, "while") {
+		t.Fatalf("dead code survived:\n%s", out)
+	}
+	optBoth(t, `
+int main(void) {
+    int s = 0;
+    if (1) s = 10; else s = 20;
+    if (0) s += 100;
+    while (0) s += 1000;
+    return s;
+}`)
+}
+
+func TestDoWhileZeroRunsOnce(t *testing.T) {
+	optBoth(t, `
+int main(void) {
+    int n = 0;
+    do { n++; } while (0);
+    __assert(n == 1);
+    return n;
+}`)
+}
+
+func TestPureStatementRemoved(t *testing.T) {
+	p := compile(t, `
+int main(void) {
+    int x = 3;
+    x + 4;       // pure: removed
+    x;           // pure: removed
+    return x;
+}`)
+	st := Run(p)
+	if st.DeadRemoved < 2 {
+		t.Fatalf("dead removed = %d", st.DeadRemoved)
+	}
+}
+
+func TestTernaryFold(t *testing.T) {
+	optBoth(t, `
+int main(void) {
+    int a = 1 ? 10 : 20;
+    int b = 0 ? 30 : 40;
+    __assert(a == 10);
+    __assert(b == 40);
+    return a + b;
+}`)
+}
+
+func TestOptPreservesComplexProgram(t *testing.T) {
+	optBoth(t, `
+int power2[15] = {1,2,4,8,16,32,64,128,256,512,1024,2048,4096,8192,16384};
+int quan(int val) {
+    int i;
+    for (i = 0; i < 15; i++)
+        if (val < power2[i])
+            break;
+    return (i);
+}
+int main(void) {
+    int s = 0;
+    int v;
+    for (v = 0; v < 300; v++)
+        s += quan(v * 2);
+    print_int(s);
+    return s & 255;
+}`)
+}
+
+func TestO3PipelineCheaperThanO0(t *testing.T) {
+	src := `
+int main(void) {
+    int s = 0;
+    int i;
+    for (i = 0; i < 2000; i++)
+        s += (i * 4) + (3 * 5) + (i % 7);
+    return s & 4095;
+}`
+	p0 := compile(t, src)
+	r0, err := interp.Run(p0, interp.Options{Model: cost.O0()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3 := compile(t, src)
+	Run(p3)
+	r3, err := interp.Run(p3, interp.Options{Model: cost.O3()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Ret != r0.Ret {
+		t.Fatal("results differ")
+	}
+	if float64(r3.Cycles) > 0.8*float64(r0.Cycles) {
+		t.Fatalf("O3 pipeline should be much cheaper: O0=%d O3=%d", r0.Cycles, r3.Cycles)
+	}
+}
+
+func TestFixpointTermination(t *testing.T) {
+	// Cascading folds must terminate and fully reduce.
+	p := compile(t, `int main(void) { return ((1 + 2) * (3 + 4)) << (2 - 1); }`)
+	Run(p)
+	ret := p.Func("main").Body.Stmts[0].(*minic.ReturnStmt)
+	lit, ok := ret.X.(*minic.IntLit)
+	if !ok || lit.Val != 42 {
+		t.Fatalf("not fully folded: %s", minic.PrintExpr(ret.X))
+	}
+}
+
+func TestLICMHoistsInvariantDecl(t *testing.T) {
+	p := compile(t, `
+int base;
+int f(int n) {
+    int s = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        int scale = base * 3 + 7;   // invariant: hoisted
+        int varying = i * 2;        // depends on i: stays
+        s += scale + varying;
+    }
+    return s;
+}`)
+	st := Run(p)
+	if st.Hoisted != 1 {
+		t.Fatalf("hoisted = %d, want 1\n%s", st.Hoisted, minic.Print(p))
+	}
+	out := minic.Print(p)
+	// The hoisted declaration appears before the for loop.
+	forIdx := strings.Index(out, "for (")
+	declIdx := strings.Index(out, "int scale")
+	if declIdx == -1 || forIdx == -1 || declIdx > forIdx {
+		t.Fatalf("scale not hoisted before loop:\n%s", out)
+	}
+	optBoth(t, `
+int base = 5;
+int f(int n) {
+    int s = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        int scale = base * 3 + 7;
+        int varying = i * 2;
+        s += scale + varying;
+    }
+    return s;
+}
+int main(void) { return f(9); }`)
+}
+
+func TestLICMRespectsLoopWrites(t *testing.T) {
+	p := compile(t, `
+int f(int n) {
+    int s = 0;
+    int base = 1;
+    int i;
+    for (i = 0; i < n; i++) {
+        int x = base * 2;   // base changes below: NOT invariant
+        base = base + 1;
+        s += x;
+    }
+    return s;
+}`)
+	st := Run(p)
+	if st.Hoisted != 0 {
+		t.Fatalf("hoisted = %d, want 0\n%s", st.Hoisted, minic.Print(p))
+	}
+	optBoth(t, `
+int f(int n) {
+    int s = 0;
+    int base = 1;
+    int i;
+    for (i = 0; i < n; i++) {
+        int x = base * 2;
+        base = base + 1;
+        s += x;
+    }
+    return s;
+}
+int main(void) { return f(7); }`)
+}
+
+func TestLICMDependentDecls(t *testing.T) {
+	// b reads a: both hoist (in order); c reads the loop-varying i: stays.
+	p := compile(t, `
+int k = 3;
+int f(int n) {
+    int s = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        int a = k * 2;
+        int b = a + 5;
+        int c = i + b;
+        s += c;
+    }
+    return s;
+}`)
+	st := Run(p)
+	if st.Hoisted != 2 {
+		t.Fatalf("hoisted = %d, want 2 (a and b)\n%s", st.Hoisted, minic.Print(p))
+	}
+	optBoth(t, `
+int k = 3;
+int f(int n) {
+    int s = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        int a = k * 2;
+        int b = a + 5;
+        int c = i + b;
+        s += c;
+    }
+    return s;
+}
+int main(void) { return f(5); }`)
+}
+
+func TestLICMSkipsLoopsWithCalls(t *testing.T) {
+	p := compile(t, `
+int g;
+int bump(void) { g++; return g; }
+int f(int n) {
+    int s = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        int x = g * 2;    // g changes through bump(): must stay
+        s += x + bump();
+    }
+    return s;
+}`)
+	st := Run(p)
+	if st.Hoisted != 0 {
+		t.Fatalf("hoisted = %d, want 0", st.Hoisted)
+	}
+}
+
+func TestLICMReducesCycles(t *testing.T) {
+	src := `
+int base = 9;
+int main(void) {
+    int s = 0;
+    int i;
+    for (i = 0; i < 2000; i++) {
+        int heavy = (base * base + base / 3) % 1001;
+        s = (s + heavy + i) & 65535;
+    }
+    return s;
+}`
+	p1 := compile(t, src)
+	r1, err := interp.Run(p1, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := compile(t, src)
+	Run(p2)
+	r2, err := interp.Run(p2, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Ret != r2.Ret {
+		t.Fatal("semantics broken")
+	}
+	// The division and modulo leave the loop: big win.
+	if float64(r2.Cycles) > 0.7*float64(r1.Cycles) {
+		t.Fatalf("LICM saved too little: %d -> %d", r1.Cycles, r2.Cycles)
+	}
+}
+
+func TestCopyPropagation(t *testing.T) {
+	p := compile(t, `
+int f(int a) {
+    int x = a;
+    int y = x + x;   // reads become a + a
+    return y;
+}`)
+	st := Run(p)
+	if st.Propagated < 2 {
+		t.Fatalf("propagated = %d, want >= 2\n%s", st.Propagated, minic.Print(p))
+	}
+	out := minic.Print(p)
+	if !strings.Contains(out, "a + a") {
+		t.Fatalf("copies not propagated:\n%s", out)
+	}
+	optBoth(t, `
+int f(int a) {
+    int x = a;
+    int y = x + x;
+    return y;
+}
+int main(void) { return f(21); }`)
+}
+
+func TestCopyPropagationKilledByWrite(t *testing.T) {
+	optBoth(t, `
+int main(void) {
+    int a = 3;
+    int x = a;
+    a = 10;          // kills the copy
+    int y = x + a;   // x must still be 3
+    __assert(y == 13);
+    return y;
+}`)
+}
+
+func TestCopyPropagationSelfAssign(t *testing.T) {
+	// The degenerate self-copy (often produced by folding) terminates.
+	optBoth(t, `
+int main(void) {
+    int c = 5;
+    c = c + 0;      // folds to c = c
+    int d = c;
+    return d;
+}`)
+}
+
+func TestCopyPropagationSkipsAddressTaken(t *testing.T) {
+	optBoth(t, `
+int set(int *p) { *p = 99; return 0; }
+int main(void) {
+    int a = 3;
+    int x = a;      // a is address-taken: no propagation
+    set(&a);
+    __assert(x == 3);
+    __assert(a == 99);
+    return x + a;
+}`)
+}

@@ -1,0 +1,252 @@
+// Package profile drives the two profiling stages of the scheme (paper
+// §2.1 and Fig. 1):
+//
+//   - execution-frequency profiling (the gprof/gcov stand-in): the VM
+//     counts function entries, loop iterations and branch executions;
+//     FrequencyFilter removes infrequently executed segments before the
+//     costly value-set profiling;
+//   - value-set profiling: candidate segments are wrapped in profile-mode
+//     reuse regions (the same transformation as the final code generation,
+//     including table merging) and the program runs on training input; the
+//     tables take a census of distinct input sets, and the VM measures
+//     each segment's true granularity C.
+package profile
+
+import (
+	"fmt"
+
+	"compreuse/internal/cost"
+	"compreuse/internal/interp"
+	"compreuse/internal/minic"
+	"compreuse/internal/reusetab"
+	"compreuse/internal/segment"
+	"compreuse/internal/transform"
+)
+
+// SegProfile is the value-set profile of one candidate segment.
+type SegProfile struct {
+	// Name is the segment's stable name ("quan@func").
+	Name string
+	// N is the number of execution instances observed.
+	N int64
+	// Nds is the number of distinct input sets.
+	Nds int64
+	// MeasuredC is the measured granularity in cycles per instance.
+	MeasuredC float64
+	// Overhead is the modeled hashing overhead in cycles per instance.
+	Overhead float64
+	// TableName identifies the (possibly merged) table this segment used.
+	TableName string
+	// Census is the distinct-input census with per-key counts, in
+	// first-seen order. For merged tables the census is shared.
+	Census []reusetab.KeyCount
+	// AccessCounts are probe counts per table entry rank (Figures 7/8).
+	AccessCounts []int64
+	// KeyBytes is the modeled input-set width.
+	KeyBytes int
+}
+
+// ReuseRate is R = 1 − Nds/N (paper §2.1).
+func (sp *SegProfile) ReuseRate() float64 {
+	if sp.N == 0 {
+		return 0
+	}
+	return 1 - float64(sp.Nds)/float64(sp.N)
+}
+
+// CostProfile converts to the cost package's Profile for the formulas.
+func (sp *SegProfile) CostProfile() cost.Profile {
+	return cost.Profile{C: sp.MeasuredC, O: sp.Overhead, N: sp.N, Nds: sp.Nds}
+}
+
+// Gain is the per-instance gain R·C − O (formula 2).
+func (sp *SegProfile) Gain() float64 { return sp.CostProfile().Gain() }
+
+// FrequencyFilter keeps the segments whose instance count in the
+// frequency-profiling run reaches min (paper §2.1: "we filter out code
+// segments which are executed infrequently").
+func FrequencyFilter(cands []*segment.Segment, freq []int64, min int64) []*segment.Segment {
+	var out []*segment.Segment
+	for _, s := range cands {
+		if s.FreqID < len(freq) && freq[s.FreqID] >= min {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Collect wraps cands in profile-mode reuse regions (mutating prog), runs
+// the program, and returns the per-segment profiles keyed by segment name.
+// model must match the cost model the final decision targets, so that the
+// measured C and the modeled O are commensurable.
+func Collect(prog *minic.Program, cands []*segment.Segment, model *cost.Model,
+	runOpts interp.Options) (map[string]*SegProfile, *interp.Result, error) {
+
+	res := transform.Apply(prog, cands, transform.Options{})
+	tabs := map[int]*reusetab.Table{}
+	for _, ts := range res.Tables {
+		tabs[ts.ID] = reusetab.New(ts.Config(reusetab.ModeProfile, 0, false))
+	}
+	runOpts.Tables = tabs
+	runOpts.Model = model
+	runRes, err := interp.Run(prog, runOpts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("value-set profiling run: %w", err)
+	}
+
+	profiles := map[string]*SegProfile{}
+	for _, ts := range res.Tables {
+		tab := tabs[ts.ID]
+		for _, seg := range ts.Segs {
+			rr := res.Regions[seg]
+			st := runRes.Segs[rr.ID()]
+			sp := &SegProfile{
+				Name:         seg.Name,
+				TableName:    ts.Name,
+				Nds:          int64(tab.SegDistinct(rr.SegBit)),
+				Overhead:     float64(model.HashOverhead(seg.KeyBytes, seg.OutBytes)),
+				Census:       tab.SegSortedCensus(rr.SegBit),
+				AccessCounts: tab.AccessCounts(),
+				KeyBytes:     seg.KeyBytes,
+			}
+			if st != nil {
+				sp.N = st.Instances
+				sp.MeasuredC = st.MeasuredC()
+			}
+			profiles[seg.Name] = sp
+		}
+	}
+	return profiles, runRes, nil
+}
+
+// CollisionDeduction estimates, from a profiling census and an intended
+// direct-addressed table size, the fraction of executions that will miss
+// because a different key occupies their slot — the paper's §2.1: "during
+// value-set profiling, we can count the hash collision rate for each value
+// set and deduct the reuse rate accordingly. (In our experiments, only the
+// program MPEG2 generates collisions.)"
+//
+// The estimate assigns each slot to its most frequent key (direct
+// addressing with replacement converges toward keeping the hot key);
+// executions of the other keys mapping there are counted as collision
+// misses beyond their first.
+func CollisionDeduction(census []reusetab.KeyCount, entries int) float64 {
+	if entries <= 0 || len(census) == 0 {
+		return 0
+	}
+	var total int64
+	slotMax := map[int]int64{}
+	slotSum := map[int]int64{}
+	for _, kc := range census {
+		total += kc.Count
+		idx := reusetab.IndexOf(kc.Key, entries)
+		slotSum[idx] += kc.Count
+		if kc.Count > slotMax[idx] {
+			slotMax[idx] = kc.Count
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	var collided int64
+	for idx, sum := range slotSum {
+		collided += sum - slotMax[idx]
+	}
+	return float64(collided) / float64(total)
+}
+
+// AdjustedReuseRate is the reuse rate after the collision deduction for a
+// table of the given size.
+func (sp *SegProfile) AdjustedReuseRate(entries int) float64 {
+	r := sp.ReuseRate() - CollisionDeduction(sp.Census, entries)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Bucket is one histogram bar.
+type Bucket struct {
+	// Lo and Hi delimit the value range [Lo, Hi).
+	Lo, Hi int64
+	// Count is the total number of executions whose (first) input value
+	// fell in the range.
+	Count int64
+	// Distinct is the number of distinct values in the range.
+	Distinct int
+}
+
+// ValueHistogram buckets the census by the first 32-bit input value of
+// each key — the paper's Figures 5, 6, 12 and 13 histogram input values.
+// It returns nil when keys are not decodable as ints.
+func ValueHistogram(census []reusetab.KeyCount, buckets int) []Bucket {
+	if len(census) == 0 || buckets <= 0 {
+		return nil
+	}
+	var minV, maxV int64
+	first := true
+	vals := make([]int64, 0, len(census))
+	counts := make([]int64, 0, len(census))
+	for _, kc := range census {
+		ints := reusetab.DecodeInts(kc.Key)
+		if ints == nil {
+			return nil
+		}
+		v := int64(ints[0])
+		vals = append(vals, v)
+		counts = append(counts, kc.Count)
+		if first || v < minV {
+			minV = v
+		}
+		if first || v > maxV {
+			maxV = v
+		}
+		first = false
+	}
+	span := maxV - minV + 1
+	width := (span + int64(buckets) - 1) / int64(buckets)
+	if width == 0 {
+		width = 1
+	}
+	out := make([]Bucket, buckets)
+	for i := range out {
+		out[i].Lo = minV + int64(i)*width
+		out[i].Hi = out[i].Lo + width
+	}
+	for i, v := range vals {
+		b := int((v - minV) / width)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		out[b].Count += counts[i]
+		out[b].Distinct++
+	}
+	return out
+}
+
+// RankHistogram buckets per-entry access counts by entry rank — the
+// paper's Figures 7, 8 and 11 histogram accessed table entries / distinct
+// input patterns.
+func RankHistogram(access []int64, buckets int) []Bucket {
+	if len(access) == 0 || buckets <= 0 {
+		return nil
+	}
+	width := (len(access) + buckets - 1) / buckets
+	if width == 0 {
+		width = 1
+	}
+	n := (len(access) + width - 1) / width
+	out := make([]Bucket, n)
+	for i := range out {
+		out[i].Lo = int64(i * width)
+		out[i].Hi = int64((i + 1) * width)
+	}
+	for rank, c := range access {
+		b := rank / width
+		out[b].Count += c
+		if c > 0 {
+			out[b].Distinct++
+		}
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package profile
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"compreuse/internal/reusetab"
+)
+
+// Snapshot is the serializable profiling artifact — the analogue of
+// gprof's gmon.out in the paper's workflow, holding both the
+// execution-frequency profile and the value-set profiles. A snapshot taken
+// by one compiler invocation can drive the transformation in a later one
+// (cmd/crc's -profile-out / -profile-in), exactly the offline
+// profile-then-compile split the paper describes.
+type Snapshot struct {
+	// Program and OptLevel identify the configuration the profile was
+	// taken under; a snapshot only applies to the same source at the same
+	// O-level (node ids and measured cycles depend on both).
+	Program  string  `json:"program"`
+	OptLevel string  `json:"opt_level"`
+	Args     []int64 `json:"args,omitempty"`
+	// Freq is the per-node execution-frequency vector.
+	Freq []int64 `json:"freq"`
+	// Segments holds the value-set profiles keyed by segment name.
+	Segments map[string]*SegSnapshot `json:"segments"`
+}
+
+// SegSnapshot is one segment's serialized profile.
+type SegSnapshot struct {
+	Name         string     `json:"name"`
+	TableName    string     `json:"table"`
+	N            int64      `json:"n"`
+	Nds          int64      `json:"nds"`
+	MeasuredC    float64    `json:"c_cycles"`
+	Overhead     float64    `json:"o_cycles"`
+	KeyBytes     int        `json:"key_bytes"`
+	Census       []KeyEntry `json:"census,omitempty"`
+	AccessCounts []int64    `json:"access_counts,omitempty"`
+}
+
+// KeyEntry is one census line with a hex-encoded key.
+type KeyEntry struct {
+	KeyHex string `json:"key"`
+	Count  int64  `json:"count"`
+	Rank   int    `json:"rank"`
+}
+
+// ToSnapshot packages profiles and a frequency vector.
+func ToSnapshot(program, optLevel string, args []int64, freq []int64,
+	profiles map[string]*SegProfile) *Snapshot {
+	s := &Snapshot{
+		Program:  program,
+		OptLevel: optLevel,
+		Args:     args,
+		Freq:     freq,
+		Segments: map[string]*SegSnapshot{},
+	}
+	for name, sp := range profiles {
+		ss := &SegSnapshot{
+			Name:         sp.Name,
+			TableName:    sp.TableName,
+			N:            sp.N,
+			Nds:          sp.Nds,
+			MeasuredC:    sp.MeasuredC,
+			Overhead:     sp.Overhead,
+			KeyBytes:     sp.KeyBytes,
+			AccessCounts: sp.AccessCounts,
+		}
+		for _, kc := range sp.Census {
+			ss.Census = append(ss.Census, KeyEntry{
+				KeyHex: hex.EncodeToString([]byte(kc.Key)),
+				Count:  kc.Count,
+				Rank:   kc.Rank,
+			})
+		}
+		s.Segments[name] = ss
+	}
+	return s
+}
+
+// Profiles reconstructs the in-memory profile map from a snapshot.
+func (s *Snapshot) Profiles() (map[string]*SegProfile, error) {
+	out := map[string]*SegProfile{}
+	for name, ss := range s.Segments {
+		sp := &SegProfile{
+			Name:         ss.Name,
+			TableName:    ss.TableName,
+			N:            ss.N,
+			Nds:          ss.Nds,
+			MeasuredC:    ss.MeasuredC,
+			Overhead:     ss.Overhead,
+			KeyBytes:     ss.KeyBytes,
+			AccessCounts: ss.AccessCounts,
+		}
+		for _, ke := range ss.Census {
+			key, err := hex.DecodeString(ke.KeyHex)
+			if err != nil {
+				return nil, fmt.Errorf("profile snapshot: segment %s: bad key %q: %w",
+					name, ke.KeyHex, err)
+			}
+			sp.Census = append(sp.Census, reusetab.KeyCount{
+				Key: string(key), Count: ke.Count, Rank: ke.Rank,
+			})
+		}
+		out[name] = sp
+	}
+	return out, nil
+}
+
+// Save writes the snapshot as indented JSON.
+func (s *Snapshot) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// LoadSnapshot reads a snapshot produced by Save.
+func LoadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("profile snapshot: %w", err)
+	}
+	if s.Segments == nil {
+		s.Segments = map[string]*SegSnapshot{}
+	}
+	return &s, nil
+}

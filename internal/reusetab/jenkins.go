@@ -1,0 +1,104 @@
+// Package reusetab implements the software reuse tables of Ding & Li
+// (CGO 2004, §3.1): direct-addressed hash tables keyed by the concatenated
+// bit patterns of a code segment's input variables, merged tables shared by
+// several segments with identical inputs (§2.5, Table 2), and the
+// limited-size LRU buffers used for the paper's hardware comparison
+// (Table 5).
+//
+// Keys at most 32 bits wide index the table by simple modularization; wider
+// keys are first reduced with Bob Jenkins's lookup2 hash (the paper's
+// reference [11]). A direct-addressed collision replaces the resident entry
+// with the new one, as in the paper.
+package reusetab
+
+// jenkinsMix is the 96-bit mix step of Bob Jenkins's lookup2 hash
+// (Dr. Dobb's Journal, September 1997).
+func jenkinsMix(a, b, c uint32) (uint32, uint32, uint32) {
+	a -= b
+	a -= c
+	a ^= c >> 13
+	b -= c
+	b -= a
+	b ^= a << 8
+	c -= a
+	c -= b
+	c ^= b >> 13
+	a -= b
+	a -= c
+	a ^= c >> 12
+	b -= c
+	b -= a
+	b ^= a << 16
+	c -= a
+	c -= b
+	c ^= b >> 5
+	a -= b
+	a -= c
+	a ^= c >> 3
+	b -= c
+	b -= a
+	b ^= a << 10
+	c -= a
+	c -= b
+	c ^= b >> 15
+	return a, b, c
+}
+
+// JenkinsHash is lookup2: it hashes key to 32 bits starting from seed.
+// It processes the key 12 bytes at a time.
+func JenkinsHash(key []byte, seed uint32) uint32 {
+	a := uint32(0x9e3779b9) // the golden ratio
+	b := uint32(0x9e3779b9)
+	c := seed
+	n := len(key)
+	i := 0
+	for ; n-i >= 12; i += 12 {
+		a += word32(key[i:])
+		b += word32(key[i+4:])
+		c += word32(key[i+8:])
+		a, b, c = jenkinsMix(a, b, c)
+	}
+	c += uint32(len(key))
+	rest := key[i:]
+	// The trailing-byte switch from the reference implementation;
+	// byte 8 onward shift into c above bit 8 (c's low byte holds length).
+	if len(rest) > 10 {
+		c += uint32(rest[10]) << 24
+	}
+	if len(rest) > 9 {
+		c += uint32(rest[9]) << 16
+	}
+	if len(rest) > 8 {
+		c += uint32(rest[8]) << 8
+	}
+	if len(rest) > 7 {
+		b += uint32(rest[7]) << 24
+	}
+	if len(rest) > 6 {
+		b += uint32(rest[6]) << 16
+	}
+	if len(rest) > 5 {
+		b += uint32(rest[5]) << 8
+	}
+	if len(rest) > 4 {
+		b += uint32(rest[4])
+	}
+	if len(rest) > 3 {
+		a += uint32(rest[3]) << 24
+	}
+	if len(rest) > 2 {
+		a += uint32(rest[2]) << 16
+	}
+	if len(rest) > 1 {
+		a += uint32(rest[1]) << 8
+	}
+	if len(rest) > 0 {
+		a += uint32(rest[0])
+	}
+	_, _, c = jenkinsMix(a, b, c)
+	return c
+}
+
+func word32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

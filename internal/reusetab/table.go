@@ -1,0 +1,465 @@
+package reusetab
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mode selects how a Table behaves.
+type Mode int
+
+// Table modes.
+const (
+	// ModeReuse is the production behavior: probe, then record on miss.
+	ModeReuse Mode = iota
+	// ModeProfile is value-set profiling (paper §2.1): every probe misses
+	// so the segment body always runs, and the table records the census of
+	// distinct input sets, per-key frequencies, and would-be collisions.
+	ModeProfile
+)
+
+// Config describes one reuse table. A merged table (paper §2.5) serves
+// Segs > 1 code segments that share an identical input set; each segment
+// owns one valid bit and its own output columns.
+type Config struct {
+	// Name labels the table in diagnostics, e.g. "quan".
+	Name string
+	// Segs is the number of merged code segments (1 for an unmerged table).
+	Segs int
+	// KeyBytes is the modeled C byte width of one input set; the paper's
+	// "hash key not greater than 32 bits" fast path applies when
+	// KeyBytes <= 4.
+	KeyBytes int
+	// OutWords is the per-segment output width in VM words.
+	OutWords []int
+	// OutBytes is the per-segment modeled output width in C bytes.
+	OutBytes []int
+	// Entries is the direct-addressed table size in entries. Entries <= 0
+	// means "optimal": the table grows to hold every distinct input
+	// (a map), which is the configuration the paper uses for its headline
+	// numbers (hash table sized from profiling).
+	Entries int
+	// LRU selects a fully-associative buffer with least-recently-used
+	// replacement instead of direct addressing; used to emulate the
+	// hardware reuse buffers of Table 5.
+	LRU bool
+	// Mode selects reuse or profiling behavior.
+	Mode Mode
+}
+
+// SegStats accumulates per-segment counters.
+type SegStats struct {
+	Probes     int64
+	Hits       int64
+	Misses     int64
+	Records    int64
+	Collisions int64 // probes that missed because a different key held the slot
+}
+
+// HitRatio returns Hits/Probes, or 0 when never probed.
+func (s SegStats) HitRatio() float64 {
+	if s.Probes == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Probes)
+}
+
+type entry struct {
+	used    bool
+	key     string
+	valid   uint64
+	outs    [][]uint64
+	lastUse int64
+}
+
+// Table is one reuse table instance.
+type Table struct {
+	cfg   Config
+	stats []SegStats
+	clock int64
+
+	// Direct-addressed or LRU storage.
+	slots []entry
+	// Optimal (unbounded) storage.
+	byKey map[string]*entry
+
+	// Profiling census: per-key execution counts (ModeProfile). census is
+	// the union over merged segments; segCensus is per segment (a merged
+	// table's members probe with their own dynamic key streams, so their
+	// N_ds values differ).
+	census    map[string]int64
+	segCensus []map[string]int64
+	// accessCounts counts probes per resident slot index for the
+	// direct-addressed modes (Figures 7 and 8). In optimal mode the
+	// index is the entry's insertion rank.
+	accessCounts map[int]int64
+	rank         map[string]int
+}
+
+// New creates a table from cfg. It panics on malformed configs (these are
+// produced by the compiler, not end users).
+func New(cfg Config) *Table {
+	if cfg.Segs < 1 {
+		panic("reusetab: Segs must be >= 1")
+	}
+	if len(cfg.OutWords) != cfg.Segs || len(cfg.OutBytes) != cfg.Segs {
+		panic(fmt.Sprintf("reusetab %q: output specs (%d/%d) do not match Segs=%d",
+			cfg.Name, len(cfg.OutWords), len(cfg.OutBytes), cfg.Segs))
+	}
+	if cfg.Segs > 64 {
+		panic("reusetab: merged tables support at most 64 segments (one valid-bit word)")
+	}
+	t := &Table{
+		cfg:          cfg,
+		stats:        make([]SegStats, cfg.Segs),
+		accessCounts: map[int]int64{},
+		rank:         map[string]int{},
+	}
+	switch {
+	case cfg.Mode == ModeProfile:
+		t.census = map[string]int64{}
+		t.segCensus = make([]map[string]int64, cfg.Segs)
+		for i := range t.segCensus {
+			t.segCensus[i] = map[string]int64{}
+		}
+	case cfg.Entries > 0:
+		t.slots = make([]entry, cfg.Entries)
+	default:
+		t.byKey = map[string]*entry{}
+	}
+	return t
+}
+
+// Config returns the table's configuration.
+func (t *Table) Config() Config { return t.cfg }
+
+// Stats returns the statistics for segment seg.
+func (t *Table) Stats(seg int) SegStats { return t.stats[seg] }
+
+// index maps a key to a direct-addressed slot.
+func (t *Table) index(key string) int {
+	return IndexOf(key, len(t.slots))
+}
+
+// IndexOf maps a key to a slot in a direct-addressed table of the given
+// entry count. Keys of at most 32 bits use the value itself modulo the
+// table size; wider keys are first reduced with the Jenkins hash (§3.1).
+func IndexOf(key string, entries int) int {
+	var h uint32
+	if len(key) <= 4 {
+		for i := len(key) - 1; i >= 0; i-- {
+			h = h<<8 | uint32(key[i])
+		}
+	} else {
+		h = JenkinsHash([]byte(key), 0)
+	}
+	return int(h % uint32(entries))
+}
+
+// OptimalEntries picks the table size the paper derives from value
+// profiling: the smallest entry count, starting at the number of distinct
+// input patterns, for which the profiled keys map injectively under the
+// hash — growing geometrically up to maxFactor times the distinct count.
+// When no size in range is collision-free (the paper observed this only
+// for MPEG2), the best size tried is returned.
+func OptimalEntries(keys []string, maxFactor float64) int {
+	nds := len(keys)
+	if nds == 0 {
+		return 1
+	}
+	if maxFactor < 1 {
+		maxFactor = 1
+	}
+	limit := int(float64(nds) * maxFactor)
+	bestSize, bestColl := nds, nds+1
+	used := make(map[int]struct{}, nds)
+	for size := nds; size <= limit; size = grow(size) {
+		clear(used)
+		coll := 0
+		for _, k := range keys {
+			idx := IndexOf(k, size)
+			if _, dup := used[idx]; dup {
+				coll++
+			} else {
+				used[idx] = struct{}{}
+			}
+		}
+		if coll < bestColl {
+			bestColl, bestSize = coll, size
+		}
+		if coll == 0 {
+			return size
+		}
+	}
+	return bestSize
+}
+
+func grow(size int) int {
+	next := size + size/8 + 1
+	return next
+}
+
+// Probe looks key up for segment seg. On a hit it returns the stored
+// output words. In ModeProfile, Probe always reports a miss and records
+// the key in the census.
+func (t *Table) Probe(seg int, key []byte) ([]uint64, bool) {
+	ks := string(key)
+	st := &t.stats[seg]
+	st.Probes++
+	t.clock++
+
+	if t.cfg.Mode == ModeProfile {
+		t.census[ks]++
+		t.segCensus[seg][ks]++
+		if _, ok := t.rank[ks]; !ok {
+			t.rank[ks] = len(t.rank)
+		}
+		t.accessCounts[t.rank[ks]]++
+		return nil, false
+	}
+
+	bit := uint64(1) << uint(seg)
+	switch {
+	case t.byKey != nil:
+		if _, ok := t.rank[ks]; !ok {
+			t.rank[ks] = len(t.rank)
+		}
+		t.accessCounts[t.rank[ks]]++
+		e, ok := t.byKey[ks]
+		if !ok || e.valid&bit == 0 {
+			st.Misses++
+			return nil, false
+		}
+		st.Hits++
+		return e.outs[seg], true
+
+	case t.cfg.LRU:
+		for i := range t.slots {
+			e := &t.slots[i]
+			if e.used && e.key == ks {
+				e.lastUse = t.clock
+				t.accessCounts[i]++
+				if e.valid&bit == 0 {
+					st.Misses++
+					return nil, false
+				}
+				st.Hits++
+				return e.outs[seg], true
+			}
+		}
+		st.Misses++
+		return nil, false
+
+	default:
+		i := t.index(ks)
+		t.accessCounts[i]++
+		e := &t.slots[i]
+		if !e.used {
+			st.Misses++
+			return nil, false
+		}
+		if e.key != ks {
+			st.Misses++
+			st.Collisions++
+			return nil, false
+		}
+		if e.valid&bit == 0 {
+			st.Misses++
+			return nil, false
+		}
+		st.Hits++
+		return e.outs[seg], true
+	}
+}
+
+// Record stores the outputs computed for key by segment seg. In
+// ModeProfile it is a no-op (the census is taken in Probe).
+func (t *Table) Record(seg int, key []byte, outs []uint64) {
+	if t.cfg.Mode == ModeProfile {
+		return
+	}
+	if len(outs) != t.cfg.OutWords[seg] {
+		panic(fmt.Sprintf("reusetab %q: segment %d recorded %d words, want %d",
+			t.cfg.Name, seg, len(outs), t.cfg.OutWords[seg]))
+	}
+	ks := string(key)
+	st := &t.stats[seg]
+	st.Records++
+	bit := uint64(1) << uint(seg)
+	stored := append([]uint64(nil), outs...)
+
+	switch {
+	case t.byKey != nil:
+		e, ok := t.byKey[ks]
+		if !ok {
+			e = &entry{used: true, key: ks, outs: make([][]uint64, t.cfg.Segs)}
+			t.byKey[ks] = e
+		}
+		e.valid |= bit
+		e.outs[seg] = stored
+
+	case t.cfg.LRU:
+		// Update in place if resident.
+		for i := range t.slots {
+			e := &t.slots[i]
+			if e.used && e.key == ks {
+				e.valid |= bit
+				e.outs[seg] = stored
+				e.lastUse = t.clock
+				return
+			}
+		}
+		// Otherwise evict a free slot, or the least recently used one.
+		victim := -1
+		var oldest int64 = 1<<63 - 1
+		for i := range t.slots {
+			e := &t.slots[i]
+			if !e.used {
+				victim = i
+				break
+			}
+			if e.lastUse < oldest {
+				oldest = e.lastUse
+				victim = i
+			}
+		}
+		e := &t.slots[victim]
+		*e = entry{used: true, key: ks, valid: bit, outs: make([][]uint64, t.cfg.Segs), lastUse: t.clock}
+		e.outs[seg] = stored
+
+	default:
+		i := t.index(ks)
+		e := &t.slots[i]
+		if !e.used || e.key != ks {
+			// Direct-addressed collision: replace the resident entry
+			// (paper §3.1: "the previously recorded inputs and outputs in
+			// the entry is replaced by the new inputs and outputs").
+			*e = entry{used: true, key: ks, outs: make([][]uint64, t.cfg.Segs)}
+		}
+		e.valid |= bit
+		e.outs[seg] = stored
+	}
+}
+
+// Distinct returns the number of distinct input sets seen across all
+// merged segments. In ModeProfile this is the union census size; in reuse
+// modes it is the number of distinct keys that reached the table.
+func (t *Table) Distinct() int {
+	if t.census != nil {
+		return len(t.census)
+	}
+	return len(t.rank)
+}
+
+// SegDistinct returns the paper's N_ds for one segment: the number of
+// distinct input sets that segment probed with (ModeProfile only; falls
+// back to the union count otherwise).
+func (t *Table) SegDistinct(seg int) int {
+	if t.segCensus != nil {
+		return len(t.segCensus[seg])
+	}
+	return t.Distinct()
+}
+
+// Census returns the per-key execution counts collected in ModeProfile,
+// or nil in other modes. The returned map is live; callers must not
+// mutate it.
+func (t *Table) Census() map[string]int64 { return t.census }
+
+// AccessCounts returns probe counts per table entry (slot index for
+// bounded tables, insertion rank for optimal tables), sorted by index.
+// This regenerates the paper's Figures 7 and 8.
+func (t *Table) AccessCounts() []int64 {
+	if len(t.accessCounts) == 0 {
+		return nil
+	}
+	maxIdx := 0
+	for i := range t.accessCounts {
+		if i > maxIdx {
+			maxIdx = i
+		}
+	}
+	out := make([]int64, maxIdx+1)
+	for i, c := range t.accessCounts {
+		out[i] = c
+	}
+	return out
+}
+
+// SizeBytes reports the modeled memory consumption of the table: per entry,
+// the input key plus every merged segment's outputs plus (for merged
+// tables) an 8-byte valid-bit vector, times the entry count. For optimal
+// tables the entry count is the number of distinct keys stored so far.
+func (t *Table) SizeBytes() int {
+	per := t.cfg.KeyBytes
+	for _, b := range t.cfg.OutBytes {
+		per += b
+	}
+	if t.cfg.Segs > 1 {
+		per += 8
+	}
+	n := t.cfg.Entries
+	if t.byKey != nil {
+		n = len(t.byKey)
+	}
+	if t.census != nil {
+		n = len(t.census)
+	}
+	return per * n
+}
+
+// EntryBytes returns the modeled bytes of one table entry.
+func (t *Table) EntryBytes() int {
+	per := t.cfg.KeyBytes
+	for _, b := range t.cfg.OutBytes {
+		per += b
+	}
+	if t.cfg.Segs > 1 {
+		per += 8
+	}
+	return per
+}
+
+// TotalStats sums the per-segment statistics.
+func (t *Table) TotalStats() SegStats {
+	var sum SegStats
+	for _, s := range t.stats {
+		sum.Probes += s.Probes
+		sum.Hits += s.Hits
+		sum.Misses += s.Misses
+		sum.Records += s.Records
+		sum.Collisions += s.Collisions
+	}
+	return sum
+}
+
+// SortedCensus returns the union profiling census as (key, count) pairs
+// in first-seen order, for histogram rendering and table sizing.
+func (t *Table) SortedCensus() []KeyCount {
+	return censusPairs(t.census, t.rank)
+}
+
+// SegSortedCensus returns one segment's census in first-seen order.
+func (t *Table) SegSortedCensus(seg int) []KeyCount {
+	if t.segCensus == nil {
+		return nil
+	}
+	return censusPairs(t.segCensus[seg], t.rank)
+}
+
+func censusPairs(census map[string]int64, rank map[string]int) []KeyCount {
+	out := make([]KeyCount, 0, len(census))
+	for k, c := range census {
+		out = append(out, KeyCount{Key: k, Count: c, Rank: rank[k]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+// KeyCount is one census line: a distinct input set, its execution count,
+// and its first-seen rank.
+type KeyCount struct {
+	Key   string
+	Count int64
+	Rank  int
+}

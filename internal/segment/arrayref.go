@@ -1,0 +1,458 @@
+package segment
+
+import (
+	"compreuse/internal/cost"
+	"compreuse/internal/dataflow"
+	"compreuse/internal/minic"
+)
+
+// This file is the array reference analysis for array inputs/outputs
+// (paper §3.1). Restoring an aggregate output from the table is only sound
+// when the table entry determines the aggregate's entire post-segment
+// contents. Three cases are accepted:
+//
+//   - the aggregate is also an input: its pre-state is part of the hash
+//     key, so equal keys imply equal post-states;
+//   - the segment provably overwrites the whole aggregate on every
+//     execution (a counted loop or loop nest covering all elements), as
+//     the MPEG2 fDCT/IDCT kernels do with their 8×8 blocks;
+//   - every write into the array is an unconditional element store
+//     arr[idx] = … whose index depends only on segment inputs and
+//     invariants: the written locations and values are then functions of
+//     the key, and the table records the elements arr[idx] themselves
+//     (the UNEPIC pattern).
+
+// buildOutputs converts the live-after definition set into Output specs,
+// applying the aggregate rules. It reports false (failing the segment) if
+// some aggregate cannot be handled soundly.
+func (a *Analysis) buildOutputs(s *Segment, outs []*minic.Symbol) bool {
+	// Whole-variable inputs put the aggregate pre-state in the key;
+	// element inputs do not.
+	inputs := map[*minic.Symbol]bool{}
+	for _, in := range s.Inputs {
+		if in.Elem == nil {
+			inputs[in.Sym] = true
+		}
+	}
+	for _, sym := range outs {
+		if !minic.IsAggregate(sym.Type) || inputs[sym] {
+			s.Outputs = append(s.Outputs, Output{Sym: sym})
+			continue
+		}
+		at, isArr := sym.Type.(*minic.Array)
+		if !isArr {
+			s.fail("struct output %s is not also an input", sym.Name)
+			return false
+		}
+		if wholeArrayWrite(s.Body, sym, at) {
+			s.Outputs = append(s.Outputs, Output{Sym: sym})
+			continue
+		}
+		elems, ok := a.elemOutputs(s, sym)
+		if !ok {
+			s.fail("array output %s is neither an input nor fully written", sym.Name)
+			return false
+		}
+		for _, idx := range elems {
+			s.Outputs = append(s.Outputs, Output{Sym: sym, Elem: idx})
+		}
+	}
+	return true
+}
+
+// elemOutputs collects the distinct element-store index expressions for
+// arr inside the segment body, verifying the soundness conditions: every
+// write to arr is an unconditional, top-level arr[idx] = … whose idx reads
+// only inputs/invariants, and no pointer or call may write arr.
+func (a *Analysis) elemOutputs(s *Segment, arr *minic.Symbol) ([]minic.Expr, bool) {
+	allowed := map[*minic.Symbol]bool{}
+	for _, in := range s.Inputs {
+		if in.Elem == nil {
+			allowed[in.Sym] = true
+		}
+	}
+	for _, in := range s.Invariants {
+		allowed[in] = true
+	}
+	if s.AddrVar != nil {
+		// The address-only induction variable may index element outputs:
+		// it selects locations, never values.
+		allowed[s.AddrVar] = true
+	}
+
+	// Index expressions of accepted unconditional writes, deduplicated by
+	// printed form.
+	var elems []minic.Expr
+	seen := map[string]bool{}
+	acceptedStores := map[minic.Expr]bool{}
+
+	depsOK := func(idx minic.Expr) bool {
+		ok := true
+		for _, id := range minic.Idents(idx) {
+			if id.Sym == nil || !allowed[id.Sym] {
+				ok = false
+			}
+		}
+		// Index must be side-effect free.
+		minic.InspectExprs(idx, func(e minic.Expr) bool {
+			switch e.(type) {
+			case *minic.AssignExpr, *minic.IncDec, *minic.Call:
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+
+	// Pass 1: accept unconditional top-level stores.
+	walkUnconditional(s.Body, func(st minic.Stmt) {
+		es, ok := st.(*minic.ExprStmt)
+		if !ok {
+			return
+		}
+		as, ok := es.X.(*minic.AssignExpr)
+		if !ok || as.Op != minic.Assign {
+			return
+		}
+		ix, ok := as.LHS.(*minic.Index)
+		if !ok {
+			return
+		}
+		base, ok := ix.X.(*minic.Ident)
+		if !ok || base.Sym != arr {
+			return
+		}
+		if !minic.IsScalar(ix.Type()) || !depsOK(ix.Idx) {
+			return
+		}
+		acceptedStores[as.LHS] = true
+		key := minic.PrintExpr(ix.Idx)
+		if !seen[key] {
+			seen[key] = true
+			elems = append(elems, ix.Idx)
+		}
+	})
+	if len(elems) == 0 {
+		return nil, false
+	}
+
+	// Pass 2: every other write that may touch arr disqualifies.
+	sound := true
+	minic.Inspect(s.Body, func(n minic.Node) bool {
+		if !sound {
+			return false
+		}
+		switch x := n.(type) {
+		case *minic.AssignExpr:
+			if acceptedStores[x.LHS] {
+				return true
+			}
+			if a.mayWriteSym(x.LHS, arr) {
+				sound = false
+			}
+		case *minic.IncDec:
+			if a.mayWriteSym(x.X, arr) {
+				sound = false
+			}
+		case *minic.Call:
+			if id, ok := x.Fun.(*minic.Ident); ok && id.Sym != nil &&
+				id.Sym.Kind == minic.SymFunc && id.Sym.FuncDecl == nil {
+				return true // builtin
+			}
+			for _, callee := range a.Pts.CallTargets(x) {
+				if a.Eff.FuncModRef(callee).Mod[arr] {
+					sound = false
+				}
+			}
+		}
+		return sound
+	})
+	if !sound {
+		return nil, false
+	}
+	return elems, true
+}
+
+// mayWriteSym reports whether a store through lvalue lv may modify sym.
+func (a *Analysis) mayWriteSym(lv minic.Expr, sym *minic.Symbol) bool {
+	w := dataflow.SymSet{}
+	a.collectWrite(lv, w)
+	return w[sym]
+}
+
+// wholeArrayWrite reports whether body contains an unconditional counted
+// loop (or 2-D loop nest) that assigns every element of arr.
+func wholeArrayWrite(body minic.Stmt, arr *minic.Symbol, at *minic.Array) bool {
+	found := false
+	walkUnconditional(body, func(st minic.Stmt) {
+		if found {
+			return
+		}
+		f, ok := st.(*minic.ForStmt)
+		if !ok {
+			return
+		}
+		if coversArray(f, arr, at) {
+			found = true
+		}
+	})
+	return found
+}
+
+// walkUnconditional visits statements that execute on every pass through
+// body: top-level statements and the contents of nested unconditional
+// blocks, but not branch arms or loop bodies.
+func walkUnconditional(body minic.Stmt, f func(minic.Stmt)) {
+	switch s := body.(type) {
+	case *minic.Block:
+		for _, st := range s.Stmts {
+			walkUnconditional(st, f)
+		}
+	default:
+		if body != nil {
+			f(body)
+		}
+	}
+}
+
+// coversArray checks that the counted loop f writes arr[iv] (1-D) or, via
+// a directly nested counted loop, arr[iv][jv] (2-D), covering all
+// elements.
+func coversArray(f *minic.ForStmt, arr *minic.Symbol, at *minic.Array) bool {
+	trips, ok := cost.ConstTripCount(f)
+	if !ok {
+		return false
+	}
+	iv, lo := inductionVar(f)
+	if iv == nil || lo != 0 {
+		return false
+	}
+	if inner, isNested := at.Elem.(*minic.Array); isNested {
+		if trips != int64(at.Len) {
+			return false
+		}
+		covered := false
+		walkUnconditional(f.Body, func(st minic.Stmt) {
+			nf, ok := st.(*minic.ForStmt)
+			if !ok || covered {
+				return
+			}
+			ntrips, ok := cost.ConstTripCount(nf)
+			if !ok || ntrips != int64(inner.Len) {
+				return
+			}
+			jv, jlo := inductionVar(nf)
+			if jv == nil || jlo != 0 {
+				return
+			}
+			if assignsElem2D(nf.Body, arr, iv, jv) {
+				covered = true
+			}
+		})
+		return covered
+	}
+	if trips != int64(at.Len) {
+		return false
+	}
+	return assignsElem1D(f.Body, arr, iv)
+}
+
+// inductionVar extracts the induction variable and its start value from a
+// canonical counted loop.
+func inductionVar(f *minic.ForStmt) (*minic.Symbol, int64) {
+	switch init := f.Init.(type) {
+	case *minic.DeclStmt:
+		if len(init.Decls) == 1 {
+			if lit, ok := init.Decls[0].Init.(*minic.IntLit); ok {
+				return init.Decls[0].Sym, lit.Val
+			}
+		}
+	case *minic.ExprStmt:
+		if as, ok := init.X.(*minic.AssignExpr); ok && as.Op == minic.Assign {
+			if id, ok := as.LHS.(*minic.Ident); ok {
+				if lit, ok := as.RHS.(*minic.IntLit); ok {
+					return id.Sym, lit.Val
+				}
+			}
+		}
+	}
+	return nil, 0
+}
+
+// assignsElem1D reports an unconditional assignment arr[iv] = ... in body.
+func assignsElem1D(body minic.Stmt, arr, iv *minic.Symbol) bool {
+	found := false
+	walkUnconditional(body, func(st minic.Stmt) {
+		es, ok := st.(*minic.ExprStmt)
+		if !ok || found {
+			return
+		}
+		as, ok := es.X.(*minic.AssignExpr)
+		if !ok {
+			return
+		}
+		if ix, ok := as.LHS.(*minic.Index); ok {
+			if base, ok := ix.X.(*minic.Ident); ok && base.Sym == arr {
+				if idx, ok := ix.Idx.(*minic.Ident); ok && idx.Sym == iv {
+					found = true
+				}
+			}
+		}
+	})
+	return found
+}
+
+// assignsElem2D reports an unconditional assignment arr[iv][jv] = ....
+func assignsElem2D(body minic.Stmt, arr, iv, jv *minic.Symbol) bool {
+	found := false
+	walkUnconditional(body, func(st minic.Stmt) {
+		es, ok := st.(*minic.ExprStmt)
+		if !ok || found {
+			return
+		}
+		as, ok := es.X.(*minic.AssignExpr)
+		if !ok {
+			return
+		}
+		outer, ok := as.LHS.(*minic.Index)
+		if !ok {
+			return
+		}
+		innerIx, ok := outer.X.(*minic.Index)
+		if !ok {
+			return
+		}
+		base, ok := innerIx.X.(*minic.Ident)
+		if !ok || base.Sym != arr {
+			return
+		}
+		i1, ok1 := innerIx.Idx.(*minic.Ident)
+		i2, ok2 := outer.Idx.(*minic.Ident)
+		if ok1 && ok2 && i1.Sym == iv && i2.Sym == jv {
+			found = true
+		}
+	})
+	return found
+}
+
+// addressOnly reports whether iv is used inside body exclusively as the
+// direct index of a direct array access (arr[iv]) and is never written.
+// Such a variable selects storage locations but never influences computed
+// values, so it can be excluded from the hash key (paper §3.1, array
+// reference analysis).
+func (a *Analysis) addressOnly(iv *minic.Symbol, body minic.Stmt) bool {
+	allowed := map[minic.Expr]bool{}
+	minic.InspectExprs(body, func(e minic.Expr) bool {
+		if ix, ok := e.(*minic.Index); ok {
+			if base, ok := ix.X.(*minic.Ident); ok {
+				if _, isArr := base.Sym.Type.(*minic.Array); isArr {
+					if idx, ok := ix.Idx.(*minic.Ident); ok && idx.Sym == iv {
+						allowed[ix.Idx] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	ok := true
+	minic.InspectExprs(body, func(e minic.Expr) bool {
+		switch x := e.(type) {
+		case *minic.Ident:
+			if x.Sym == iv && !allowed[e] {
+				ok = false
+			}
+		case *minic.AssignExpr:
+			if id, isID := x.LHS.(*minic.Ident); isID && id.Sym == iv {
+				ok = false
+			}
+		case *minic.IncDec:
+			if id, isID := x.X.(*minic.Ident); isID && id.Sym == iv {
+				ok = false
+			}
+		case *minic.Unary:
+			if x.Op == minic.Amp {
+				if id, isID := x.X.(*minic.Ident); isID && id.Sym == iv {
+					ok = false
+				}
+			}
+		}
+		return ok
+	})
+	return ok
+}
+
+// elementOnlyRead reports whether every access to array arr inside body is
+// the direct element arr[iv] (reads or stores) and no call or pointer may
+// touch arr. When it holds, the single element value arr[iv] is a
+// sufficient key contribution for arr.
+func (a *Analysis) elementOnlyRead(arr *minic.Symbol, iv *minic.Symbol, body minic.Stmt) bool {
+	if _, isArr := arr.Type.(*minic.Array); !isArr {
+		return false
+	}
+	ok := true
+	minic.InspectExprs(body, func(e minic.Expr) bool {
+		switch x := e.(type) {
+		case *minic.Ident:
+			if x.Sym != arr {
+				return true
+			}
+			// Every occurrence of arr must be the base of arr[iv].
+			// Validated via the Index case below by counting; here we
+			// cannot see the parent, so check the other way: collect
+			// invalid bases lazily.
+		case *minic.Index:
+			if base, isID := x.X.(*minic.Ident); isID && base.Sym == arr {
+				idx, isIdx := x.Idx.(*minic.Ident)
+				if !isIdx || idx.Sym != iv {
+					ok = false
+				}
+			}
+		case *minic.Call:
+			if id, isID := x.Fun.(*minic.Ident); isID && id.Sym != nil &&
+				id.Sym.Kind == minic.SymFunc && id.Sym.FuncDecl == nil {
+				return true
+			}
+			for _, callee := range a.Pts.CallTargets(x) {
+				mr := a.Eff.FuncModRef(callee)
+				if mr.Mod[arr] || mr.Ref[arr] {
+					ok = false
+				}
+			}
+		}
+		return ok
+	})
+	if !ok {
+		return false
+	}
+	// Every bare occurrence of arr must be an Index base: count idents vs
+	// index-bases.
+	idents, bases := 0, 0
+	minic.InspectExprs(body, func(e minic.Expr) bool {
+		if id, isID := e.(*minic.Ident); isID && id.Sym == arr {
+			idents++
+		}
+		if ix, isIx := e.(*minic.Index); isIx {
+			if base, isID := ix.X.(*minic.Ident); isID && base.Sym == arr {
+				bases++
+			}
+		}
+		return true
+	})
+	return idents == bases
+}
+
+// readAtIndex reports whether body contains a read of arr[iv].
+func (a *Analysis) readAtIndex(arr, iv *minic.Symbol, body minic.Stmt) bool {
+	found := false
+	minic.InspectExprs(body, func(e minic.Expr) bool {
+		if ix, ok := e.(*minic.Index); ok {
+			if base, ok := ix.X.(*minic.Ident); ok && base.Sym == arr {
+				if idx, ok := ix.Idx.(*minic.Ident); ok && idx.Sym == iv {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

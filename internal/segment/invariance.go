@@ -1,0 +1,261 @@
+package segment
+
+import (
+	"compreuse/internal/dataflow"
+	"compreuse/internal/minic"
+)
+
+// This file implements the paper's code coverage analysis (§2.4): "to
+// identify whether a variable is invariant in the execution of the code
+// segment, our scheme performs a code coverage analysis to find all basic
+// blocks which are in the execution paths from the first execution
+// instance to the last execution instance of the code segment. If the
+// variable remains unchanged in all these basic blocks, then it is
+// invariant for the code segment."
+//
+// Our realization over the call graph: a symbol is invariant for a segment
+// S (in function F) if every may-write of it happens strictly before any
+// instance of S can execute — i.e. writes occur only in
+//
+//   - global initializers, or
+//   - the prologue of main: the top-level statements of main preceding the
+//     first statement from which F is reachable, or
+//   - functions reachable only from that prologue.
+//
+// This covers the paper's motivating case (G721's power2 table, filled
+// once during start-up and then read by quan for the rest of the run).
+
+// InvariantFor reports whether sym is invariant across all instances of s.
+func (a *Analysis) InvariantFor(sym *minic.Symbol, s *Segment) bool {
+	// The segment's own parameters vary per instance by definition.
+	if sym.Kind == minic.SymParam && sym.Func == s.Fn {
+		return false
+	}
+	// A symbol the segment itself may write is not invariant.
+	segWrites := a.writesIn(s.Body)
+	if segWrites[sym] {
+		return false
+	}
+	// Locals of F that are written anywhere in F outside the prologue of
+	// the segment are treated as varying (a per-function code coverage
+	// analysis could refine this; the global phase analysis below handles
+	// the cases the paper exploits).
+	if (sym.Kind == minic.SymLocal) && sym.Func == s.Fn {
+		fnWrites := a.writesIn(s.Fn.Body)
+		return !fnWrites[sym]
+	}
+
+	writers := a.gdu.WritersOf(sym)
+	if len(writers) == 0 {
+		return true // only global initializers touch it
+	}
+
+	mainFn := a.Prog.Func("main")
+	if mainFn == nil || mainFn.Body == nil {
+		return false
+	}
+	prologueFns, mainPrologueLen := a.prologue(mainFn, s)
+	for _, w := range writers {
+		if w == mainFn {
+			// main itself writes sym: every such write must sit in the
+			// prologue statements.
+			for i, st := range mainFn.Body.Stmts {
+				if i < mainPrologueLen {
+					continue
+				}
+				if a.writesIn(st)[sym] {
+					return false
+				}
+			}
+			continue
+		}
+		if !prologueFns[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// prologue computes, for main and a segment, the set of functions
+// confined to main's prologue (callable only before the segment can first
+// run) and the number of top-level prologue statements in main.
+func (a *Analysis) prologue(mainFn *minic.FuncDecl, s *Segment) (map[*minic.FuncDecl]bool, int) {
+	target := s.Fn
+	// For a segment inside main itself, the first instance runs when the
+	// enclosing top-level statement runs; cut there.
+	segID := s.Body.ID()
+	if s.Parent != nil {
+		segID = s.Parent.ID()
+	}
+	containsSeg := func(st minic.Stmt) bool {
+		if target != mainFn {
+			return false
+		}
+		found := false
+		minic.InspectStmts(st, func(x minic.Stmt) bool {
+			if x.ID() == segID {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	// Find the first top-level statement of main from which the segment is
+	// reachable.
+	reachesTarget := func(st minic.Stmt) bool {
+		if containsSeg(st) {
+			return true
+		}
+		if target == mainFn {
+			return false
+		}
+		found := false
+		minic.InspectExprs(st, func(e minic.Expr) bool {
+			c, ok := e.(*minic.Call)
+			if !ok {
+				return true
+			}
+			for _, callee := range a.Pts.CallTargets(c) {
+				if callee == target || a.CG.Reachable(callee)[target] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	cut := len(mainFn.Body.Stmts)
+	for i, st := range mainFn.Body.Stmts {
+		if reachesTarget(st) {
+			cut = i
+			break
+		}
+	}
+	// Roots called at or after the cut (the "steady phase").
+	post := map[*minic.FuncDecl]bool{}
+	for i := cut; i < len(mainFn.Body.Stmts); i++ {
+		minic.InspectExprs(mainFn.Body.Stmts[i], func(e minic.Expr) bool {
+			if c, ok := e.(*minic.Call); ok {
+				for _, callee := range a.Pts.CallTargets(c) {
+					for f := range a.CG.Reachable(callee) {
+						post[f] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Prologue functions: called from the pre-cut statements and not
+	// reachable from the steady phase.
+	pro := map[*minic.FuncDecl]bool{}
+	for i := 0; i < cut; i++ {
+		minic.InspectExprs(mainFn.Body.Stmts[i], func(e minic.Expr) bool {
+			if c, ok := e.(*minic.Call); ok {
+				for _, callee := range a.Pts.CallTargets(c) {
+					for f := range a.CG.Reachable(callee) {
+						if !post[f] {
+							pro[f] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return pro, cut
+}
+
+// writesIn returns the symbols a statement subtree may write, pointer
+// stores expanded through the points-to analysis. Results are cached per
+// subtree root.
+func (a *Analysis) writesIn(body minic.Stmt) dataflow.SymSet {
+	if a.writeCache == nil {
+		a.writeCache = map[minic.Stmt]dataflow.SymSet{}
+	}
+	if w, ok := a.writeCache[body]; ok {
+		return w
+	}
+	w := dataflow.SymSet{}
+	minic.Inspect(body, func(n minic.Node) bool {
+		switch x := n.(type) {
+		case *minic.VarDecl:
+			if x.Init != nil || x.InitList != nil {
+				w[x.Sym] = true
+			}
+		case *minic.AssignExpr:
+			a.collectWrite(x.LHS, w)
+		case *minic.IncDec:
+			a.collectWrite(x.X, w)
+		case *minic.Call:
+			if id, ok := x.Fun.(*minic.Ident); ok && id.Sym != nil &&
+				id.Sym.Kind == minic.SymFunc && id.Sym.FuncDecl == nil {
+				return true // builtin
+			}
+			for _, callee := range a.Pts.CallTargets(x) {
+				for sym := range a.Eff.FuncModRef(callee).Mod {
+					w[sym] = true
+				}
+			}
+		case *minic.ReuseRegion:
+			for _, o := range x.Outputs {
+				a.collectWrite(o, w)
+			}
+		}
+		return true
+	})
+	a.writeCache[body] = w
+	return w
+}
+
+func (a *Analysis) collectWrite(lv minic.Expr, w dataflow.SymSet) {
+	switch lv := lv.(type) {
+	case *minic.Ident:
+		if lv.Sym != nil {
+			w[lv.Sym] = true
+		}
+	case *minic.Index:
+		if id, ok := lv.X.(*minic.Ident); ok && id.Sym != nil {
+			if _, isArr := id.Sym.Type.(*minic.Array); isArr {
+				w[id.Sym] = true
+				return
+			}
+			for _, sym := range a.Pts.PointsTo(id.Sym) {
+				w[sym] = true
+			}
+			return
+		}
+		for _, id := range minic.Idents(lv.X) {
+			if id.Sym == nil || id.Sym.Kind == minic.SymFunc {
+				continue
+			}
+			if _, isArr := id.Sym.Type.(*minic.Array); isArr {
+				w[id.Sym] = true
+			}
+			for _, sym := range a.Pts.PointsTo(id.Sym) {
+				w[sym] = true
+			}
+		}
+	case *minic.FieldExpr:
+		if lv.Arrow {
+			for _, id := range minic.Idents(lv.X) {
+				if id.Sym != nil && id.Sym.Kind != minic.SymFunc {
+					for _, sym := range a.Pts.PointsTo(id.Sym) {
+						w[sym] = true
+					}
+				}
+			}
+		} else {
+			a.collectWrite(lv.X, w)
+		}
+	case *minic.Unary:
+		if lv.Op == minic.Star {
+			for _, id := range minic.Idents(lv.X) {
+				if id.Sym != nil && id.Sym.Kind != minic.SymFunc {
+					for _, sym := range a.Pts.PointsTo(id.Sym) {
+						w[sym] = true
+					}
+				}
+			}
+		}
+	}
+}

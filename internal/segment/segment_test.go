@@ -1,0 +1,618 @@
+package segment
+
+import (
+	"strings"
+	"testing"
+
+	"compreuse/internal/callgraph"
+	"compreuse/internal/dataflow"
+	"compreuse/internal/minic"
+	"compreuse/internal/pointer"
+)
+
+func analyze(t *testing.T, src string) (*minic.Program, *Analysis) {
+	t.Helper()
+	prog, err := minic.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minic.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	pts := pointer.Analyze(prog)
+	cg := callgraph.Build(prog, pts)
+	eff := dataflow.ComputeEffects(prog, pts, cg)
+	return prog, Analyze(prog, pts, cg, eff, Options{})
+}
+
+func segByName(t *testing.T, a *Analysis, name string) *Segment {
+	t.Helper()
+	for _, s := range a.Segments {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("segment %s not found; have %v", name, segNames(a))
+	return nil
+}
+
+func segNames(a *Analysis) []string {
+	var out []string
+	for _, s := range a.Segments {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+const quanProg = `
+int power2[15] = {1,2,4,8,16,32,64,128,256,512,1024,2048,4096,8192,16384};
+
+int quan(int val) {
+    int i;
+    for (i = 0; i < 15; i++)
+        if (val < power2[i])
+            break;
+    return (i);
+}
+
+int main(void) {
+    int s = 0;
+    int v;
+    for (v = 0; v < 1000; v++)
+        s += quan(v & 255);
+    return s;
+}
+`
+
+func TestQuanSegmentPaperExample(t *testing.T) {
+	// The paper's Fig. 2(a): quan has one input (val), power2 recognized
+	// invariant, one output (i).
+	_, a := analyze(t, quanProg)
+	s := segByName(t, a, "quan@func")
+	if !s.Eligible {
+		t.Fatalf("quan@func ineligible: %s", s.Reason)
+	}
+	if got := inNames(s.Inputs); len(got) != 1 || got[0] != "val" {
+		t.Fatalf("inputs = %v, want [val]", got)
+	}
+	if got := names(s.Invariants); len(got) != 1 || got[0] != "power2" {
+		t.Fatalf("invariants = %v, want [power2]", got)
+	}
+	if got := outNames(s.Outputs); len(got) != 1 || got[0] != "i" {
+		t.Fatalf("outputs = %v, want [i]", got)
+	}
+	if s.RetOut == nil || s.RetOut.Name != "i" {
+		t.Fatalf("RetOut = %v", s.RetOut)
+	}
+	if s.KeyBytes != 4 || s.OutBytes != 4 {
+		t.Fatalf("sizes: key=%d out=%d, want 4/4", s.KeyBytes, s.OutBytes)
+	}
+	if !s.RatioOK() {
+		t.Fatalf("quan must pass the O/C filter: C=[%d,%d] O=%d", s.CMin, s.CMax, s.Overhead)
+	}
+}
+
+func TestEnumerationCounts(t *testing.T) {
+	_, a := analyze(t, quanProg)
+	// quan: func body, 1 loop, 1 if-then = 3; main: func body, 1 loop = 2.
+	kinds := map[string]int{}
+	for _, s := range a.Segments {
+		kinds[s.Kind.String()]++
+	}
+	if kinds["func"] != 2 || kinds["loop"] != 2 || kinds["if"] != 1 {
+		t.Fatalf("segment kinds: %v", kinds)
+	}
+}
+
+func TestInvariantWrittenInMainPrologue(t *testing.T) {
+	// The table is built at the start of main, then the kernel loop runs:
+	// code coverage analysis must still see table as invariant.
+	_, a := analyze(t, `
+int table[16];
+int kernel(int v) {
+    int r = 0;
+    int i;
+    for (i = 0; i < 16; i++)
+        if (v > table[i]) r = i;
+    return r;
+}
+int main(void) {
+    int i;
+    for (i = 0; i < 16; i++)
+        table[i] = i * i;         // prologue: before kernel is reachable
+    int s = 0;
+    int v;
+    for (v = 0; v < 100; v++)
+        s += kernel(v);
+    return s;
+}`)
+	s := segByName(t, a, "kernel@func")
+	if !s.Eligible {
+		t.Fatalf("ineligible: %s", s.Reason)
+	}
+	if got := names(s.Invariants); len(got) != 1 || got[0] != "table" {
+		t.Fatalf("invariants = %v, want [table]", got)
+	}
+	if got := inNames(s.Inputs); len(got) != 1 || got[0] != "v" {
+		t.Fatalf("inputs = %v, want [v]", got)
+	}
+}
+
+func TestNotInvariantWhenWrittenInSteadyPhase(t *testing.T) {
+	_, a := analyze(t, `
+int table[16];
+int kernel(int v) {
+    int r = 0;
+    int i;
+    for (i = 0; i < 16; i++)
+        if (v > table[i]) r = i;
+    return r;
+}
+int main(void) {
+    int s = 0;
+    int v;
+    for (v = 0; v < 100; v++) {
+        table[v & 15] = v;        // mutates between kernel instances
+        s += kernel(v);
+    }
+    return s;
+}`)
+	s := segByName(t, a, "kernel@func")
+	if !s.Eligible {
+		t.Fatalf("ineligible: %s", s.Reason)
+	}
+	got := inNames(s.Inputs)
+	if len(got) != 2 || got[0] != "v" || got[1] != "table" {
+		t.Fatalf("inputs = %v, want [v table] (table varies)", got)
+	}
+}
+
+func TestEarlyReturnIneligible(t *testing.T) {
+	_, a := analyze(t, `
+int f(int x) {
+    if (x > 0) return 1;
+    return 0;
+}
+int main(void) { return f(3); }`)
+	s := segByName(t, a, "f@func")
+	if s.Eligible {
+		t.Fatal("early-return function body must be ineligible")
+	}
+	if !strings.Contains(s.Reason, "return") {
+		t.Fatalf("reason: %s", s.Reason)
+	}
+}
+
+func TestLoopBodySegment(t *testing.T) {
+	// UNEPIC-style: the loop body is the candidate, one int in, one out.
+	_, a := analyze(t, `
+int out[64];
+int main(void) {
+    int i;
+    for (i = 0; i < 64; i++) {
+        int v = i & 7;
+        int r = 0;
+        int k;
+        for (k = 0; k < v; k++)
+            r += k * k;
+        out[i] = r;
+    }
+    int s = 0;
+    for (i = 0; i < 64; i++) s += out[i];
+    return s;
+}`)
+	s := segByName(t, a, "main@loop1")
+	if !s.Eligible {
+		t.Fatalf("loop body ineligible: %s", s.Reason)
+	}
+	if got := inNames(s.Inputs); len(got) != 1 || got[0] != "i" {
+		t.Fatalf("inputs = %v, want [i]", got)
+	}
+	// The array reference analysis reduces the out[] write to an element
+	// output out[i].
+	if got := outNames(s.Outputs); len(got) != 1 || got[0] != "out[i]" {
+		t.Fatalf("outputs = %v, want [out[i]]", got)
+	}
+}
+
+func TestBreakingLoopBodyIneligible(t *testing.T) {
+	_, a := analyze(t, `
+int main(void) {
+    int i;
+    int s = 0;
+    for (i = 0; i < 64; i++) {
+        if (i == 9) break;
+        s += i;
+    }
+    return s;
+}`)
+	s := segByName(t, a, "main@loop1")
+	if s.Eligible {
+		t.Fatal("loop body with break must be ineligible")
+	}
+}
+
+func TestPointerInputIneligible(t *testing.T) {
+	// The original 3-parameter quan: the table parameter varies per call
+	// site from the analysis's perspective (it is a parameter), making a
+	// pointer input — ineligible until specialization (§2.4).
+	_, a := analyze(t, `
+int power2[15] = {1,2,4,8,16,32,64,128,256,512,1024,2048,4096,8192,16384};
+int quan(int val, int *table, int size) {
+    int i;
+    for (i = 0; i < size; i++)
+        if (val < table[i])
+            break;
+    return (i);
+}
+int main(void) { return quan(100, power2, 15); }`)
+	s := segByName(t, a, "quan@func")
+	if s.Eligible {
+		t.Fatalf("pointer-input segment must be ineligible, inputs=%v", inNames(s.Inputs))
+	}
+	if !strings.Contains(s.Reason, "non-encodable") {
+		t.Fatalf("reason: %s", s.Reason)
+	}
+}
+
+func TestWholeArrayOutputAccepted(t *testing.T) {
+	// MPEG2-style: output block fully written by counted loops.
+	_, a := analyze(t, `
+float in[8];
+float outv[8];
+int transform(void) {
+    int i;
+    for (i = 0; i < 8; i++)
+        outv[i] = in[i] * 2.0 + 1.0;
+    return 0;
+}
+int main(void) {
+    int k;
+    int s = 0;
+    for (k = 0; k < 10; k++) {
+        in[k & 7] = (float)k;
+        s += transform();
+        s += (int)outv[0];
+    }
+    return s;
+}`)
+	s := segByName(t, a, "transform@func")
+	if !s.Eligible {
+		t.Fatalf("ineligible: %s", s.Reason)
+	}
+	inNames := inNames(s.Inputs)
+	if len(inNames) != 1 || inNames[0] != "in" {
+		t.Fatalf("inputs = %v, want [in]", inNames)
+	}
+	if got := outNames(s.Outputs); len(got) != 1 || got[0] != "outv" {
+		t.Fatalf("outputs = %v, want [outv]", got)
+	}
+	if s.KeyBytes != 8*8 {
+		t.Fatalf("key bytes = %d, want 64 (8 floats)", s.KeyBytes)
+	}
+}
+
+func TestPartialArrayOutputRejected(t *testing.T) {
+	_, a := analyze(t, `
+int data[8];
+int poke(int v) {
+    int r = 0;
+    if (v > 3)
+        data[v & 7] = v;   // conditional element write: unsound to memoize
+    r = v * 2;
+    return r;
+}
+int main(void) {
+    int s = 0;
+    int k;
+    for (k = 0; k < 10; k++) { s += poke(k); s += data[0]; }
+    return s;
+}`)
+	s := segByName(t, a, "poke@func")
+	// data is written conditionally: on the recorded run the element may
+	// keep its pre-state, which is not part of the key -> ineligible.
+	if s.Eligible {
+		t.Fatalf("partial array output must be rejected, outputs=%v", outNames(s.Outputs))
+	}
+}
+
+func TestArrayInputAndOutputAccepted(t *testing.T) {
+	// In-place update: the array is both input (read) and output (written).
+	_, a := analyze(t, `
+int buf[4];
+int scale(void) {
+    int i;
+    for (i = 0; i < 4; i++)
+        buf[i] = buf[i] * 3;
+    return 0;
+}
+int main(void) {
+    buf[0] = 5;
+    int r = scale();
+    return buf[0] + r;
+}`)
+	s := segByName(t, a, "scale@func")
+	if !s.Eligible {
+		t.Fatalf("ineligible: %s", s.Reason)
+	}
+	if got := inNames(s.Inputs); len(got) != 1 || got[0] != "buf" {
+		t.Fatalf("inputs = %v", got)
+	}
+	if got := outNames(s.Outputs); len(got) != 1 || got[0] != "buf" {
+		t.Fatalf("outputs = %v", got)
+	}
+}
+
+func TestGlobalOutputLiveness(t *testing.T) {
+	// A global written by the segment but never read elsewhere is not an
+	// output.
+	_, a := analyze(t, `
+int sink;
+int live;
+int f(int v) {
+    int r = v * 2;
+    sink = r;     // never read anywhere: dead
+    live = r;     // read by main: output
+    return r;
+}
+int main(void) { return f(3) + live; }`)
+	s := segByName(t, a, "f@func")
+	if !s.Eligible {
+		t.Fatalf("ineligible: %s", s.Reason)
+	}
+	got := outNames(s.Outputs)
+	hasLive, hasSink := false, false
+	for _, n := range got {
+		if n == "live" {
+			hasLive = true
+		}
+		if n == "sink" {
+			hasSink = true
+		}
+	}
+	if !hasLive || hasSink {
+		t.Fatalf("outputs = %v, want live but not sink", got)
+	}
+}
+
+func TestCandidatesFilter(t *testing.T) {
+	// A tiny segment (O >= C) must be filtered out of profiling candidates.
+	_, a := analyze(t, `
+int tiny(int x) {
+    int r = x + 1;
+    return r;
+}
+int main(void) { return tiny(4); }`)
+	s := segByName(t, a, "tiny@func")
+	if !s.Eligible {
+		t.Fatalf("tiny should be structurally eligible: %s", s.Reason)
+	}
+	if s.RatioOK() {
+		t.Fatalf("tiny must fail O/C: C=%d O=%d", s.CMax, s.Overhead)
+	}
+	for _, c := range a.Candidates() {
+		if c.Name == "tiny@func" {
+			t.Fatal("tiny must not be a profiling candidate")
+		}
+	}
+}
+
+func TestInputOrderingDeterministic(t *testing.T) {
+	_, a := analyze(t, `
+int gb;
+int ga;
+int f(int p2, int p1) {
+    int r = p2 + p1 + ga + gb;
+    return r;
+}
+int main(void) { ga = 1; gb = 2; return f(3, 4); }`)
+	s := segByName(t, a, "f@func")
+	// ga/gb are written only in main's prologue: the code coverage
+	// analysis proves them invariant, so the key is just the parameters,
+	// ordered by slot (p2 then p1).
+	got := inNames(s.Inputs)
+	want := []string{"p2", "p1"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("inputs = %v, want %v", got, want)
+	}
+	inv := names(s.Invariants)
+	if len(inv) != 2 {
+		t.Fatalf("invariants = %v, want [ga gb]", inv)
+	}
+}
+
+func TestElementInputUNEPICPattern(t *testing.T) {
+	// The UNEPIC shape: the loop body reads coef[i] and writes image[i],
+	// with i used only as an index. The array reference analysis reduces
+	// the key to the single element value coef[i] ("a single input
+	// variable and a single output variable, both integers").
+	_, a := analyze(t, `
+int coef[128];
+int image[128];
+int main(void) {
+    int i;
+    for (i = 0; i < 128; i++)
+        coef[i] = (i * 7) & 15;
+    for (i = 0; i < 128; i++) {
+        int c = coef[i];
+        int r = 0;
+        int k;
+        for (k = 0; k < 12; k++)
+            r += (c << 1) ^ (r + k);
+        image[i] = r;
+    }
+    int s = 0;
+    for (i = 0; i < 128; i++) s += image[i];
+    return s;
+}`)
+	s := segByName(t, a, "main@loop2")
+	if !s.Eligible {
+		t.Fatalf("ineligible: %s", s.Reason)
+	}
+	if got := inNames(s.Inputs); len(got) != 1 || got[0] != "coef[i]" {
+		t.Fatalf("inputs = %v, want [coef[i]]", got)
+	}
+	if got := outNames(s.Outputs); len(got) != 1 || got[0] != "image[i]" {
+		t.Fatalf("outputs = %v, want [image[i]]", got)
+	}
+	if s.KeyBytes != 4 || s.OutBytes != 4 {
+		t.Fatalf("sizes: %d/%d, want 4/4", s.KeyBytes, s.OutBytes)
+	}
+	if s.AddrVar == nil || s.AddrVar.Name != "i" {
+		t.Fatalf("AddrVar = %v", s.AddrVar)
+	}
+}
+
+func TestElementInputRejectedWhenIndexComputes(t *testing.T) {
+	// If the induction variable feeds a computed value, it is not
+	// address-only and must stay in the key.
+	_, a := analyze(t, `
+int coef[64];
+int image[64];
+int main(void) {
+    int i;
+    for (i = 0; i < 64; i++) {
+        int c = coef[i];
+        image[i] = c + i;     // i contributes a VALUE here
+    }
+    int s = 0;
+    for (i = 0; i < 64; i++) s += image[i];
+    return s;
+}`)
+	s := segByName(t, a, "main@loop1")
+	if s.AddrVar != nil {
+		t.Fatal("i is not address-only (used as a value)")
+	}
+	// The loop variable must therefore be a key input.
+	foundI := false
+	for _, in := range s.Inputs {
+		if in.Sym.Name == "i" && in.Elem == nil {
+			foundI = true
+		}
+	}
+	if s.Eligible && !foundI {
+		t.Fatalf("inputs = %v must include i", inNames(s.Inputs))
+	}
+}
+
+func TestGlobalMutatedAroundMainSegmentNotInvariant(t *testing.T) {
+	// g is written inside main's steady loop, outside the segment: it
+	// varies between instances and must be a key input.
+	_, a := analyze(t, `
+int g;
+int out[32];
+int main(void) {
+    g = 1;
+    int i;
+    for (i = 0; i < 32; i++) {
+        g = (g * 5 + 1) & 7;
+        int j;
+        for (j = 0; j < 4; j++) {
+            int r = 0;
+            int k;
+            for (k = 0; k < 10; k++)
+                r += g * k;
+            out[(i * 4 + j) & 31] = r;
+        }
+    }
+    int s = 0;
+    for (i = 0; i < 32; i++) s += out[i];
+    return s;
+}`)
+	s := segByName(t, a, "main@loop2")
+	if !s.Eligible {
+		t.Fatalf("ineligible: %s", s.Reason)
+	}
+	hasG := false
+	for _, in := range s.Inputs {
+		if in.Sym.Name == "g" {
+			hasG = true
+		}
+	}
+	if !hasG {
+		t.Fatalf("inputs = %v must include g (mutated in steady phase)", inNames(s.Inputs))
+	}
+}
+
+func analyzeSub(t *testing.T, src string) (*minic.Program, *Analysis) {
+	t.Helper()
+	prog, err := minic.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minic.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	pts := pointer.Analyze(prog)
+	cg := callgraph.Build(prog, pts)
+	eff := dataflow.ComputeEffects(prog, pts, cg)
+	return prog, Analyze(prog, pts, cg, eff, Options{SubBlocks: true})
+}
+
+// partialSrc has a function whose body is only PARTIALLY reusable: the
+// prefix computes from the argument, the suffix mixes in a global counter
+// that varies every call. The whole-function segment is unprofitable, but
+// the sub-block extension carves out the prefix.
+const partialSrc = `
+int tick;
+int weights[16] = {3,1,4,1,5,9,2,6,5,3,5,8,9,7,9,3};
+int f(int v) {
+    int heavy = 0;
+    int k;
+    for (k = 0; k < 16; k++)
+        heavy += weights[k] * ((v >> (k & 3)) + 1);
+    int seq = tick;
+    tick = tick + 1;
+    int r = heavy + (seq & 1);
+    return r;
+}
+int main(void) {
+    int s = 0;
+    int i;
+    for (i = 0; i < 400; i++)
+        s = (s + f(i & 7)) & 16777215;
+    return s;
+}
+`
+
+func TestSubBlockEnumeration(t *testing.T) {
+	_, a := analyzeSub(t, partialSrc)
+	// Among the enumerated sub-blocks of f there must be the reusable
+	// prefix: keyed on v alone (the maximal run also exists but keys on
+	// the varying tick too).
+	foundPrefix := false
+	for _, s := range a.Segments {
+		if s.Kind != SubBlock || s.Fn.Name != "f" || !s.Eligible {
+			continue
+		}
+		hasV, hasTick := false, false
+		for _, in := range s.Inputs {
+			if in.Sym.Name == "v" {
+				hasV = true
+			}
+			if in.Sym.Name == "tick" {
+				hasTick = true
+			}
+		}
+		if hasV && !hasTick {
+			foundPrefix = true
+		}
+	}
+	if !foundPrefix {
+		for _, s := range a.Segments {
+			if s.Kind == SubBlock {
+				t.Logf("%s eligible=%v reason=%s in=%v", s.Name, s.Eligible, s.Reason, inNames(s.Inputs))
+			}
+		}
+		t.Fatal("no prefix sub-block keyed on v alone")
+	}
+}
+
+func TestSubBlocksDisabledByDefault(t *testing.T) {
+	_, a := analyze(t, partialSrc)
+	for _, s := range a.Segments {
+		if s.Kind == SubBlock {
+			t.Fatal("sub-blocks must be opt-in")
+		}
+	}
+}

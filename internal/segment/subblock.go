@@ -1,0 +1,127 @@
+package segment
+
+import (
+	"fmt"
+
+	"compreuse/internal/minic"
+)
+
+// Sub-block segments implement the paper's stated future work (§5): "a
+// candidate code segment can be a part of a loop body, a function body, or
+// an IF branch, instead of the entire body. How to identify the most
+// cost-effective part remains our future work."
+//
+// Our heuristic enumerates, inside every block, the maximal runs of
+// consecutive statements with no escaping control flow that (a) contain at
+// least one loop or branch (otherwise the granularity cannot beat the
+// hashing overhead) and (b) do not cover the whole block (that candidate
+// already exists as the enclosing segment). Each run becomes a SubBlock
+// segment; the usual input/output analysis, cost filters, profiling and
+// formula-(4) nesting resolution then pick the most cost-effective parts
+// exactly as for the paper's three segment shapes.
+
+// enumerateSubBlocks adds SubBlock candidates for fn. anchorID tracks the
+// innermost node whose execution-frequency count equals "this code runs
+// once": the function itself, an enclosing loop, or an enclosing branch.
+func (a *Analysis) enumerateSubBlocks(fn *minic.FuncDecl) {
+	seq := 0
+	var walk func(s minic.Stmt, anchor int)
+	walk = func(s minic.Stmt, anchor int) {
+		switch s := s.(type) {
+		case *minic.Block:
+			a.subBlockRuns(fn, s, anchor, &seq)
+			for _, st := range s.Stmts {
+				walk(st, anchor)
+			}
+		case *minic.IfStmt:
+			walk(s.Then, s.Then.ID())
+			if s.Else != nil {
+				walk(s.Else, s.Else.ID())
+			}
+		case *minic.WhileStmt:
+			walk(s.Body, s.ID())
+		case *minic.ForStmt:
+			if s.Init != nil {
+				walk(s.Init, anchor)
+			}
+			walk(s.Body, s.ID())
+		}
+	}
+	walk(fn.Body, fn.ID())
+}
+
+// subBlockRuns emits candidate runs of blk: for each maximal escape-free
+// run, the run itself plus the prefixes ending after — and suffixes
+// starting at — its control statements (loops/branches carry the
+// granularity, so those boundaries are where cost-effectiveness changes).
+func (a *Analysis) subBlockRuns(fn *minic.FuncDecl, blk *minic.Block, anchor int, seq *int) {
+	n := len(blk.Stmts)
+	const maxPerBlock = 8
+	emitted := 0
+	seen := map[[2]int]bool{}
+
+	emit := func(i, j int) {
+		if j-i < 2 || (i == 0 && j == n) || emitted >= maxPerBlock || seen[[2]int{i, j}] {
+			return
+		}
+		run := blk.Stmts[i:j]
+		if !hasControlWork(run) {
+			return
+		}
+		seen[[2]int{i, j}] = true
+		emitted++
+		*seq++
+		a.Segments = append(a.Segments, &Segment{
+			Kind: SubBlock, Fn: fn, Body: a.Prog.NewBlock(run...),
+			Name:        fmt.Sprintf("%s@sub%d", fn.Name, *seq),
+			FreqID:      anchor,
+			ParentBlock: blk,
+			RunStart:    i,
+			RunEnd:      j,
+		})
+	}
+
+	i := 0
+	for i < n {
+		// Grow the maximal escape-free run.
+		j := i
+		for j < n && escapeKind(blk.Stmts[j]) == "" {
+			j++
+		}
+		emit(i, j)
+		for p := i; p < j; p++ {
+			switch blk.Stmts[p].(type) {
+			case *minic.ForStmt, *minic.WhileStmt, *minic.IfStmt:
+				emit(i, p+1) // prefix through this control statement
+				emit(p, j)   // suffix from it
+			}
+		}
+		if j == i {
+			j++ // skip the escaping statement
+		}
+		i = j
+	}
+}
+
+// hasControlWork reports whether the run contains a loop or branch — the
+// cheap structural proxy for "enough granularity to be worth profiling".
+func hasControlWork(run []minic.Stmt) bool {
+	for _, s := range run {
+		switch s.(type) {
+		case *minic.ForStmt, *minic.WhileStmt, *minic.IfStmt:
+			return true
+		}
+		// A call may hide arbitrary work.
+		found := false
+		minic.InspectExprs(s, func(e minic.Expr) bool {
+			if _, ok := e.(*minic.Call); ok {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

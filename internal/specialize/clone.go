@@ -1,0 +1,183 @@
+package specialize
+
+import (
+	"compreuse/internal/minic"
+)
+
+// cloner deep-copies a function body into a new function, remapping local
+// symbols and substituting specialized parameters with literal or global
+// expressions. All created nodes get fresh program-unique ids.
+type cloner struct {
+	prog *minic.Program
+	fn   *minic.FuncDecl
+	// symMap maps old locals/params to their clones.
+	symMap map[*minic.Symbol]*minic.Symbol
+	// subst replaces uses of specialized-away parameters; called per use
+	// so each occurrence gets fresh node ids.
+	subst map[*minic.Symbol]func() minic.Expr
+}
+
+func (c *cloner) mapSym(old *minic.Symbol) *minic.Symbol {
+	if old == nil {
+		return nil
+	}
+	if ns, ok := c.symMap[old]; ok {
+		return ns
+	}
+	switch old.Kind {
+	case minic.SymGlobal, minic.SymFunc:
+		return old
+	}
+	// A local encountered before its declaration clone (shouldn't happen
+	// in well-formed code, but declarations inside for-inits are cloned in
+	// order); create eagerly.
+	ns := &minic.Symbol{
+		Name: old.Name, Kind: old.Kind, Type: old.Type,
+		Slot: c.fn.FrameWords, Func: c.fn, AddrTaken: old.AddrTaken,
+	}
+	c.fn.FrameWords += old.Type.Words()
+	c.symMap[old] = ns
+	return ns
+}
+
+func (c *cloner) cloneStmt(s minic.Stmt) minic.Stmt {
+	if s == nil {
+		return nil
+	}
+	switch s := s.(type) {
+	case *minic.Block:
+		b := c.prog.NewBlock()
+		for _, st := range s.Stmts {
+			b.Stmts = append(b.Stmts, c.cloneStmt(st))
+		}
+		return b
+	case *minic.DeclStmt:
+		var decls []*minic.VarDecl
+		for _, d := range s.Decls {
+			nd := c.prog.NewVarDecl(d.Name, d.Type, nil)
+			nd.Sym = c.mapSym(d.Sym)
+			if d.Init != nil {
+				nd.Init = c.cloneExpr(d.Init)
+			}
+			for _, e := range d.InitList {
+				nd.InitList = append(nd.InitList, c.cloneExpr(e))
+			}
+			decls = append(decls, nd)
+		}
+		return c.prog.NewDeclStmt(decls...)
+	case *minic.ExprStmt:
+		return c.prog.NewExprStmt(c.cloneExpr(s.X))
+	case *minic.IfStmt:
+		n := &minic.IfStmt{Cond: c.cloneExpr(s.Cond), Then: c.cloneStmt(s.Then)}
+		if s.Else != nil {
+			n.Else = c.cloneStmt(s.Else)
+		}
+		return c.withStmtID(n)
+	case *minic.WhileStmt:
+		n := &minic.WhileStmt{Cond: c.cloneExpr(s.Cond), Body: c.cloneStmt(s.Body), DoWhile: s.DoWhile}
+		return c.withStmtID(n)
+	case *minic.ForStmt:
+		n := &minic.ForStmt{}
+		if s.Init != nil {
+			n.Init = c.cloneStmt(s.Init)
+		}
+		if s.Cond != nil {
+			n.Cond = c.cloneExpr(s.Cond)
+		}
+		if s.Post != nil {
+			n.Post = c.cloneExpr(s.Post)
+		}
+		n.Body = c.cloneStmt(s.Body)
+		return c.withStmtID(n)
+	case *minic.BreakStmt:
+		return c.withStmtID(&minic.BreakStmt{})
+	case *minic.ContinueStmt:
+		return c.withStmtID(&minic.ContinueStmt{})
+	case *minic.ReturnStmt:
+		n := &minic.ReturnStmt{}
+		if s.X != nil {
+			n.X = c.cloneExpr(s.X)
+		}
+		return c.withStmtID(n)
+	case *minic.EmptyStmt:
+		return c.withStmtID(&minic.EmptyStmt{})
+	case *minic.ReuseRegion:
+		n := c.prog.NewReuseRegion(s.TableID, s.SegBit, s.SegName)
+		for _, e := range s.Inputs {
+			n.Inputs = append(n.Inputs, c.cloneExpr(e))
+		}
+		n.Body = c.cloneStmt(s.Body)
+		for _, e := range s.Outputs {
+			n.Outputs = append(n.Outputs, c.cloneExpr(e))
+		}
+		return n
+	}
+	panic("specialize: unhandled statement in clone")
+}
+
+// withStmtID assigns a fresh id to a synthesized statement.
+func (c *cloner) withStmtID(s minic.Stmt) minic.Stmt {
+	c.prog.AssignID(s)
+	return s
+}
+
+func (c *cloner) cloneExpr(e minic.Expr) minic.Expr {
+	if e == nil {
+		return nil
+	}
+	if id, ok := e.(*minic.Ident); ok && id.Sym != nil {
+		if mk, ok := c.subst[id.Sym]; ok {
+			return mk()
+		}
+		return c.prog.NewIdent(c.mapSym(id.Sym))
+	}
+	// CloneExpr copies structure; then rebind nested identifiers.
+	out := c.prog.CloneExpr(e)
+	c.rebind(&out)
+	return out
+}
+
+// rebind walks a cloned expression, replacing identifier symbols through
+// the map and applying parameter substitutions in place.
+func (c *cloner) rebind(ep *minic.Expr) {
+	switch x := (*ep).(type) {
+	case *minic.Ident:
+		if x.Sym == nil {
+			return
+		}
+		if mk, ok := c.subst[x.Sym]; ok {
+			*ep = mk()
+			return
+		}
+		ns := c.mapSym(x.Sym)
+		if ns != x.Sym {
+			*ep = c.prog.NewIdent(ns)
+		}
+	case *minic.Unary:
+		c.rebind(&x.X)
+	case *minic.IncDec:
+		c.rebind(&x.X)
+	case *minic.Binary:
+		c.rebind(&x.X)
+		c.rebind(&x.Y)
+	case *minic.AssignExpr:
+		c.rebind(&x.LHS)
+		c.rebind(&x.RHS)
+	case *minic.Cond:
+		c.rebind(&x.Cond)
+		c.rebind(&x.Then)
+		c.rebind(&x.Else)
+	case *minic.Call:
+		c.rebind(&x.Fun)
+		for i := range x.Args {
+			c.rebind(&x.Args[i])
+		}
+	case *minic.Index:
+		c.rebind(&x.X)
+		c.rebind(&x.Idx)
+	case *minic.FieldExpr:
+		c.rebind(&x.X)
+	case *minic.Cast:
+		c.rebind(&x.X)
+	}
+}

@@ -1,0 +1,266 @@
+package specialize
+
+import (
+	"strings"
+	"testing"
+
+	"compreuse/internal/callgraph"
+	"compreuse/internal/dataflow"
+	"compreuse/internal/interp"
+	"compreuse/internal/minic"
+	"compreuse/internal/pointer"
+	"compreuse/internal/segment"
+)
+
+func compile(t *testing.T, src string) *minic.Program {
+	t.Helper()
+	prog, err := minic.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := minic.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func runPass(t *testing.T, prog *minic.Program) *Result {
+	t.Helper()
+	pts := pointer.Analyze(prog)
+	cg := callgraph.Build(prog, pts)
+	eff := dataflow.ComputeEffects(prog, pts, cg)
+	return Run(prog, pts, cg, eff, Options{})
+}
+
+// quan3Src is the paper's Figure 4: the original three-parameter quan.
+const quan3Src = `
+int power2[15] = {1,2,4,8,16,32,64,128,256,512,1024,2048,4096,8192,16384};
+
+int quan(int val, int *table, int size) {
+    int i;
+    for (i = 0; i < size; i++)
+        if (val < table[i])
+            break;
+    return (i);
+}
+
+int main(void) {
+    int s = 0;
+    int v;
+    for (v = 0; v < 500; v++)
+        s += quan((v * 19) & 511, power2, 15);
+    for (v = 0; v < 100; v++)
+        s += quan(v, power2, 15);
+    return s;
+}
+`
+
+func TestQuanSpecializationPaperFig4(t *testing.T) {
+	orig := compile(t, quan3Src)
+	want, err := interp.Run(orig, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prog := compile(t, quan3Src)
+	res := runPass(t, prog)
+	if len(res.Created) != 1 {
+		t.Fatalf("created %d specializations, want 1", len(res.Created))
+	}
+	spec := res.Created[0]
+	if len(spec.Params) != 1 || spec.Params[0].Name != "val" {
+		t.Fatalf("specialized params: %v", spec.Params)
+	}
+	if res.Redirected != 2 {
+		t.Fatalf("redirected %d call sites, want 2", res.Redirected)
+	}
+	got, err := interp.Run(prog, interp.Options{})
+	if err != nil {
+		t.Fatalf("specialized run: %v\n%s", err, minic.Print(prog))
+	}
+	if got.Ret != want.Ret {
+		t.Fatalf("results differ: %d vs %d", got.Ret, want.Ret)
+	}
+	// The printed program calls the specialized version.
+	out := minic.Print(prog)
+	if !strings.Contains(out, spec.Name+"(") {
+		t.Fatalf("call sites not redirected:\n%s", out)
+	}
+}
+
+func TestSpecializedSegmentBecomesEligible(t *testing.T) {
+	// The paper's point: before specialization quan's segment is
+	// ineligible (pointer input); after, it has a single int input.
+	prog := compile(t, quan3Src)
+	res := runPass(t, prog)
+	if len(res.Created) != 1 {
+		t.Fatal("no specialization created")
+	}
+	pts := pointer.Analyze(prog)
+	cg := callgraph.Build(prog, pts)
+	eff := dataflow.ComputeEffects(prog, pts, cg)
+	an := segment.Analyze(prog, pts, cg, eff, segment.Options{})
+	var seg *segment.Segment
+	for _, s := range an.Segments {
+		if s.Fn == res.Created[0] && s.Kind == segment.FuncBody {
+			seg = s
+		}
+	}
+	if seg == nil {
+		t.Fatal("no segment for specialized function")
+	}
+	if !seg.Eligible {
+		t.Fatalf("specialized segment ineligible: %s", seg.Reason)
+	}
+	if len(seg.Inputs) != 1 || seg.Inputs[0].Sym.Name != "val" {
+		var names []string
+		for _, in := range seg.Inputs {
+			names = append(names, in.String())
+		}
+		t.Fatalf("inputs = %v, want [val]", names)
+	}
+	if seg.KeyBytes != 4 {
+		t.Fatalf("key bytes = %d, want 4", seg.KeyBytes)
+	}
+}
+
+func TestPartialAgreementSpecializesMajority(t *testing.T) {
+	// One call site disagrees: the two agreeing sites are redirected, the
+	// odd one keeps calling the original.
+	src := `
+int tabA[4] = {1, 2, 3, 4};
+int tabB[4] = {9, 8, 7, 6};
+int pick(int v, int *tab) {
+    int r = 0;
+    int k;
+    for (k = 0; k < 4; k++)
+        if (tab[k] > v) r = k;
+    return r;
+}
+int main(void) {
+    int s = 0;
+    s += pick(1, tabA);
+    s += pick(2, tabA);
+    s += pick(3, tabB);
+    return s;
+}
+`
+	orig := compile(t, src)
+	want, err := interp.Run(orig, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := compile(t, src)
+	res := runPass(t, prog)
+	if len(res.Created) != 1 {
+		t.Fatalf("created = %d", len(res.Created))
+	}
+	if res.Redirected != 2 {
+		t.Fatalf("redirected = %d, want 2 (majority group)", res.Redirected)
+	}
+	got, err := interp.Run(prog, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ret != want.Ret {
+		t.Fatalf("results differ: %d vs %d", got.Ret, want.Ret)
+	}
+}
+
+func TestNoSpecializationWhenArgsVary(t *testing.T) {
+	src := `
+int f(int a, int b) { return a * b; }
+int main(void) {
+    int s = 0;
+    int i;
+    for (i = 0; i < 4; i++)
+        s += f(i, i + 1);   // both args vary
+    return s;
+}
+`
+	prog := compile(t, src)
+	res := runPass(t, prog)
+	if len(res.Created) != 0 {
+		t.Fatalf("unexpected specialization: %v", res.Created)
+	}
+}
+
+func TestMutableGlobalNotSpecialized(t *testing.T) {
+	src := `
+int tab[4];
+int f(int v, int *p) { return p[v & 3]; }
+int main(void) {
+    int s = 0;
+    int i;
+    for (i = 0; i < 4; i++) {
+        tab[i] = i;        // tab is written: not invariant
+        s += f(i, tab);
+    }
+    return s;
+}
+`
+	prog := compile(t, src)
+	res := runPass(t, prog)
+	if len(res.Created) != 0 {
+		t.Fatalf("mutable global must not be specialized away: %v", res.Created)
+	}
+}
+
+func TestRecursiveFunctionNotSpecialized(t *testing.T) {
+	src := `
+int w[4] = {1, 2, 3, 4};
+int rec(int n, int *p) {
+    if (n <= 0) return 0;
+    return p[n & 3] + rec(n - 1, p);
+}
+int main(void) { return rec(10, w); }
+`
+	prog := compile(t, src)
+	res := runPass(t, prog)
+	if len(res.Created) != 0 {
+		t.Fatalf("recursive function must not be specialized: %v", res.Created)
+	}
+}
+
+func TestSpecializedCloneIsIndependent(t *testing.T) {
+	// Mutating behavior via the clone must not disturb the original
+	// function's symbols (separate frames, separate locals).
+	src := `
+int base[2] = {5, 10};
+int get(int i, int *p, int scale) {
+    int r = p[i & 1] * scale;
+    return r;
+}
+int main(void) {
+    int a = get(0, base, 3);   // specialized
+    int b = get(1, base, 3);   // specialized
+    return a * 100 + b;
+}
+`
+	orig := compile(t, src)
+	want, err := interp.Run(orig, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := compile(t, src)
+	res := runPass(t, prog)
+	if len(res.Created) != 1 {
+		t.Fatalf("created = %d", len(res.Created))
+	}
+	got, err := interp.Run(prog, interp.Options{})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, minic.Print(prog))
+	}
+	if got.Ret != want.Ret {
+		t.Fatalf("results differ: %d vs %d (want 15*100+30=1530)", got.Ret, want.Ret)
+	}
+	// Printed program re-parses and re-checks.
+	out := minic.Print(prog)
+	re, err := minic.Parse("re.c", out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+	if err := minic.Check(re); err != nil {
+		t.Fatalf("re-check: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,146 @@
+package compreuse
+
+import (
+	"sync"
+
+	"compreuse/internal/reusetab"
+)
+
+// This file is the standalone Go-facing reuse runtime: the same table
+// design the transformed MiniC programs use (paper §3.1), packaged as a
+// generic memoization helper so downstream Go code can apply the paper's
+// technique directly. The cost–benefit intuition carries over: memoize
+// functions whose computation dwarfs a hash probe and whose inputs repeat.
+
+// MemoStats reports a memoized function's reuse behavior.
+type MemoStats struct {
+	// Calls is the number of invocations.
+	Calls int64
+	// Hits is the number served from the table.
+	Hits int64
+	// Distinct is the number of distinct inputs computed.
+	Distinct int64
+}
+
+// HitRatio is Hits/Calls (0 when never called).
+func (s MemoStats) HitRatio() float64 {
+	if s.Calls == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Calls)
+}
+
+// ReuseRate is the paper's R = 1 − N_ds/N.
+func (s MemoStats) ReuseRate() float64 {
+	if s.Calls == 0 {
+		return 0
+	}
+	return 1 - float64(s.Distinct)/float64(s.Calls)
+}
+
+// Memo wraps a pure function of one comparable argument with an unbounded
+// reuse table ("optimal" sizing in the paper's terms: the table holds
+// every distinct input). The wrapper is safe for concurrent use.
+func Memo[K comparable, V any](f func(K) V) (func(K) V, *MemoStats) {
+	var (
+		mu    sync.Mutex
+		table = map[K]V{}
+		stats = &MemoStats{}
+	)
+	return func(k K) V {
+		mu.Lock()
+		stats.Calls++
+		if v, ok := table[k]; ok {
+			stats.Hits++
+			mu.Unlock()
+			return v
+		}
+		mu.Unlock()
+		v := f(k)
+		mu.Lock()
+		if _, ok := table[k]; !ok {
+			table[k] = v
+			stats.Distinct++
+		}
+		mu.Unlock()
+		return v
+	}, stats
+}
+
+// Memo2 memoizes a pure function of two comparable arguments.
+func Memo2[A, B comparable, V any](f func(A, B) V) (func(A, B) V, *MemoStats) {
+	type key struct {
+		a A
+		b B
+	}
+	g, stats := Memo(func(k key) V { return f(k.a, k.b) })
+	return func(a A, b B) V { return g(key{a, b}) }, stats
+}
+
+// MemoTable is a bounded reuse table with the paper's replacement
+// behaviors: direct addressing with replace-on-collision (§3.1), or a
+// fully associative LRU buffer emulating the hardware proposals the paper
+// compares against (Table 5). Keys and values are byte strings encoded by
+// the caller (see reusetab's Append helpers via EncodeInt/EncodeFloat).
+type MemoTable struct {
+	mu  sync.Mutex
+	tab *reusetab.Table
+}
+
+// MemoTableConfig sizes a MemoTable.
+type MemoTableConfig struct {
+	// Name labels the table.
+	Name string
+	// Entries is the table size; 0 means unbounded.
+	Entries int
+	// LRU selects associative LRU replacement instead of direct
+	// addressing (only meaningful with Entries > 0).
+	LRU bool
+}
+
+// NewMemoTable builds a single-segment reuse table.
+func NewMemoTable(cfg MemoTableConfig) *MemoTable {
+	return &MemoTable{
+		tab: reusetab.New(reusetab.Config{
+			Name:     cfg.Name,
+			Segs:     1,
+			KeyBytes: 8,
+			OutWords: []int{1},
+			OutBytes: []int{8},
+			Entries:  cfg.Entries,
+			LRU:      cfg.LRU,
+		}),
+	}
+}
+
+// Lookup probes the table; ok reports a hit.
+func (m *MemoTable) Lookup(key []byte) (value uint64, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	outs, hit := m.tab.Probe(0, key)
+	if !hit {
+		return 0, false
+	}
+	return outs[0], true
+}
+
+// Store records a computed value for key.
+func (m *MemoTable) Store(key []byte, value uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tab.Record(0, key, []uint64{value})
+}
+
+// Stats returns the table's probe statistics.
+func (m *MemoTable) Stats() MemoStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.tab.Stats(0)
+	return MemoStats{Calls: st.Probes, Hits: st.Hits, Distinct: int64(m.tab.Distinct())}
+}
+
+// EncodeInt appends a 32-bit key component, as the transformed programs do.
+func EncodeInt(key []byte, v int64) []byte { return reusetab.AppendInt(key, v) }
+
+// EncodeFloat appends a 64-bit float key component.
+func EncodeFloat(key []byte, v float64) []byte { return reusetab.AppendFloat(key, v) }
