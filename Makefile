@@ -1,0 +1,30 @@
+# Development targets; `make check` is the CI gate
+# (.github/workflows/ci.yml runs the same sequence).
+
+GO ?= go
+
+.PHONY: build vet test race check bench eval
+
+build:
+	$(GO) build ./...
+
+vet: build
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the whole suite under the race detector, including the
+# parallel Memo/MemoTable/Sharded tests.
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem .
+
+# eval regenerates every table and figure of the paper plus the ablations
+# and the concurrent-runtime sweep.
+eval:
+	$(GO) run ./cmd/crcbench

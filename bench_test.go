@@ -183,3 +183,92 @@ func BenchmarkMemo(b *testing.B) {
 		f(i & 63)
 	}
 }
+
+// ---- Concurrent-runtime benchmarks ----
+//
+// The paper's profitability condition R·C − O > 0 (formula 3) makes the
+// lookup overhead O the whole game: a memoized segment only wins while a
+// probe stays cheap. These benchmarks compare the sharded runtime against
+// the single-global-mutex design it replaced, under parallel load; run
+// with -cpu=1,4,8 to see the sharded variants scale with GOMAXPROCS while
+// the mutex baselines flatline or regress.
+
+// singleMutexMemo is the pre-sharding Memo: one mutex around one map.
+// It is kept here (not in memo.go) purely as the benchmark baseline.
+func singleMutexMemo[K comparable, V any](f func(K) V) func(K) V {
+	var mu sync.Mutex
+	table := map[K]V{}
+	return func(k K) V {
+		mu.Lock()
+		if v, ok := table[k]; ok {
+			mu.Unlock()
+			return v
+		}
+		mu.Unlock()
+		v := f(k)
+		mu.Lock()
+		table[k] = v
+		mu.Unlock()
+		return v
+	}
+}
+
+// BenchmarkMemoParallel measures the sharded, singleflight Memo under
+// parallel reuse-heavy load (64 hot keys, the quan regime).
+func BenchmarkMemoParallel(b *testing.B) {
+	f, _ := Memo(func(x int) int { return x * x })
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			f(i & 63)
+			i++
+		}
+	})
+}
+
+// BenchmarkMemoSingleMutexParallel is the contended baseline for
+// BenchmarkMemoParallel.
+func BenchmarkMemoSingleMutexParallel(b *testing.B) {
+	f := singleMutexMemo(func(x int) int { return x * x })
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			f(i & 63)
+			i++
+		}
+	})
+}
+
+// benchMemoTableParallel drives a MemoTable with the byte-key probe/record
+// protocol of the transformed programs.
+func benchMemoTableParallel(b *testing.B, cfg MemoTableConfig) {
+	mt := NewMemoTable(cfg)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		var buf [8]byte
+		for pb.Next() {
+			key := EncodeInt(buf[:0], int64(i&255))
+			if _, ok := mt.Lookup(key); !ok {
+				mt.Store(key, uint64(i))
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkMemoTableShardedParallel stripes the table 16 ways.
+func BenchmarkMemoTableShardedParallel(b *testing.B) {
+	benchMemoTableParallel(b, MemoTableConfig{Name: "sharded", Shards: 16})
+}
+
+// BenchmarkMemoTableSingleShardParallel serializes every probe behind one
+// shard, the historical MemoTable behavior.
+func BenchmarkMemoTableSingleShardParallel(b *testing.B) {
+	benchMemoTableParallel(b, MemoTableConfig{Name: "single", Shards: 1})
+}
+
+// BenchmarkMemoTableLRUShardedParallel exercises the O(1) LRU under
+// parallel eviction churn (256 keys through 16×8-entry stripes).
+func BenchmarkMemoTableLRUShardedParallel(b *testing.B) {
+	benchMemoTableParallel(b, MemoTableConfig{Name: "lru", Entries: 128, LRU: true, Shards: 16})
+}

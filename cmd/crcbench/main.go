@@ -1,13 +1,17 @@
 // Command crcbench regenerates the evaluation of Ding & Li (CGO 2004):
 // every table (3-10) and figure (5-8, 11-15) of the paper, using the MiniC
 // re-implementations of the Mediabench kernels and GNU Go in
-// internal/bench.
+// internal/bench. Beyond the paper it also runs the two ablation studies
+// (-exp ablationA, -exp ablationB) and the concurrent-runtime sweep
+// (-exp conc: single-mutex vs sharded reuse-table throughput at 1-8
+// goroutines).
 //
 // Usage:
 //
 //	crcbench                 # everything, full workload sizes
 //	crcbench -exp table6     # one table or figure
 //	crcbench -exp table6,fig14
+//	crcbench -exp conc       # the concurrent-runtime throughput sweep
 //	crcbench -scale 4        # divide workload sizes by 4 (quick look)
 //	crcbench -list           # list experiment names
 package main

@@ -1,0 +1,63 @@
+package reusetab
+
+// lruList is an intrusive doubly-linked list over the slot indices of a
+// bounded LRU table, ordered most- to least-recently used. Together with
+// the Table's key→slot map it turns the LRU probe and eviction paths into
+// O(1) operations, replacing the O(entries) slot scans the table emulated
+// the paper's hardware reuse buffers with (Table 5). The list stores links
+// in two flat int slices (no per-node allocation); index -1 is the nil
+// sentinel.
+type lruList struct {
+	head, tail int
+	prev, next []int
+}
+
+func newLRUList(n int) *lruList {
+	l := &lruList{head: -1, tail: -1, prev: make([]int, n), next: make([]int, n)}
+	for i := 0; i < n; i++ {
+		l.prev[i] = -1
+		l.next[i] = -1
+	}
+	return l
+}
+
+// pushFront links a not-yet-listed slot as the most recently used.
+func (l *lruList) pushFront(i int) {
+	l.prev[i] = -1
+	l.next[i] = l.head
+	if l.head >= 0 {
+		l.prev[l.head] = i
+	}
+	l.head = i
+	if l.tail < 0 {
+		l.tail = i
+	}
+}
+
+// moveToFront marks a listed slot as the most recently used.
+func (l *lruList) moveToFront(i int) {
+	if l.head == i {
+		return
+	}
+	// Unlink.
+	p, n := l.prev[i], l.next[i]
+	if p >= 0 {
+		l.next[p] = n
+	}
+	if n >= 0 {
+		l.prev[n] = p
+	}
+	if l.tail == i {
+		l.tail = p
+	}
+	// Relink at the head.
+	l.prev[i] = -1
+	l.next[i] = l.head
+	if l.head >= 0 {
+		l.prev[l.head] = i
+	}
+	l.head = i
+}
+
+// back returns the least recently used slot, or -1 when the list is empty.
+func (l *lruList) back() int { return l.tail }

@@ -1,0 +1,197 @@
+package reusetab
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// shardSeed decorrelates shard selection from the direct-addressed slot
+// hash (both use the Jenkins function; a shared seed would make every
+// shard see only keys that agree with it modulo the shard count).
+const shardSeed uint32 = 0x9e3779b9
+
+// Sharded is a concurrency-safe reuse table: the same semantics as Table,
+// striped over 2^k independently locked shards by a hash of the input key.
+// It is the serving-path variant of the paper's software hash table — the
+// VM-facing Table stays single-threaded and bit-for-bit faithful to §3.1,
+// while Sharded lets many goroutines probe and record at once with
+// contention limited to 1/shards of the traffic. Statistics are kept in
+// per-segment atomic counters at the Sharded level, so Stats and Distinct
+// never take a shard lock and never race with in-flight probes.
+//
+// Every key deterministically maps to one shard, so for unbounded
+// ("optimal") tables the hit/miss behavior is identical to a single
+// Table. Bounded tables divide their capacity across shards (each shard
+// is a direct-addressed or LRU table of Entries/shards slots, rounded
+// up), which preserves total capacity but redistributes collisions and
+// eviction order; use a single shard when the exact §3.1 bounded-table
+// behavior matters more than parallelism.
+type Sharded struct {
+	cfg   Config
+	mask  uint32
+	stats []shardedSegStats
+	// distinct counts first-time keys across all shards (the shards
+	// partition the key space, so the sum is exact).
+	distinct atomic.Int64
+	shards   []tableShard
+}
+
+// tableShard pads each shard's lock+table to its own cache line so the
+// stripes do not false-share under parallel probing.
+type tableShard struct {
+	mu  sync.Mutex
+	tab *Table
+	_   [64 - 16]byte
+}
+
+// shardedSegStats mirrors SegStats with atomically updated fields.
+type shardedSegStats struct {
+	probes, hits, misses, records, collisions atomic.Int64
+	_                                         [64 - 40]byte
+}
+
+// NewSharded builds a sharded table over cfg. The shard count is rounded
+// up to a power of two and clamped to at least 1; for bounded configs it
+// is additionally clamped so every shard holds at least one entry, and
+// cfg.Entries is split evenly (rounded up) across the shards. ModeProfile
+// is rejected: value-set profiling is a compile-time, single-threaded
+// activity that needs the census maps of the plain Table.
+func NewSharded(cfg Config, shards int) *Sharded {
+	if cfg.Mode == ModeProfile {
+		panic(fmt.Sprintf("reusetab %q: Sharded does not support ModeProfile; profile with a plain Table", cfg.Name))
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	if cfg.Entries > 0 && n > cfg.Entries {
+		for n > 1 && n > cfg.Entries {
+			n >>= 1
+		}
+	}
+	shardCfg := cfg
+	if cfg.Entries > 0 {
+		shardCfg.Entries = (cfg.Entries + n - 1) / n
+	}
+	s := &Sharded{
+		cfg:    cfg,
+		mask:   uint32(n - 1),
+		stats:  make([]shardedSegStats, cfg.Segs),
+		shards: make([]tableShard, n),
+	}
+	for i := range s.shards {
+		s.shards[i].tab = New(shardCfg)
+	}
+	return s
+}
+
+// Config returns the table-wide configuration (Entries is the total
+// capacity, not the per-shard split).
+func (s *Sharded) Config() Config { return s.cfg }
+
+// Shards returns the number of lock stripes.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+func (s *Sharded) shardFor(key []byte) *tableShard {
+	if s.mask == 0 {
+		return &s.shards[0]
+	}
+	return &s.shards[JenkinsHash(key, shardSeed)&s.mask]
+}
+
+// Probe looks key up for segment seg in the key's shard. It is safe for
+// concurrent use with other probes, records and stats reads.
+func (s *Sharded) Probe(seg int, key []byte) ([]uint64, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	collBefore := sh.tab.stats[seg].Collisions
+	distBefore := len(sh.tab.rank)
+	outs, hit := sh.tab.Probe(seg, key)
+	collDelta := sh.tab.stats[seg].Collisions - collBefore
+	distDelta := len(sh.tab.rank) - distBefore
+	sh.mu.Unlock()
+
+	st := &s.stats[seg]
+	st.probes.Add(1)
+	if hit {
+		st.hits.Add(1)
+	} else {
+		st.misses.Add(1)
+	}
+	if collDelta > 0 {
+		st.collisions.Add(collDelta)
+	}
+	if distDelta > 0 {
+		s.distinct.Add(int64(distDelta))
+	}
+	return outs, hit
+}
+
+// Record stores the outputs computed for key by segment seg in the key's
+// shard.
+func (s *Sharded) Record(seg int, key []byte, outs []uint64) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	sh.tab.Record(seg, key, outs)
+	sh.mu.Unlock()
+	s.stats[seg].records.Add(1)
+}
+
+// Stats returns segment seg's counters. Reads are atomic snapshots of
+// each field; they never block probes and never race. The outcome
+// counters are loaded before Probes: every hit/miss/collision increment
+// is preceded by its probe's Probes increment and the counters only
+// grow, so the snapshot always satisfies Hits+Misses <= Probes (the two
+// sides are equal once the table is quiescent).
+func (s *Sharded) Stats(seg int) SegStats {
+	st := &s.stats[seg]
+	hits := st.hits.Load()
+	misses := st.misses.Load()
+	records := st.records.Load()
+	collisions := st.collisions.Load()
+	probes := st.probes.Load()
+	return SegStats{
+		Probes:     probes,
+		Hits:       hits,
+		Misses:     misses,
+		Records:    records,
+		Collisions: collisions,
+	}
+}
+
+// TotalStats sums the per-segment statistics.
+func (s *Sharded) TotalStats() SegStats {
+	var sum SegStats
+	for seg := range s.stats {
+		st := s.Stats(seg)
+		sum.Probes += st.Probes
+		sum.Hits += st.Hits
+		sum.Misses += st.Misses
+		sum.Records += st.Records
+		sum.Collisions += st.Collisions
+	}
+	return sum
+}
+
+// Distinct returns the number of distinct keys ever probed across all
+// shards (the paper's N_ds).
+func (s *Sharded) Distinct() int { return int(s.distinct.Load()) }
+
+// SizeBytes reports the modeled memory consumption summed over shards.
+func (s *Sharded) SizeBytes() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total += sh.tab.SizeBytes()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// EntryBytes returns the modeled bytes of one table entry.
+func (s *Sharded) EntryBytes() int { return s.shards[0].tab.EntryBytes() }

@@ -80,6 +80,12 @@ type Table struct {
 
 	// Direct-addressed or LRU storage.
 	slots []entry
+	// LRU bookkeeping: resident key → slot, the recency list, and the
+	// next never-used slot (slots fill in index order before the first
+	// eviction, matching the historical first-free-slot scan).
+	lruIdx  map[string]int
+	lruList *lruList
+	lruFree int
 	// Optimal (unbounded) storage.
 	byKey map[string]*entry
 
@@ -124,6 +130,10 @@ func New(cfg Config) *Table {
 		}
 	case cfg.Entries > 0:
 		t.slots = make([]entry, cfg.Entries)
+		if cfg.LRU {
+			t.lruIdx = make(map[string]int, cfg.Entries)
+			t.lruList = newLRUList(cfg.Entries)
+		}
 	default:
 		t.byKey = map[string]*entry{}
 	}
@@ -144,7 +154,12 @@ func (t *Table) index(key string) int {
 // IndexOf maps a key to a slot in a direct-addressed table of the given
 // entry count. Keys of at most 32 bits use the value itself modulo the
 // table size; wider keys are first reduced with the Jenkins hash (§3.1).
+// A non-positive entry count has a single conceptual slot: IndexOf
+// returns 0 rather than dividing by zero.
 func IndexOf(key string, entries int) int {
+	if entries <= 0 {
+		return 0
+	}
 	var h uint32
 	if len(key) <= 4 {
 		for i := len(key) - 1; i >= 0; i-- {
@@ -218,12 +233,17 @@ func (t *Table) Probe(seg int, key []byte) ([]uint64, bool) {
 		return nil, false
 	}
 
+	// Track every probed key's first-seen rank in all modes, so
+	// Distinct() reports the paper's N_ds for bounded tables too (it used
+	// to stay 0 outside optimal/profile modes, which made every bounded
+	// table look like reuse rate 1.0).
+	if _, ok := t.rank[ks]; !ok {
+		t.rank[ks] = len(t.rank)
+	}
+
 	bit := uint64(1) << uint(seg)
 	switch {
 	case t.byKey != nil:
-		if _, ok := t.rank[ks]; !ok {
-			t.rank[ks] = len(t.rank)
-		}
 		t.accessCounts[t.rank[ks]]++
 		e, ok := t.byKey[ks]
 		if !ok || e.valid&bit == 0 {
@@ -234,21 +254,21 @@ func (t *Table) Probe(seg int, key []byte) ([]uint64, bool) {
 		return e.outs[seg], true
 
 	case t.cfg.LRU:
-		for i := range t.slots {
-			e := &t.slots[i]
-			if e.used && e.key == ks {
-				e.lastUse = t.clock
-				t.accessCounts[i]++
-				if e.valid&bit == 0 {
-					st.Misses++
-					return nil, false
-				}
-				st.Hits++
-				return e.outs[seg], true
-			}
+		i, resident := t.lruIdx[ks]
+		if !resident {
+			st.Misses++
+			return nil, false
 		}
-		st.Misses++
-		return nil, false
+		e := &t.slots[i]
+		e.lastUse = t.clock
+		t.lruList.moveToFront(i)
+		t.accessCounts[i]++
+		if e.valid&bit == 0 {
+			st.Misses++
+			return nil, false
+		}
+		st.Hits++
+		return e.outs[seg], true
 
 	default:
 		i := t.index(ks)
@@ -300,29 +320,27 @@ func (t *Table) Record(seg int, key []byte, outs []uint64) {
 
 	case t.cfg.LRU:
 		// Update in place if resident.
-		for i := range t.slots {
+		if i, resident := t.lruIdx[ks]; resident {
 			e := &t.slots[i]
-			if e.used && e.key == ks {
-				e.valid |= bit
-				e.outs[seg] = stored
-				e.lastUse = t.clock
-				return
-			}
+			e.valid |= bit
+			e.outs[seg] = stored
+			e.lastUse = t.clock
+			t.lruList.moveToFront(i)
+			return
 		}
-		// Otherwise evict a free slot, or the least recently used one.
-		victim := -1
-		var oldest int64 = 1<<63 - 1
-		for i := range t.slots {
-			e := &t.slots[i]
-			if !e.used {
-				victim = i
-				break
-			}
-			if e.lastUse < oldest {
-				oldest = e.lastUse
-				victim = i
-			}
+		// Otherwise claim the next never-used slot, or evict the least
+		// recently used entry.
+		var victim int
+		if t.lruFree < len(t.slots) {
+			victim = t.lruFree
+			t.lruFree++
+			t.lruList.pushFront(victim)
+		} else {
+			victim = t.lruList.back()
+			delete(t.lruIdx, t.slots[victim].key)
+			t.lruList.moveToFront(victim)
 		}
+		t.lruIdx[ks] = victim
 		e := &t.slots[victim]
 		*e = entry{used: true, key: ks, valid: bit, outs: make([][]uint64, t.cfg.Segs), lastUse: t.clock}
 		e.outs[seg] = stored
@@ -343,7 +361,9 @@ func (t *Table) Record(seg int, key []byte, outs []uint64) {
 
 // Distinct returns the number of distinct input sets seen across all
 // merged segments. In ModeProfile this is the union census size; in reuse
-// modes it is the number of distinct keys that reached the table.
+// modes — optimal, direct-addressed and LRU alike — it is the number of
+// distinct keys ever probed, the paper's N_ds, even when the bounded
+// storage itself no longer holds them.
 func (t *Table) Distinct() int {
 	if t.census != nil {
 		return len(t.census)

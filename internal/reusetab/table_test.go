@@ -1,6 +1,7 @@
 package reusetab
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -303,4 +304,94 @@ func TestConfigValidation(t *testing.T) {
 		}
 	}()
 	New(Config{Name: "bad", Segs: 2, OutWords: []int{1}, OutBytes: []int{4, 4}})
+}
+
+func TestIndexOfNonPositiveEntries(t *testing.T) {
+	// A degenerate table has one conceptual slot; IndexOf must not divide
+	// by zero (it used to panic for entries <= 0).
+	for _, entries := range []int{0, -1, -100} {
+		if got := IndexOf("abcd", entries); got != 0 {
+			t.Fatalf("IndexOf(_, %d) = %d, want 0", entries, got)
+		}
+		if got := IndexOf(string(key32(7)), entries); got != 0 {
+			t.Fatalf("IndexOf(key32, %d) = %d, want 0", entries, got)
+		}
+	}
+}
+
+// TestBoundedTableDistinct is the regression test for Distinct() returning
+// 0 on bounded tables: both replacement policies must report the number of
+// distinct keys ever probed (the paper's N_ds), even after eviction.
+func TestBoundedTableDistinct(t *testing.T) {
+	for _, lru := range []bool{false, true} {
+		c := cfg1()
+		c.Entries = 4
+		c.LRU = lru
+		tab := New(c)
+		// 10 distinct keys, each probed 3 times, through a 4-entry table:
+		// far more distinct keys than capacity.
+		for round := 0; round < 3; round++ {
+			for k := int64(0); k < 10; k++ {
+				if _, hit := tab.Probe(0, key32(k)); !hit {
+					tab.Record(0, key32(k), []uint64{uint64(k)})
+				}
+			}
+		}
+		if got := tab.Distinct(); got != 10 {
+			t.Errorf("LRU=%v: Distinct() = %d, want 10", lru, got)
+		}
+		st := tab.Stats(0)
+		if st.Probes != 30 {
+			t.Errorf("LRU=%v: probes = %d, want 30", lru, st.Probes)
+		}
+	}
+}
+
+// referenceLRUVictim reimplements the historical O(n) eviction scan:
+// first free slot, else the lowest-indexed entry with the oldest lastUse.
+func referenceLRUVictim(slots []entry) int {
+	victim := -1
+	var oldest int64 = 1<<63 - 1
+	for i := range slots {
+		if !slots[i].used {
+			return i
+		}
+		if slots[i].lastUse < oldest {
+			oldest = slots[i].lastUse
+			victim = i
+		}
+	}
+	return victim
+}
+
+// TestLRUMatchesReferenceScan drives a randomized probe-then-record
+// workload (the shape the VM and MemoTable generate: every Record is
+// preceded by its Probe) through the O(1) LRU and checks each insertion
+// picks exactly the slot the historical O(n) timestamp scan would have.
+func TestLRUMatchesReferenceScan(t *testing.T) {
+	c := cfg1()
+	c.Entries = 8
+	c.LRU = true
+	tab := New(c)
+	rng := rand.New(rand.NewSource(7))
+	for op := 0; op < 4000; op++ {
+		k := key32(int64(rng.Intn(40)))
+		if _, hit := tab.Probe(0, k); !hit {
+			want := referenceLRUVictim(tab.slots)
+			tab.Record(0, k, []uint64{uint64(op)})
+			got := tab.lruIdx[string(k)]
+			if got != want {
+				t.Fatalf("op %d: O(1) LRU placed key in slot %d, reference scan wants %d", op, got, want)
+			}
+		}
+	}
+	// The resident set is exactly the keys the index maps.
+	if len(tab.lruIdx) != c.Entries {
+		t.Fatalf("resident keys = %d, want %d", len(tab.lruIdx), c.Entries)
+	}
+	for k, i := range tab.lruIdx {
+		if tab.slots[i].key != k {
+			t.Fatalf("slot %d holds %q, index says %q", i, tab.slots[i].key, k)
+		}
+	}
 }

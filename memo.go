@@ -1,7 +1,10 @@
 package compreuse
 
 import (
+	"hash/maphash"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"compreuse/internal/reusetab"
 )
@@ -11,15 +14,43 @@ import (
 // generic memoization helper so downstream Go code can apply the paper's
 // technique directly. The cost–benefit intuition carries over: memoize
 // functions whose computation dwarfs a hash probe and whose inputs repeat.
+//
+// Unlike the VM-facing reusetab.Table (single-threaded, bit-for-bit
+// faithful to the paper), this runtime is built for parallel callers: the
+// memo map is striped across independently locked shards selected by a
+// hash of the key, statistics are atomic, and concurrent calls with the
+// same key are deduplicated (singleflight) so f runs once per distinct
+// in-flight key instead of once per caller. The paper's profitability
+// condition R·C − O > 0 (formula 3) is why this matters: a contended
+// global lock inflates the lookup overhead O until no segment is worth
+// memoizing, so the runtime keeps O flat as GOMAXPROCS grows.
 
-// MemoStats reports a memoized function's reuse behavior.
+// MemoStats reports a memoized function's reuse behavior. The fields are
+// updated atomically by the wrapper; while the wrapper may still be
+// running in other goroutines, read them through Snapshot rather than
+// directly.
 type MemoStats struct {
 	// Calls is the number of invocations.
 	Calls int64
-	// Hits is the number served from the table.
+	// Hits is the number served without running f: found in the table, or
+	// joined onto another caller's in-flight computation of the same key.
 	Hits int64
 	// Distinct is the number of distinct inputs computed.
 	Distinct int64
+}
+
+// Snapshot returns a copy of the counters, safe to read while the
+// memoized function is being called concurrently. Each field is loaded
+// atomically; Hits and Distinct are loaded before Calls so that — since
+// every Hits/Distinct increment is preceded by its call's Calls increment
+// and the counters only grow — the snapshot always satisfies
+// Hits <= Calls and Distinct <= Calls, keeping HitRatio and ReuseRate in
+// [0, 1].
+func (s *MemoStats) Snapshot() MemoStats {
+	hits := atomic.LoadInt64(&s.Hits)
+	distinct := atomic.LoadInt64(&s.Distinct)
+	calls := atomic.LoadInt64(&s.Calls)
+	return MemoStats{Calls: calls, Hits: hits, Distinct: distinct}
 }
 
 // HitRatio is Hits/Calls (0 when never called).
@@ -38,32 +69,97 @@ func (s MemoStats) ReuseRate() float64 {
 	return 1 - float64(s.Distinct)/float64(s.Calls)
 }
 
+// memoShardCount picks a power-of-two stripe count scaled to the
+// machine: at least 8 so light contention still spreads, capped so tiny
+// memo tables do not carry hundreds of empty maps.
+func memoShardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	s := 1
+	for s < n {
+		s <<= 1
+	}
+	if s < 8 {
+		s = 8
+	}
+	if s > 128 {
+		s = 128
+	}
+	return s
+}
+
+// inflightCall is one singleflight computation: the leader closes done
+// after storing val, and every waiter reads val afterwards.
+type inflightCall[V any] struct {
+	done chan struct{}
+	val  V
+}
+
+// memoShard is one lock stripe of a memoized function's table, padded to
+// a cache line so neighboring stripes do not false-share.
+type memoShard[K comparable, V any] struct {
+	mu       sync.RWMutex
+	vals     map[K]V
+	inflight map[K]*inflightCall[V]
+	_        [24]byte
+}
+
 // Memo wraps a pure function of one comparable argument with an unbounded
 // reuse table ("optimal" sizing in the paper's terms: the table holds
-// every distinct input). The wrapper is safe for concurrent use.
+// every distinct input). The wrapper is safe for concurrent use: probes
+// are striped over sharded locks, and concurrent callers with the same
+// key share one computation of f (singleflight) — the duplicates count as
+// hits, since they are served from another caller's work. Read the
+// returned stats with Snapshot while goroutines may still be calling the
+// wrapper.
 func Memo[K comparable, V any](f func(K) V) (func(K) V, *MemoStats) {
-	var (
-		mu    sync.Mutex
-		table = map[K]V{}
-		stats = &MemoStats{}
-	)
+	shards := make([]memoShard[K, V], memoShardCount())
+	for i := range shards {
+		shards[i].vals = map[K]V{}
+		shards[i].inflight = map[K]*inflightCall[V]{}
+	}
+	seed := maphash.MakeSeed()
+	mask := uint64(len(shards) - 1)
+	stats := &MemoStats{}
 	return func(k K) V {
-		mu.Lock()
-		stats.Calls++
-		if v, ok := table[k]; ok {
-			stats.Hits++
-			mu.Unlock()
+		atomic.AddInt64(&stats.Calls, 1)
+		sh := &shards[maphash.Comparable(seed, k)&mask]
+
+		// Fast path: shared-lock probe.
+		sh.mu.RLock()
+		v, ok := sh.vals[k]
+		sh.mu.RUnlock()
+		if ok {
+			atomic.AddInt64(&stats.Hits, 1)
 			return v
 		}
-		mu.Unlock()
-		v := f(k)
-		mu.Lock()
-		if _, ok := table[k]; !ok {
-			table[k] = v
-			stats.Distinct++
+
+		// Slow path: re-probe under the write lock, then either join an
+		// in-flight computation or become its leader.
+		sh.mu.Lock()
+		if v, ok := sh.vals[k]; ok {
+			sh.mu.Unlock()
+			atomic.AddInt64(&stats.Hits, 1)
+			return v
 		}
-		mu.Unlock()
-		return v
+		if c, ok := sh.inflight[k]; ok {
+			sh.mu.Unlock()
+			<-c.done
+			atomic.AddInt64(&stats.Hits, 1)
+			return c.val
+		}
+		c := &inflightCall[V]{done: make(chan struct{})}
+		sh.inflight[k] = c
+		sh.mu.Unlock()
+
+		c.val = f(k)
+
+		sh.mu.Lock()
+		sh.vals[k] = c.val
+		delete(sh.inflight, k)
+		sh.mu.Unlock()
+		atomic.AddInt64(&stats.Distinct, 1)
+		close(c.done)
+		return c.val
 	}, stats
 }
 
@@ -82,9 +178,10 @@ func Memo2[A, B comparable, V any](f func(A, B) V) (func(A, B) V, *MemoStats) {
 // fully associative LRU buffer emulating the hardware proposals the paper
 // compares against (Table 5). Keys and values are byte strings encoded by
 // the caller (see reusetab's Append helpers via EncodeInt/EncodeFloat).
+// The table is safe for concurrent use; configure Shards > 1 to stripe
+// the storage for parallel callers.
 type MemoTable struct {
-	mu  sync.Mutex
-	tab *reusetab.Table
+	tab *reusetab.Sharded
 }
 
 // MemoTableConfig sizes a MemoTable.
@@ -96,12 +193,23 @@ type MemoTableConfig struct {
 	// LRU selects associative LRU replacement instead of direct
 	// addressing (only meaningful with Entries > 0).
 	LRU bool
+	// Shards stripes the table across independently locked shards
+	// (rounded up to a power of two) so parallel callers rarely contend.
+	// 0 or 1 keeps a single shard, which preserves the exact single-table
+	// collision and eviction behavior of §3.1; higher counts split
+	// Entries evenly across shards, keeping total capacity but
+	// redistributing collisions.
+	Shards int
 }
 
-// NewMemoTable builds a single-segment reuse table.
+// NewMemoTable builds a reuse table from cfg.
 func NewMemoTable(cfg MemoTableConfig) *MemoTable {
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
 	return &MemoTable{
-		tab: reusetab.New(reusetab.Config{
+		tab: reusetab.NewSharded(reusetab.Config{
 			Name:     cfg.Name,
 			Segs:     1,
 			KeyBytes: 8,
@@ -109,14 +217,12 @@ func NewMemoTable(cfg MemoTableConfig) *MemoTable {
 			OutBytes: []int{8},
 			Entries:  cfg.Entries,
 			LRU:      cfg.LRU,
-		}),
+		}, shards),
 	}
 }
 
-// Lookup probes the table; ok reports a hit.
+// Lookup probes the table; ok reports a hit. Safe for concurrent use.
 func (m *MemoTable) Lookup(key []byte) (value uint64, ok bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	outs, hit := m.tab.Probe(0, key)
 	if !hit {
 		return 0, false
@@ -124,20 +230,25 @@ func (m *MemoTable) Lookup(key []byte) (value uint64, ok bool) {
 	return outs[0], true
 }
 
-// Store records a computed value for key.
+// Store records a computed value for key. Safe for concurrent use.
 func (m *MemoTable) Store(key []byte, value uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.tab.Record(0, key, []uint64{value})
 }
 
-// Stats returns the table's probe statistics.
+// Stats returns the table's probe statistics. The counters are atomic
+// snapshots, so Stats never blocks probes and is race-free against
+// concurrent Lookup/Store callers.
 func (m *MemoTable) Stats() MemoStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	// Distinct is read before the probe counters: distinct-key increments
+	// trail their probe's Probes increment, so this order keeps
+	// Distinct <= Calls (and ReuseRate in [0, 1]) even mid-flight.
+	distinct := int64(m.tab.Distinct())
 	st := m.tab.Stats(0)
-	return MemoStats{Calls: st.Probes, Hits: st.Hits, Distinct: int64(m.tab.Distinct())}
+	return MemoStats{Calls: st.Probes, Hits: st.Hits, Distinct: distinct}
 }
+
+// Shards reports the table's lock-stripe count.
+func (m *MemoTable) Shards() int { return m.tab.Shards() }
 
 // EncodeInt appends a 32-bit key component, as the transformed programs do.
 func EncodeInt(key []byte, v int64) []byte { return reusetab.AppendInt(key, v) }

@@ -1,0 +1,286 @@
+package compreuse
+
+// Concurrency tests for the Go-facing reuse runtime: run with -race.
+// These cover the sharded Memo/Memo2 wrappers (singleflight duplicate
+// suppression, atomic stats) and the sharded MemoTable (parallel lookups
+// and stores with eviction churn, race-free Stats).
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMemoSingleflight asserts f runs exactly once per distinct in-flight
+// key: ten goroutines request the same key while the leader's computation
+// is blocked, so nine of them must join it rather than recompute.
+func TestMemoSingleflight(t *testing.T) {
+	var invocations atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	f, stats := Memo(func(x int) int {
+		if invocations.Add(1) == 1 {
+			close(started)
+		}
+		<-release
+		return x * 2
+	})
+
+	const callers = 10
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			defer wg.Done()
+			if got := f(21); got != 42 {
+				t.Errorf("f(21) = %d", got)
+			}
+		}()
+	}
+	<-started // the leader is inside f
+	close(release)
+	wg.Wait()
+
+	if n := invocations.Load(); n != 1 {
+		t.Fatalf("f invoked %d times for one key, want 1 (singleflight)", n)
+	}
+	st := stats.Snapshot()
+	if st.Calls != callers || st.Distinct != 1 || st.Hits != callers-1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestMemoSingleflightDistinctKeys checks dedup is per key: concurrent
+// callers with different keys still each compute their own value once.
+func TestMemoSingleflightDistinctKeys(t *testing.T) {
+	var invocations atomic.Int64
+	release := make(chan struct{})
+	var started sync.WaitGroup
+	const keys = 4
+	started.Add(keys)
+	f, stats := Memo(func(x int) int {
+		invocations.Add(1)
+		started.Done()
+		<-release
+		return -x
+	})
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		for dup := 0; dup < 3; dup++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				if got := f(k); got != -k {
+					t.Errorf("f(%d) = %d", k, got)
+				}
+			}(k)
+		}
+	}
+	started.Wait() // one leader per key is inside f
+	close(release)
+	wg.Wait()
+	if n := invocations.Load(); n != keys {
+		t.Fatalf("f invoked %d times, want %d (once per distinct key)", n, keys)
+	}
+	if st := stats.Snapshot(); st.Distinct != keys || st.Calls != 3*keys {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestMemoParallelSnapshot hammers a memoized function from many
+// goroutines while others read the stats through Snapshot; under -race
+// this is the stats-visibility regression test (the old runtime's bare
+// field reads raced with the wrapper's mutations).
+func TestMemoParallelSnapshot(t *testing.T) {
+	f, stats := Memo(func(x int) int { return x * x })
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					st := stats.Snapshot()
+					if st.Hits > st.Calls || st.Distinct > st.Calls {
+						t.Error("impossible snapshot")
+						return
+					}
+					_ = st.HitRatio()
+					_ = st.ReuseRate()
+				}
+			}
+		}()
+	}
+	const workers, ops, keys = 8, 5000, 97
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < ops; i++ {
+				x := rng.Intn(keys)
+				if f(x) != x*x {
+					t.Error("wrong value")
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	st := stats.Snapshot()
+	if st.Calls != workers*ops {
+		t.Fatalf("calls = %d, want %d", st.Calls, workers*ops)
+	}
+	if st.Distinct != keys {
+		t.Fatalf("distinct = %d, want %d", st.Distinct, keys)
+	}
+	if st.Hits != st.Calls-keys {
+		t.Fatalf("hits = %d, want %d", st.Hits, st.Calls-keys)
+	}
+}
+
+func TestMemo2Parallel(t *testing.T) {
+	f, stats := Memo2(func(a, b int) int { return a*1000 + b })
+	var wg sync.WaitGroup
+	const workers, ops = 8, 2000
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < ops; i++ {
+				a, b := rng.Intn(10), rng.Intn(10)
+				if f(a, b) != a*1000+b {
+					t.Error("wrong value")
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	st := stats.Snapshot()
+	if st.Calls != workers*ops || st.Distinct != 100 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestMemoTableParallel drives sharded MemoTables — unbounded, bounded
+// direct-addressed, and bounded LRU (eviction churn) — from parallel
+// goroutines with overlapping keys while a reader polls Stats.
+func TestMemoTableParallel(t *testing.T) {
+	configs := []MemoTableConfig{
+		{Name: "opt", Shards: 8},
+		{Name: "direct", Entries: 64, Shards: 8},
+		{Name: "lru", Entries: 32, LRU: true, Shards: 8},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.Name, func(t *testing.T) {
+			mt := NewMemoTable(cfg)
+			stop := make(chan struct{})
+			var reader sync.WaitGroup
+			reader.Add(1)
+			go func() {
+				defer reader.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						st := mt.Stats()
+						if st.Hits > st.Calls {
+							t.Error("impossible stats")
+							return
+						}
+					}
+				}
+			}()
+			const workers, ops, keys = 8, 3000, 200
+			var wg sync.WaitGroup
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < ops; i++ {
+						k := EncodeInt(nil, int64(rng.Intn(keys)))
+						if v, ok := mt.Lookup(k); ok {
+							if v >= keys {
+								t.Errorf("impossible value %d", v)
+								return
+							}
+						} else {
+							mt.Store(k, uint64(rng.Intn(keys)))
+						}
+					}
+				}(int64(w))
+			}
+			wg.Wait()
+			close(stop)
+			reader.Wait()
+			st := mt.Stats()
+			if st.Calls != workers*ops {
+				t.Fatalf("calls = %d, want %d", st.Calls, workers*ops)
+			}
+			if st.Distinct <= 0 || st.Distinct > keys {
+				t.Fatalf("distinct = %d, want 1..%d", st.Distinct, keys)
+			}
+		})
+	}
+}
+
+// TestMemoTableBoundedDistinct is the regression test for the wrong-stats
+// bug: bounded tables used to report Distinct = 0, which made ReuseRate()
+// return 1.0 regardless of the input stream.
+func TestMemoTableBoundedDistinct(t *testing.T) {
+	for _, cfg := range []MemoTableConfig{
+		{Name: "direct8", Entries: 8},
+		{Name: "lru8", Entries: 8, LRU: true},
+		{Name: "direct-sharded", Entries: 16, Shards: 4},
+	} {
+		mt := NewMemoTable(cfg)
+		// 16 distinct keys, 10 rounds each: a repeating input stream.
+		const distinct, rounds = 16, 10
+		for r := 0; r < rounds; r++ {
+			for k := int64(0); k < distinct; k++ {
+				key := EncodeInt(nil, k)
+				if _, ok := mt.Lookup(key); !ok {
+					mt.Store(key, uint64(k))
+				}
+			}
+		}
+		st := mt.Stats()
+		if st.Distinct != distinct {
+			t.Errorf("%s: Distinct = %d, want %d", cfg.Name, st.Distinct, distinct)
+		}
+		if st.Calls != distinct*rounds {
+			t.Errorf("%s: Calls = %d, want %d", cfg.Name, st.Calls, distinct*rounds)
+		}
+		if r := st.ReuseRate(); r >= 1 || r <= 0 {
+			t.Errorf("%s: ReuseRate = %v, want in (0, 1)", cfg.Name, r)
+		}
+	}
+}
+
+// TestMemoStatsSnapshotSequential pins the Snapshot accessor's behavior
+// in the simple single-goroutine case.
+func TestMemoStatsSnapshotSequential(t *testing.T) {
+	f, stats := Memo(func(x int) int { return x + 1 })
+	for i := 0; i < 10; i++ {
+		f(i % 5)
+	}
+	st := stats.Snapshot()
+	if st.Calls != 10 || st.Distinct != 5 || st.Hits != 5 {
+		t.Fatalf("snapshot: %+v", st)
+	}
+	if st.HitRatio() != 0.5 || st.ReuseRate() != 0.5 {
+		t.Fatalf("ratios: %v %v", st.HitRatio(), st.ReuseRate())
+	}
+}
