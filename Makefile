@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check bench eval
+.PHONY: build vet test race check bench eval serve eval-json
 
 build:
 	$(GO) build ./...
@@ -28,3 +28,13 @@ bench:
 # and the concurrent-runtime sweep.
 eval:
 	$(GO) run ./cmd/crcbench
+
+# eval-json also writes the results + decision ledgers as JSON
+# (BENCH_<date>.json).
+eval-json:
+	$(GO) run ./cmd/crcbench -json BENCH_$$(date +%Y%m%d).json
+
+# serve runs the evaluation with live /metrics, /decisions and
+# /debug/pprof at localhost:8344.
+serve:
+	$(GO) run ./cmd/crcbench serve -scale 8

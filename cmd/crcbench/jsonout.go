@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"compreuse/internal/bench"
+	"compreuse/internal/core"
+)
+
+// The -json flag serializes a completed crcbench run as a single document:
+// run metadata, each experiment's rendered output, and — for every pipeline
+// run the experiments shared — the measured outcome with the full decision
+// ledger. Schema changes bump the "schema" string.
+
+type jsonDoc struct {
+	Schema      string             `json:"schema"`
+	Date        string             `json:"date"`
+	GoVersion   string             `json:"go_version"`
+	Scale       int64              `json:"scale"`
+	Experiments []jsonExperiment   `json:"experiments"`
+	Runs        map[string]jsonRun `json:"runs"`
+}
+
+type jsonExperiment struct {
+	Name   string `json:"name"`
+	Desc   string `json:"desc"`
+	Output string `json:"output"`
+}
+
+// jsonRun is one memoized pipeline run ("program/level" keyed).
+type jsonRun struct {
+	Program             string                `json:"program"`
+	OptLevel            string                `json:"opt_level"`
+	Speedup             float64               `json:"speedup"`
+	EnergySaving        float64               `json:"energy_saving"`
+	BaselineCycles      int64                 `json:"baseline_cycles"`
+	ReuseCycles         int64                 `json:"reuse_cycles"`
+	SegmentsAnalyzed    int                   `json:"segments_analyzed"`
+	SegmentsProfiled    int                   `json:"segments_profiled"`
+	SegmentsTransformed int                   `json:"segments_transformed"`
+	Tables              []jsonTable           `json:"tables,omitempty"`
+	Ledger              []core.DecisionRecord `json:"ledger"`
+}
+
+type jsonTable struct {
+	Name       string `json:"name"`
+	Entries    int    `json:"entries"`
+	SizeBytes  int    `json:"size_bytes"`
+	Resident   int    `json:"resident"`
+	Probes     int64  `json:"probes"`
+	Hits       int64  `json:"hits"`
+	Collisions int64  `json:"collisions"`
+	Evictions  int64  `json:"evictions"`
+}
+
+// buildJSONDoc assembles the export document from a finished run.
+func buildJSONDoc(runner *bench.Runner, results []expResult) *jsonDoc {
+	doc := &jsonDoc{
+		Schema:    "crcbench/1",
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Scale:     runner.Scale,
+		Runs:      map[string]jsonRun{},
+	}
+	for _, r := range results {
+		doc.Experiments = append(doc.Experiments, jsonExperiment(r))
+	}
+
+	reports := runner.Reports()
+	keys := make([]string, 0, len(reports))
+	for k := range reports {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		rep := reports[key]
+		run := jsonRun{
+			Program:             rep.Name,
+			OptLevel:            rep.OptLevel,
+			Speedup:             rep.Speedup(),
+			EnergySaving:        rep.EnergySaving(),
+			BaselineCycles:      rep.Baseline.Cycles,
+			ReuseCycles:         rep.Reuse.Cycles,
+			SegmentsAnalyzed:    rep.SegmentsAnalyzed,
+			SegmentsProfiled:    rep.SegmentsProfiled,
+			SegmentsTransformed: rep.SegmentsTransformed,
+			Ledger:              rep.Ledger,
+		}
+		for _, t := range rep.Tables {
+			run.Tables = append(run.Tables, jsonTable{
+				Name:       t.Name,
+				Entries:    t.Entries,
+				SizeBytes:  t.SizeBytes,
+				Resident:   t.Resident,
+				Probes:     t.Stats.Probes,
+				Hits:       t.Stats.Hits,
+				Collisions: t.Stats.Collisions,
+				Evictions:  t.Stats.Evictions,
+			})
+		}
+		doc.Runs[key] = run
+	}
+	return doc
+}
+
+// writeJSONDoc writes the export document to path.
+func writeJSONDoc(path string, runner *bench.Runner, results []expResult) error {
+	data, err := json.MarshalIndent(buildJSONDoc(runner, results), "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return nil
+}

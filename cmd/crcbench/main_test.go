@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"compreuse/internal/bench"
+	"compreuse/internal/core"
+	"compreuse/internal/obs"
+)
+
+// fig5Runner executes the cheapest experiment (fig5: one G721_encode run
+// at O0) at a reduced workload, returning the runner and captured results.
+func fig5Runner(t *testing.T) (*bench.Runner, []expResult) {
+	t.Helper()
+	runner := bench.NewRunner()
+	runner.Scale = 64
+	results, err := runExperiments(io.Discard, runner, "fig5", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runner, results
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+// TestServeEndpoints scrapes every endpoint of the serve mux after a real
+// experiment run, as a monitoring system would.
+func TestServeEndpoints(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+
+	runner, _ := fig5Runner(t)
+	store := newDecisionStore()
+	store.update(runner.Reports())
+
+	srv := httptest.NewServer(newServeMux(store))
+	defer srv.Close()
+
+	code, body, ctype := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content-type %q", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE crc_probes_total counter",
+		"crc_pipeline_runs_total",
+		"crc_probe_latency_ns_bucket{le=",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body, ctype = get(t, srv, "/metrics.json")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/metrics.json: status %d content-type %q", code, ctype)
+	}
+	var snap obs.RegistrySnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json: %v", err)
+	}
+	if snap.Counters["crc_probes_total"] == 0 {
+		t.Error("/metrics.json: probe counter did not move during the run")
+	}
+
+	code, body, ctype = get(t, srv, "/decisions")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/decisions: status %d content-type %q", code, ctype)
+	}
+	var ledgers map[string][]core.DecisionRecord
+	if err := json.Unmarshal([]byte(body), &ledgers); err != nil {
+		t.Fatalf("/decisions: %v", err)
+	}
+	recs, ok := ledgers["G721_encode/O0"]
+	if !ok || len(recs) == 0 {
+		t.Fatalf("/decisions: no ledger for G721_encode/O0 (have %d runs)", len(ledgers))
+	}
+	sawAccepted := false
+	for _, rec := range recs {
+		if rec.Reason == "" {
+			t.Errorf("/decisions: %s has no reason", rec.Segment)
+		}
+		if rec.Accepted && rec.N > 0 {
+			sawAccepted = true
+		}
+	}
+	if !sawAccepted {
+		t.Error("/decisions: no accepted record with observed N")
+	}
+
+	if code, _, _ = get(t, srv, "/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/: status %d", code)
+	}
+	if code, _, _ = get(t, srv, "/debug/vars"); code != http.StatusOK {
+		t.Errorf("/debug/vars: status %d", code)
+	}
+	code, body, _ = get(t, srv, "/")
+	if code != http.StatusOK || !strings.Contains(body, "/decisions") {
+		t.Errorf("index: status %d body %q", code, body)
+	}
+}
+
+// TestJSONExport writes the -json document for a real run and round-trips
+// the decision ledger through it.
+func TestJSONExport(t *testing.T) {
+	runner, results := fig5Runner(t)
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeJSONDoc(path, runner, results); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var doc jsonDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != "crcbench/1" {
+		t.Errorf("schema %q", doc.Schema)
+	}
+	if doc.GoVersion == "" || doc.Date == "" || doc.Scale != 64 {
+		t.Errorf("metadata incomplete: %+v", doc)
+	}
+	if len(doc.Experiments) != 1 || doc.Experiments[0].Name != "fig5" {
+		t.Fatalf("experiments: %+v", doc.Experiments)
+	}
+	if !strings.Contains(doc.Experiments[0].Output, "Figure 5") {
+		t.Error("captured output lost the figure")
+	}
+
+	run, ok := doc.Runs["G721_encode/O0"]
+	if !ok {
+		t.Fatalf("runs missing G721_encode/O0: have %v", len(doc.Runs))
+	}
+	if run.Speedup <= 0 || run.BaselineCycles == 0 {
+		t.Errorf("run measurements missing: %+v", run)
+	}
+	if len(run.Tables) == 0 {
+		t.Error("run has no table info")
+	}
+
+	want := runner.Reports()["G721_encode/O0"].Ledger
+	if len(run.Ledger) != len(want) {
+		t.Fatalf("ledger round-trip lost records: %d -> %d", len(want), len(run.Ledger))
+	}
+	for i := range want {
+		if run.Ledger[i] != want[i] {
+			t.Errorf("ledger record %d changed in round-trip", i)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"compreuse/internal/bench"
+	"compreuse/internal/core"
+	"compreuse/internal/obs"
+)
+
+// serveMain is the `crcbench serve` subcommand: it enables the telemetry
+// layer, runs the selected experiments in the background, and serves the
+// live metrics and the decision ledgers over HTTP:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  the same registry as a JSON document
+//	/decisions     decision ledgers of every completed pipeline run
+//	/debug/vars    expvar
+//	/debug/pprof   runtime profiles
+func serveMain(args []string) error {
+	fs := flag.NewFlagSet("crcbench serve", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8344", "listen address")
+	exp := fs.String("exp", "all", "comma-separated experiment names, or 'all'")
+	scale := fs.Int64("scale", 1, "divide workload sizes by this factor")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	obs.Enable()
+	runner := bench.NewRunner()
+	runner.Scale = *scale
+	if !*quiet {
+		runner.Progress = os.Stderr
+	}
+
+	store := newDecisionStore()
+	mux := newServeMux(store)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serving http://%s/metrics and /decisions\n", ln.Addr())
+
+	go func() {
+		start := time.Now()
+		results, err := runExperiments(os.Stdout, runner, *exp, false)
+		store.update(runner.Reports())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "%d experiments in %.1fs; still serving (Ctrl-C to stop)\n",
+			len(results), time.Since(start).Seconds())
+	}()
+
+	return http.Serve(ln, mux)
+}
+
+// decisionStore holds the decision ledgers of completed pipeline runs,
+// keyed "program/level", for the /decisions endpoint. Experiments update
+// it; scrapes read it concurrently.
+type decisionStore struct {
+	mu      sync.Mutex
+	ledgers map[string][]core.DecisionRecord
+}
+
+func newDecisionStore() *decisionStore {
+	return &decisionStore{ledgers: map[string][]core.DecisionRecord{}}
+}
+
+// update replaces the store contents from a runner's memoized reports.
+func (s *decisionStore) update(reports map[string]*core.Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key, rep := range reports {
+		s.ledgers[key] = rep.Ledger
+	}
+}
+
+// serveHTTP writes the ledgers as one JSON object keyed by run.
+func (s *decisionStore) serveHTTP(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	cp := make(map[string][]core.DecisionRecord, len(s.ledgers))
+	for k, v := range s.ledgers {
+		cp[k] = v
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(cp)
+}
+
+// newServeMux mounts the observability handler plus the decision ledger
+// and a plain-text index.
+func newServeMux(store *decisionStore) *http.ServeMux {
+	mux := obs.Handler()
+	mux.HandleFunc("/decisions", store.serveHTTP)
+	mux.HandleFunc("/{$}", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		endpoints := []string{
+			"/metrics", "/metrics.json", "/decisions", "/debug/vars", "/debug/pprof/",
+		}
+		sort.Strings(endpoints)
+		fmt.Fprintln(w, "crcbench serve — computation-reuse telemetry")
+		for _, e := range endpoints {
+			fmt.Fprintln(w, "  "+e)
+		}
+	})
+	return mux
+}

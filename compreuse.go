@@ -31,12 +31,15 @@
 package compreuse
 
 import (
+	"net/http"
+
 	"compreuse/internal/bench"
 	"compreuse/internal/core"
 	"compreuse/internal/cost"
 	"compreuse/internal/energy"
 	"compreuse/internal/interp"
 	"compreuse/internal/minic"
+	"compreuse/internal/obs"
 	"compreuse/internal/opt"
 )
 
@@ -52,6 +55,13 @@ type Report = core.Report
 
 // Decision records what the scheme concluded about one code segment.
 type Decision = core.Decision
+
+// DecisionRecord is one line of the pipeline's decision ledger: the
+// observed quantities of formulas (1)-(4) for one analyzed segment and the
+// accept/reject verdict with its reason. Report.Ledger holds one per
+// segment; Report.LedgerJSON serializes it and core.ParseLedger reads it
+// back.
+type DecisionRecord = core.DecisionRecord
 
 // SweepPoint selects a reuse-table configuration for RunSweep.
 type SweepPoint = core.SweepPoint
@@ -121,3 +131,21 @@ func Programs() []BenchProgram { return bench.All() }
 
 // ProgramByName finds a suite program ("G721_encode", "MPEG2_decode", ...).
 func ProgramByName(name string) (BenchProgram, error) { return bench.ByName(name) }
+
+// EnableMetrics turns on the reuse telemetry layer: probe/record counters,
+// latency and key-size histograms, table occupancy gauges and pipeline
+// decision counters start updating. When disabled (the default), the
+// instrumented hot paths pay a single atomic load.
+func EnableMetrics() { obs.Enable() }
+
+// DisableMetrics stops all metric updates; collected values remain
+// readable.
+func DisableMetrics() { obs.Disable() }
+
+// MetricsEnabled reports whether the telemetry layer is live.
+func MetricsEnabled() bool { return obs.On() }
+
+// MetricsHandler serves the collected metrics: /metrics (Prometheus text
+// format), /metrics.json, /debug/vars (expvar) and /debug/pprof. The
+// crcbench serve subcommand mounts this same handler.
+func MetricsHandler() http.Handler { return obs.Handler() }

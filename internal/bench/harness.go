@@ -86,6 +86,17 @@ func (r *Runner) Report(name, level string) (*core.Report, error) {
 	return rep, nil
 }
 
+// Reports returns every memoized pipeline report, keyed "program/level".
+// The crcbench -json and serve modes read this to export run outcomes and
+// decision ledgers after the experiments execute.
+func (r *Runner) Reports() map[string]*core.Report {
+	out := make(map[string]*core.Report, len(r.reports))
+	for k, v := range r.reports {
+		out[k] = v
+	}
+	return out
+}
+
 // AltReport runs the cross-input configuration (profile on the training
 // input, measure on the alternative input) at O3 — Table 10's methodology.
 func (r *Runner) AltReport(name string) (*core.Report, error) {

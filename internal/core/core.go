@@ -112,7 +112,9 @@ type TableInfo struct {
 	Entries    int
 	EntryBytes int
 	SizeBytes  int
-	Stats      reusetab.SegStats // summed over merged segments
+	// Resident is the number of entries stored at the end of the run.
+	Resident int
+	Stats    reusetab.SegStats // summed over merged segments
 	// AccessCounts are per-entry probe counts (Figures 7/8).
 	AccessCounts []int64
 	// PredictedCollisionRate is the profiling-time estimate of executions
@@ -132,7 +134,11 @@ type Report struct {
 	Specialized         []string
 
 	Decisions []Decision
-	Profiles  map[string]*profile.SegProfile
+	// Ledger is the structured decision ledger: one record per analyzed
+	// segment with the observed quantities of formulas (1)-(4) and the
+	// accept/reject verdict (see DecisionRecord; LedgerJSON serializes it).
+	Ledger   []DecisionRecord
+	Profiles map[string]*profile.SegProfile
 	// Snapshot is the profiling artifact of this run, suitable for
 	// Options.Profile in a later invocation (cmd/crc -profile-out).
 	Snapshot *profile.Snapshot
@@ -307,6 +313,7 @@ func RunSweep(o Options, points []SweepPoint) (*Report, []SweepOutcome, error) {
 				Entries:    tab.Config().Entries,
 				EntryBytes: tab.EntryBytes(),
 				SizeBytes:  tab.SizeBytes(),
+				Resident:   tab.Resident(),
 				Stats:      tab.TotalStats(),
 			}
 			for _, s := range ts.Segs {
@@ -460,8 +467,20 @@ func Run(o Options) (*Report, error) {
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].Seg.Index < cands[j].Seg.Index })
-	selected := nesting.Build(cands, pa.cg).Select()
-	selected = dropOverlapping(selected)
+	ng := nesting.Build(cands, pa.cg)
+	nestSelected := ng.Select()
+	selected := dropOverlapping(nestSelected)
+	overlapDropped := map[string]bool{}
+	kept := map[string]bool{}
+	for _, c := range selected {
+		kept[c.Seg.Name] = true
+	}
+	for _, c := range nestSelected {
+		if !kept[c.Seg.Name] {
+			overlapDropped[c.Seg.Name] = true
+		}
+	}
+	nestingWhy := nestingExplanations(ng, selected)
 	selectedNames := map[string]bool{}
 	for _, c := range selected {
 		selectedNames[c.Seg.Name] = true
@@ -484,6 +503,7 @@ func Run(o Options) (*Report, error) {
 		}
 		rep.Decisions = append(rep.Decisions, d)
 	}
+	rep.Ledger = buildLedger(&o, rep, pa.an.Segments, passedFreq, selectedNames, nestingWhy, overlapDropped)
 
 	// --- Copy C: final transformation and measurement run.
 	pc, err := prep(&o, model)
@@ -516,6 +536,7 @@ func Run(o Options) (*Report, error) {
 			Entries:      tab.Config().Entries,
 			EntryBytes:   tab.EntryBytes(),
 			SizeBytes:    tab.SizeBytes(),
+			Resident:     tab.Resident(),
 			Stats:        tab.TotalStats(),
 			AccessCounts: tab.AccessCounts(),
 		}

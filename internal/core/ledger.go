@@ -1,0 +1,181 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"compreuse/internal/nesting"
+	"compreuse/internal/obs"
+	"compreuse/internal/segment"
+)
+
+// The decision ledger is the pipeline's structured account of formulas
+// (1)-(4): one record per analyzed code segment, carrying every observed
+// quantity the paper's scheme decides on (N, N_ds, R, C, O, the gain
+// R·C − O, the formula-4 nesting choice, the specialization provenance)
+// and the final accept/reject verdict with its reason. It is attached to
+// Report.Ledger, serializable to JSON (LedgerJSON / ParseLedger), and
+// served live by `crcbench serve` at /decisions.
+
+// DecisionRecord is one ledger line. Zero-valued profiling fields mean the
+// segment never reached value-set profiling (see Reason).
+type DecisionRecord struct {
+	// Segment is the stable segment name ("quan_1@func").
+	Segment string `json:"segment"`
+	// Function is the enclosing function; Kind the segment shape
+	// (function body, loop body, if branch, sub-block).
+	Function string `json:"function"`
+	Kind     string `json:"kind"`
+	// Specialized marks segments of functions created by code
+	// specialization (§2.4) — e.g. G721's quan_1 clone.
+	Specialized bool `json:"specialized,omitempty"`
+
+	// Filter trail, in pipeline order.
+	Eligible   bool `json:"eligible"`
+	PassedOC   bool `json:"passed_oc"`
+	PassedFreq bool `json:"passed_freq"`
+	Profiled   bool `json:"profiled"`
+
+	// Observed quantities of formulas (1)-(3), from value-set profiling.
+	N         int64   `json:"n"`
+	Nds       int64   `json:"n_ds"`
+	ReuseRate float64 `json:"reuse_rate"`
+	C         float64 `json:"c_cycles"`
+	O         float64 `json:"o_cycles"`
+	// Gain is the per-instance gain R·C − O (formula 3); TotalGain is
+	// Gain·N, the whole-run stake formula (4) arbitrates with.
+	Gain      float64 `json:"gain_cycles"`
+	TotalGain float64 `json:"total_gain_cycles"`
+
+	// Table and KeyBytes describe the (possibly merged) reuse table the
+	// segment profiled through.
+	Table    string `json:"table,omitempty"`
+	KeyBytes int    `json:"key_bytes,omitempty"`
+
+	// Nesting is the formula-(4) account when the segment reached nesting
+	// resolution.
+	Nesting string `json:"nesting,omitempty"`
+
+	// Accepted is the final verdict; Reason names the deciding filter or
+	// formula.
+	Accepted bool   `json:"accepted"`
+	Reason   string `json:"reason"`
+}
+
+// Pipeline-level decision metrics, live when observability is enabled.
+var (
+	mRuns = obs.NewCounter("crc_pipeline_runs_total",
+		"complete pipeline runs")
+	mSegsAnalyzed = obs.NewCounter("crc_segments_analyzed_total",
+		"code segments structurally analyzed")
+	mSegsProfiled = obs.NewCounter("crc_segments_profiled_total",
+		"code segments value-set profiled")
+	mAccepted = obs.NewCounter("crc_decisions_accepted_total",
+		"segments accepted for transformation")
+	mRejected = obs.NewCounter("crc_decisions_rejected_total",
+		"segments rejected by a filter or formula")
+)
+
+// buildLedger produces one DecisionRecord per analyzed segment. The reason
+// reflects the first pipeline stage that disposed of the segment:
+// structural eligibility, the O/C < 1 pre-filter, the execution-frequency
+// filter, value-set profiling, formula (3), then formula (4).
+func buildLedger(o *Options, rep *Report, segs []*segment.Segment,
+	passedFreq map[string]bool, selectedNames map[string]bool,
+	nestingWhy map[string]string, overlapDropped map[string]bool) []DecisionRecord {
+
+	specialized := map[string]bool{}
+	for _, fn := range rep.Specialized {
+		specialized[fn] = true
+	}
+
+	var ledger []DecisionRecord
+	for _, s := range segs {
+		rec := DecisionRecord{
+			Segment:     s.Name,
+			Function:    s.Fn.Name,
+			Kind:        s.Kind.String(),
+			Specialized: specialized[s.Fn.Name],
+			Eligible:    s.Eligible,
+			PassedOC:    s.RatioOK(),
+			PassedFreq:  passedFreq[s.Name],
+			Accepted:    selectedNames[s.Name],
+		}
+		if sp := rep.Profiles[s.Name]; sp != nil {
+			rec.Profiled = true
+			rec.N = sp.N
+			rec.Nds = sp.Nds
+			rec.ReuseRate = sp.ReuseRate()
+			rec.C = sp.MeasuredC
+			rec.O = sp.Overhead
+			rec.Gain = sp.Gain()
+			rec.TotalGain = sp.Gain() * float64(sp.N)
+			rec.Table = sp.TableName
+			rec.KeyBytes = sp.KeyBytes
+		}
+		rec.Nesting = nestingWhy[s.Name]
+
+		switch {
+		case rec.Accepted:
+			rec.Reason = "accepted: R*C - O > 0 (formula 3)"
+			if rec.Nesting != "" {
+				rec.Reason = "accepted: " + rec.Nesting
+			}
+		case !rec.Eligible:
+			rec.Reason = "structural: " + s.Reason
+		case !rec.PassedOC:
+			rec.Reason = "pre-filter: O/C >= 1 (formula 3 cannot hold)"
+		case !rec.PassedFreq:
+			rec.Reason = fmt.Sprintf("frequency filter: fewer than %d instances in the profiling run", o.MinFreq)
+		case !rec.Profiled:
+			rec.Reason = "not profiled (absent from the profile snapshot)"
+		case rec.Gain <= 0:
+			rec.Reason = "unprofitable: R*C - O <= 0 (formula 3)"
+		case overlapDropped[s.Name]:
+			rec.Reason = "rejected: overlaps a higher-gain selected segment"
+		case rec.Nesting != "":
+			rec.Reason = rec.Nesting
+		default:
+			rec.Reason = "rejected: lost nesting resolution (formula 4)"
+		}
+		ledger = append(ledger, rec)
+	}
+
+	if obs.On() {
+		mRuns.Inc()
+		mSegsAnalyzed.Add(int64(len(segs)))
+		mSegsProfiled.Add(int64(rep.SegmentsProfiled))
+		for _, rec := range ledger {
+			if rec.Accepted {
+				mAccepted.Inc()
+			} else {
+				mRejected.Inc()
+			}
+		}
+	}
+	return ledger
+}
+
+// nestingExplanations maps nesting.Explain's per-candidate accounts to
+// segment names.
+func nestingExplanations(g *nesting.Graph, selected []*nesting.Candidate) map[string]string {
+	out := map[string]string{}
+	for c, why := range g.Explain(selected) {
+		out[c.Seg.Name] = why
+	}
+	return out
+}
+
+// LedgerJSON serializes the decision ledger as indented JSON.
+func (r *Report) LedgerJSON() ([]byte, error) {
+	return json.MarshalIndent(r.Ledger, "", "  ")
+}
+
+// ParseLedger reads a ledger serialized by LedgerJSON.
+func ParseLedger(data []byte) ([]DecisionRecord, error) {
+	var out []DecisionRecord
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("decision ledger: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// gnugoMini is a compact GNU Go-shaped program: several small influence
+// helpers over a repeating board state, giving the ledger both accepted
+// and rejected segments.
+const gnugoMini = `
+int infl(int color, int dist) {
+    int v = 64;
+    int i;
+    for (i = 0; i < dist; i++)
+        v = v - v / 4;
+    return v * color;
+}
+
+int main(void) {
+    int s = 0;
+    int m;
+    for (m = 0; m < 600; m++) {
+        s += infl(1 + (m & 1), 1 + (m & 3));
+    }
+    return s;
+}
+`
+
+func runLedger(t *testing.T, name, src string) *Report {
+	t.Helper()
+	rep, err := Run(Options{Name: name, Source: src, MinFreq: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestLedgerCoversEverySegment checks the acceptance criterion: every
+// analyzed candidate segment carries a decision record with the observed
+// quantities and a verdict reason.
+func TestLedgerCoversEverySegment(t *testing.T) {
+	rep := runLedger(t, "g721mini", g721Mini)
+	if len(rep.Ledger) != rep.SegmentsAnalyzed {
+		t.Fatalf("ledger has %d records for %d analyzed segments", len(rep.Ledger), rep.SegmentsAnalyzed)
+	}
+	accepted := 0
+	for _, rec := range rep.Ledger {
+		if rec.Reason == "" {
+			t.Errorf("%s: empty verdict reason", rec.Segment)
+		}
+		if rec.Kind == "" || rec.Function == "" {
+			t.Errorf("%s: missing kind/function", rec.Segment)
+		}
+		if rec.Accepted {
+			accepted++
+			if !strings.HasPrefix(rec.Reason, "accepted") {
+				t.Errorf("%s: accepted with reason %q", rec.Segment, rec.Reason)
+			}
+			if rec.N == 0 || rec.Nds == 0 {
+				t.Errorf("%s: accepted without observed N/N_ds (%d/%d)", rec.Segment, rec.N, rec.Nds)
+			}
+			if rec.Gain <= 0 {
+				t.Errorf("%s: accepted with gain %.2f", rec.Segment, rec.Gain)
+			}
+			if rec.C <= 0 || rec.O <= 0 {
+				t.Errorf("%s: accepted without C/O (%.2f/%.2f)", rec.Segment, rec.C, rec.O)
+			}
+			if rec.ReuseRate <= 0 || rec.ReuseRate > 1 {
+				t.Errorf("%s: reuse rate %.3f out of range", rec.Segment, rec.ReuseRate)
+			}
+			if rec.Table == "" {
+				t.Errorf("%s: accepted without a table", rec.Segment)
+			}
+		}
+		if rec.Profiled {
+			wantR := 1 - float64(rec.Nds)/float64(rec.N)
+			if math.Abs(rec.ReuseRate-wantR) > 1e-9 {
+				t.Errorf("%s: reuse rate %.6f != 1 - Nds/N = %.6f", rec.Segment, rec.ReuseRate, wantR)
+			}
+			wantGain := rec.ReuseRate*rec.C - rec.O
+			if math.Abs(rec.Gain-wantGain) > 1e-6 {
+				t.Errorf("%s: gain %.4f != R*C-O = %.4f (formula 3)", rec.Segment, rec.Gain, wantGain)
+			}
+		}
+	}
+	if accepted != rep.SegmentsTransformed {
+		t.Errorf("ledger accepted %d, report transformed %d", accepted, rep.SegmentsTransformed)
+	}
+	// The G721-shaped pipeline must attribute the win to the specialized
+	// quan clone and say so in the ledger.
+	foundSpecialized := false
+	for _, rec := range rep.Ledger {
+		if rec.Accepted && rec.Specialized {
+			foundSpecialized = true
+		}
+	}
+	if !foundSpecialized {
+		t.Error("no accepted record carries the specialization provenance")
+	}
+}
+
+// TestLedgerJSONRoundTrip serializes the G721-style and GNU Go-style
+// ledgers and checks the parse returns the identical records.
+func TestLedgerJSONRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ name, src string }{
+		{"g721mini", g721Mini},
+		{"gnugomini", gnugoMini},
+	} {
+		rep := runLedger(t, tc.name, tc.src)
+		data, err := rep.LedgerJSON()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !json.Valid(data) {
+			t.Fatalf("%s: invalid JSON", tc.name)
+		}
+		back, err := ParseLedger(data)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(back) != len(rep.Ledger) {
+			t.Fatalf("%s: round-trip lost records: %d -> %d", tc.name, len(rep.Ledger), len(back))
+		}
+		for i := range back {
+			if back[i] != rep.Ledger[i] {
+				t.Errorf("%s: record %d changed in round-trip:\n got %+v\nwant %+v",
+					tc.name, i, back[i], rep.Ledger[i])
+			}
+		}
+	}
+}
+
+// TestLedgerRejectReasons drives a program with known reject shapes and
+// checks the filter trail is named correctly.
+func TestLedgerRejectReasons(t *testing.T) {
+	rep := runLedger(t, "g721mini", g721Mini)
+	reasons := map[string]int{}
+	for _, rec := range rep.Ledger {
+		switch {
+		case strings.HasPrefix(rec.Reason, "structural:"):
+			reasons["structural"]++
+		case strings.HasPrefix(rec.Reason, "pre-filter:"):
+			reasons["oc"]++
+		case strings.HasPrefix(rec.Reason, "frequency filter:"):
+			reasons["freq"]++
+		case strings.HasPrefix(rec.Reason, "unprofitable:"):
+			reasons["formula3"]++
+		case strings.HasPrefix(rec.Reason, "accepted"):
+			reasons["accepted"]++
+		case strings.HasPrefix(rec.Reason, "rejected:"):
+			reasons["nesting"]++
+		default:
+			t.Errorf("%s: unclassified reason %q", rec.Segment, rec.Reason)
+		}
+	}
+	if reasons["accepted"] == 0 {
+		t.Error("no accepted records")
+	}
+	if reasons["structural"] == 0 {
+		t.Error("expected at least one structurally ineligible segment (main@func does I/O-like work)")
+	}
+	t.Logf("reason mix: %v", reasons)
+}

@@ -1,0 +1,91 @@
+package nesting
+
+import "fmt"
+
+// Explain returns, for every candidate in the graph, a one-line account of
+// its formula-(4) outcome given the selection Select produced — the
+// compiler's decision ledger quotes these verbatim. selected must be (a
+// subset of) the slice Select returned on this graph.
+func (g *Graph) Explain(selected []*Candidate) map[*Candidate]string {
+	sel := map[*Candidate]bool{}
+	for _, c := range selected {
+		sel[c] = true
+	}
+
+	// Reconstruct the SCC condensation survivors (paper §2.3): in each
+	// recursive component only the best-gain member stayed a candidate.
+	survivor := make([]int, len(g.Cands))
+	for i := range survivor {
+		survivor[i] = i
+	}
+	for _, comp := range g.SCCs {
+		if len(comp) == 1 {
+			continue
+		}
+		best := comp[0]
+		for _, m := range comp[1:] {
+			if g.Cands[m].TotalGain() > g.Cands[best].TotalGain() {
+				best = m
+			}
+		}
+		for _, m := range comp {
+			survivor[m] = best
+		}
+	}
+
+	out := make(map[*Candidate]string, len(g.Cands))
+	for i, c := range g.Cands {
+		switch {
+		case sel[c]:
+			inner := 0
+			for j := range g.Cands {
+				if g.nested[i][j] && g.Cands[j].Gain > 0 {
+					inner++
+				}
+			}
+			outer := ""
+			for j := range g.Cands {
+				if g.nested[j][i] {
+					outer = g.Cands[j].Seg.Name
+					break
+				}
+			}
+			switch {
+			case inner > 0:
+				out[c] = fmt.Sprintf("selected: outer level beats the sum of %d inner candidate(s) (formula 4)", inner)
+			case outer != "":
+				out[c] = fmt.Sprintf("selected: inner level beats outer %s (formula 4)", outer)
+			default:
+				out[c] = "selected: no nesting conflict"
+			}
+
+		case survivor[i] != i:
+			out[c] = fmt.Sprintf("rejected: recursive nest condensed to %s (§2.3)", g.Cands[survivor[i]].Seg.Name)
+
+		default:
+			reason := ""
+			for j := range g.Cands {
+				other := g.Cands[j]
+				if !sel[other] {
+					continue
+				}
+				switch {
+				case g.nested[j][i]:
+					reason = fmt.Sprintf("rejected: outer segment %s selected instead (formula 4)", other.Seg.Name)
+				case g.nested[i][j]:
+					reason = fmt.Sprintf("rejected: inner segment %s selected instead (formula 4)", other.Seg.Name)
+				case g.overlap[i][j]:
+					reason = fmt.Sprintf("rejected: overlaps selected segment %s", other.Seg.Name)
+				}
+				if reason != "" {
+					break
+				}
+			}
+			if reason == "" {
+				reason = "rejected: no profitable placement in its nest (formula 4)"
+			}
+			out[c] = reason
+		}
+	}
+	return out
+}

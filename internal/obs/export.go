@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// This file renders a Registry in the three export formats:
+//
+//   - Prometheus text exposition format (WritePrometheus), served at
+//     /metrics by Handler;
+//   - a JSON snapshot (Snapshot / WriteJSON), served at /metrics.json;
+//   - expvar (PublishExpvar), which piggybacks the JSON snapshot onto the
+//     standard /debug/vars page.
+
+// familyName strips a fixed label suffix: `name{label="x"}` → `name`.
+func familyName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format. Metrics are sorted by name; # HELP/# TYPE headers are emitted
+// once per metric family.
+func WritePrometheus(w io.Writer, r *Registry) {
+	seen := map[string]bool{}
+	header := func(name, help, typ string) {
+		fam := familyName(name)
+		if seen[fam] {
+			return
+		}
+		seen[fam] = true
+		if help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", fam, help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", fam, typ)
+	}
+	r.visit(
+		func(c *Counter) {
+			header(c.name, c.help, "counter")
+			fmt.Fprintf(w, "%s %d\n", c.name, c.Value())
+		},
+		func(g *Gauge) {
+			header(g.name, g.help, "gauge")
+			fmt.Fprintf(w, "%s %d\n", g.name, g.Value())
+		},
+		func(h *Histogram) {
+			header(h.name, h.help, "histogram")
+			s := h.Snapshot()
+			cum := int64(0)
+			for i, b := range s.Bounds {
+				cum += s.Buckets[i]
+				fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", h.name, b, cum)
+			}
+			cum += s.Buckets[len(s.Buckets)-1]
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+			fmt.Fprintf(w, "%s_sum %d\n", h.name, s.Sum)
+			fmt.Fprintf(w, "%s_count %d\n", h.name, s.Count)
+		},
+	)
+}
+
+// RegistrySnapshot is the JSON form of a registry's current state.
+type RegistrySnapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	s := RegistrySnapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	r.visit(
+		func(c *Counter) { s.Counters[c.name] = c.Value() },
+		func(g *Gauge) { s.Gauges[g.name] = g.Value() },
+		func(h *Histogram) { s.Histograms[h.name] = h.Snapshot() },
+	)
+	return s
+}
+
+// WriteJSON renders the registry snapshot as indented JSON.
+func WriteJSON(w io.Writer, r *Registry) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar publishes the default registry as the expvar variable
+// "crc_metrics" (a JSON snapshot recomputed on every /debug/vars read).
+// Safe to call more than once; only the first call registers.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("crc_metrics", expvar.Func(func() any {
+			return defaultRegistry.Snapshot()
+		}))
+	})
+}

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns a mux serving the live observability surface of the
+// default registry:
+//
+//	/metrics       Prometheus text exposition format
+//	/metrics.json  JSON snapshot of every counter, gauge and histogram
+//	/debug/vars    standard expvar page (includes the crc_metrics snapshot)
+//	/debug/pprof/  the standard Go profiling endpoints
+//
+// Callers may register additional routes on the returned mux (cmd/crcbench
+// adds /decisions with the compiler's cost–benefit ledger). Serving the
+// mux does not enable instrumentation by itself; call Enable.
+func Handler() *http.ServeMux {
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, Default())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w, Default())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package obs
+
+// RaceEnabled reports whether the race detector is compiled in (timing
+// assertions in tests are meaningless under its instrumentation).
+const RaceEnabled = false

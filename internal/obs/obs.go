@@ -1,0 +1,259 @@
+// Package obs is the observability layer of the reuse system: an
+// allocation-free metrics core (atomic counters, gauges, and fixed-bucket
+// histograms) behind a package-level enable flag, with exporters for the
+// Prometheus text format, expvar, and JSON snapshots, and an http.Handler
+// serving them live.
+//
+// The paper's scheme is driven entirely by observed quantities — instance
+// count N, distinct input patterns N_ds, reuse rate R, granularity C,
+// hashing overhead O, and the gain R·C − O — and this package makes the
+// runtime side of those quantities visible while a system serves traffic:
+// probe latencies, key sizes, hit/miss/collision/eviction counts, and
+// table occupancy.
+//
+// Cost discipline: instrumentation is off by default, and every
+// instrumented hot path checks On() exactly once — a single atomic load —
+// before doing any metric work. Metric updates themselves are single
+// atomic adds; Observe on a histogram is a small linear bucket scan plus
+// three atomic adds, with no allocation. Metrics are registered at package
+// init time, so the exporters always list the full metric set even before
+// instrumentation is enabled.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// on is the global instrumentation switch. The disabled fast path of every
+// instrumented call site is exactly one atomic load of this flag.
+var on atomic.Bool
+
+// Enable turns instrumentation on.
+func Enable() { on.Store(true) }
+
+// Disable turns instrumentation off.
+func Disable() { on.Store(false) }
+
+// On reports whether instrumentation is enabled. Hot paths call this once
+// and skip all metric work when it returns false.
+func On() bool { return on.Load() }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	name string
+	help string
+	v    atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for Prometheus semantics).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Name returns the registered metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	name string
+	help string
+	v    atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (possibly negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Name returns the registered metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// Histogram is a fixed-bucket cumulative histogram. Bounds are inclusive
+// upper bounds in ascending order; an implicit +Inf bucket catches the
+// rest. Observe is allocation-free: a linear scan over the (small) bounds
+// slice and three atomic adds.
+type Histogram struct {
+	name   string
+	help   string
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Int64
+	count  atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Name returns the registered metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// HistogramSnapshot is a consistent-enough copy of a histogram for export:
+// each field is loaded atomically (buckets first, then sum/count, so a
+// concurrent Observe can at worst appear in sum/count but not yet in a
+// bucket — the exporters tolerate that, and the values agree once the
+// writers are quiescent).
+type HistogramSnapshot struct {
+	// Bounds are the inclusive upper bounds; the final +Inf bucket is
+	// implicit (Buckets has one more element than Bounds).
+	Bounds []int64 `json:"bounds"`
+	// Buckets are per-bucket (non-cumulative) observation counts.
+	Buckets []int64 `json:"buckets"`
+	Sum     int64   `json:"sum"`
+	Count   int64   `json:"count"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:  h.bounds,
+		Buckets: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Buckets[i] = h.counts[i].Load()
+	}
+	s.Sum = h.sum.Load()
+	s.Count = h.count.Load()
+	return s
+}
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry. Registration is idempotent by name (GetOrCreate), so
+// packages may re-register under the same name and share the instance.
+//
+// Names follow the Prometheus convention and may carry a fixed label
+// suffix, e.g. `crc_table_occupancy{table="quan"}`; exporters treat the
+// part before '{' as the metric family name.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// defaultRegistry is the process-wide registry used by the package-level
+// constructors and the exporters' convenience entry points.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name, help: help}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use with the
+// given bucket upper bounds (ascending; an implicit +Inf bucket is added).
+// Bounds are fixed at creation; a later call with different bounds returns
+// the existing histogram unchanged.
+func (r *Registry) Histogram(name, help string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	b := append([]int64(nil), bounds...)
+	h := &Histogram{name: name, help: help, bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	r.histograms[name] = h
+	return h
+}
+
+// NewCounter registers a counter in the default registry.
+func NewCounter(name, help string) *Counter { return defaultRegistry.Counter(name, help) }
+
+// NewGauge registers a gauge in the default registry.
+func NewGauge(name, help string) *Gauge { return defaultRegistry.Gauge(name, help) }
+
+// NewHistogram registers a histogram in the default registry.
+func NewHistogram(name, help string, bounds []int64) *Histogram {
+	return defaultRegistry.Histogram(name, help, bounds)
+}
+
+// sortedNames returns map keys in lexical order (export determinism).
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// visit walks the registry's metrics in deterministic (sorted-name) order
+// under the read lock.
+func (r *Registry) visit(counter func(*Counter), gauge func(*Gauge), hist func(*Histogram)) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, n := range sortedNames(r.counters) {
+		counter(r.counters[n])
+	}
+	for _, n := range sortedNames(r.gauges) {
+		gauge(r.gauges[n])
+	}
+	for _, n := range sortedNames(r.histograms) {
+		hist(r.histograms[n])
+	}
+}
+
+// LatencyBuckets are the default probe-latency histogram bounds in
+// nanoseconds: 16 ns up to ~65 µs in powers of two. A hash-table probe on
+// a modern core lands in the low buckets; lock contention, cache misses
+// and singleflight waits push samples up the range.
+var LatencyBuckets = []int64{16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 65536}
+
+// SizeBuckets are the default key/value size histogram bounds in bytes.
+// The paper's fast path is "hash key not greater than 32 bits" (4 bytes);
+// GNU Go's merged tables use 16-byte keys; UNEPIC's image rows run wider.
+var SizeBuckets = []int64{4, 8, 16, 32, 64, 128, 256, 1024}

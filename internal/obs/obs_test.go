@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// testRegistry builds a private registry with one metric of each kind and
+// deterministic values, for the exporter golden tests.
+func testRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("crc_probes_total", "reuse-table probes")
+	c.Add(41)
+	c.Inc()
+	occ := r.Gauge(`crc_table_occupancy{table="quan"}`, "resident entries per table")
+	occ.Set(129)
+	g := r.Gauge("crc_resident_entries", "resident entries across live tables")
+	g.Add(7)
+	g.Add(-2)
+	h := r.Histogram("crc_probe_latency_ns", "probe latency", []int64{16, 64, 256})
+	for _, v := range []int64{3, 17, 64, 65, 1000} {
+		h.Observe(v)
+	}
+	return r
+}
+
+const goldenPrometheus = `# HELP crc_probes_total reuse-table probes
+# TYPE crc_probes_total counter
+crc_probes_total 42
+# HELP crc_resident_entries resident entries across live tables
+# TYPE crc_resident_entries gauge
+crc_resident_entries 5
+# HELP crc_table_occupancy resident entries per table
+# TYPE crc_table_occupancy gauge
+crc_table_occupancy{table="quan"} 129
+# HELP crc_probe_latency_ns probe latency
+# TYPE crc_probe_latency_ns histogram
+crc_probe_latency_ns_bucket{le="16"} 1
+crc_probe_latency_ns_bucket{le="64"} 3
+crc_probe_latency_ns_bucket{le="256"} 4
+crc_probe_latency_ns_bucket{le="+Inf"} 5
+crc_probe_latency_ns_sum 1149
+crc_probe_latency_ns_count 5
+`
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	WritePrometheus(&buf, testRegistry())
+	if got := buf.String(); got != goldenPrometheus {
+		t.Errorf("prometheus export mismatch:\n--- got ---\n%s--- want ---\n%s", got, goldenPrometheus)
+	}
+}
+
+func TestJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, testRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	var s RegistrySnapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if s.Counters["crc_probes_total"] != 42 {
+		t.Errorf("counter = %d, want 42", s.Counters["crc_probes_total"])
+	}
+	if s.Gauges[`crc_table_occupancy{table="quan"}`] != 129 {
+		t.Errorf("labeled gauge = %d, want 129", s.Gauges[`crc_table_occupancy{table="quan"}`])
+	}
+	h := s.Histograms["crc_probe_latency_ns"]
+	if h.Count != 5 || h.Sum != 1149 {
+		t.Errorf("histogram count/sum = %d/%d, want 5/1149", h.Count, h.Sum)
+	}
+	wantBuckets := []int64{1, 2, 1, 1}
+	if len(h.Buckets) != len(wantBuckets) {
+		t.Fatalf("buckets = %v, want %v", h.Buckets, wantBuckets)
+	}
+	for i, w := range wantBuckets {
+		if h.Buckets[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, h.Buckets[i], w)
+		}
+	}
+}
+
+func TestExpvarPublishes(t *testing.T) {
+	NewCounter("crc_expvar_probe_total", "test counter").Add(3)
+	PublishExpvar()
+	v := expvar.Get("crc_metrics")
+	if v == nil {
+		t.Fatal("crc_metrics not published")
+	}
+	var s RegistrySnapshot
+	if err := json.Unmarshal([]byte(v.String()), &s); err != nil {
+		t.Fatalf("expvar value is not a snapshot: %v", err)
+	}
+	if s.Counters["crc_expvar_probe_total"] != 3 {
+		t.Errorf("expvar counter = %d, want 3", s.Counters["crc_expvar_probe_total"])
+	}
+	// Publishing twice must not panic (expvar panics on duplicate names).
+	PublishExpvar()
+}
+
+func TestRegistryIdempotentByName(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x", "first")
+	b := r.Counter("x", "second")
+	if a != b {
+		t.Error("same-name counters must be shared")
+	}
+	h1 := r.Histogram("h", "", []int64{1, 2})
+	h2 := r.Histogram("h", "", []int64{9})
+	if h1 != h2 {
+		t.Error("same-name histograms must be shared")
+	}
+	if len(h2.bounds) != 2 {
+		t.Error("bounds are fixed at creation")
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edges", "", []int64{10, 20})
+	h.Observe(10) // inclusive upper bound → first bucket
+	h.Observe(11)
+	h.Observe(21) // +Inf bucket
+	s := h.Snapshot()
+	want := []int64{1, 1, 1}
+	for i, w := range want {
+		if s.Buckets[i] != w {
+			t.Errorf("bucket %d = %d, want %d (%v)", i, s.Buckets[i], w, s.Buckets)
+		}
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	defer Disable()
+	if On() {
+		t.Fatal("instrumentation must start disabled")
+	}
+	Enable()
+	if !On() {
+		t.Fatal("Enable did not take")
+	}
+	Disable()
+	if On() {
+		t.Fatal("Disable did not take")
+	}
+}
+
+// TestConcurrentHammer updates every metric kind from 8 goroutines while
+// two exporters scrape the registry. Run under -race this is the data-race
+// proof for the whole metrics core.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "")
+	g := r.Gauge("hammer_gauge", "")
+	h := r.Histogram("hammer_latency_ns", "", LatencyBuckets)
+	const workers = 8
+	const opsPer = 5000
+
+	stop := make(chan struct{})
+	var scrapes sync.WaitGroup
+	for _, export := range []func(){
+		func() { WritePrometheus(&bytes.Buffer{}, r) },
+		func() { _ = WriteJSON(&bytes.Buffer{}, r) },
+	} {
+		export := export
+		scrapes.Add(1)
+		go func() {
+			defer scrapes.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					export()
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := int64(0); i < opsPer; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe((seed*opsPer + i) % 5000)
+				g.Add(-1)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(stop)
+	scrapes.Wait()
+
+	if c.Value() != workers*opsPer {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*opsPer)
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+	if h.Count() != workers*opsPer {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*opsPer)
+	}
+	s := h.Snapshot()
+	var total int64
+	for _, b := range s.Buckets {
+		total += b
+	}
+	if total != h.Count() {
+		t.Errorf("bucket total %d != count %d", total, h.Count())
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	mux := Handler()
+	for path, want := range map[string]string{
+		"/metrics":      "# TYPE",
+		"/metrics.json": `"counters"`,
+		"/debug/vars":   "crc_metrics",
+	} {
+		req := httptest.NewRequest("GET", path, nil)
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Errorf("%s: status %d", path, rec.Code)
+		}
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Errorf("%s: body missing %q:\n%.400s", path, want, rec.Body.String())
+		}
+	}
+	// pprof index renders without starting a profile.
+	req := httptest.NewRequest("GET", "/debug/pprof/", nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("/debug/pprof/: status %d", rec.Code)
+	}
+}
+
+// TestDisabledCheckUnder2ns asserts the whole cost added to an
+// instrumentation-disabled hot path — the single On() atomic load — stays
+// under 2 ns/op. Skipped under the race detector, whose instrumentation
+// inflates every atomic op far past the budget.
+func TestDisabledCheckUnder2ns(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("timing assertion is meaningless under -race")
+	}
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	Disable()
+	res := testing.Benchmark(func(b *testing.B) {
+		n := 0
+		for i := 0; i < b.N; i++ {
+			if On() {
+				n++
+			}
+		}
+		if n != 0 {
+			b.Fatal("instrumentation unexpectedly enabled")
+		}
+	})
+	perOp := float64(res.T.Nanoseconds()) / float64(res.N)
+	t.Logf("disabled-path check: %.3f ns/op", perOp)
+	if perOp > 2.0 {
+		t.Errorf("disabled-instrumentation check costs %.2f ns/op, budget is 2 ns", perOp)
+	}
+}
+
+func BenchmarkDisabledCheck(b *testing.B) {
+	Disable()
+	for i := 0; i < b.N; i++ {
+		if On() {
+			b.Fatal("enabled")
+		}
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_latency_ns", "", LatencyBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i & 8191))
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"compreuse/internal/obs"
 )
 
 // shardSeed decorrelates shard selection from the direct-addressed slot
@@ -34,6 +36,12 @@ type Sharded struct {
 	// distinct counts first-time keys across all shards (the shards
 	// partition the key space, so the sum is exact).
 	distinct atomic.Int64
+	// resident counts entries currently stored across all shards,
+	// maintained from per-record deltas; occGauge is the whole-table
+	// occupancy gauge (the per-shard tables' own gauges are disabled so
+	// shards do not clobber each other's partial counts).
+	resident atomic.Int64
+	occGauge *obs.Gauge
 	shards   []tableShard
 }
 
@@ -47,8 +55,8 @@ type tableShard struct {
 
 // shardedSegStats mirrors SegStats with atomically updated fields.
 type shardedSegStats struct {
-	probes, hits, misses, records, collisions atomic.Int64
-	_                                         [64 - 40]byte
+	probes, hits, misses, records, collisions, evictions atomic.Int64
+	_                                                    [64 - 48]byte
 }
 
 // NewSharded builds a sharded table over cfg. The shard count is rounded
@@ -78,13 +86,15 @@ func NewSharded(cfg Config, shards int) *Sharded {
 		shardCfg.Entries = (cfg.Entries + n - 1) / n
 	}
 	s := &Sharded{
-		cfg:    cfg,
-		mask:   uint32(n - 1),
-		stats:  make([]shardedSegStats, cfg.Segs),
-		shards: make([]tableShard, n),
+		cfg:      cfg,
+		mask:     uint32(n - 1),
+		stats:    make([]shardedSegStats, cfg.Segs),
+		occGauge: OccupancyGauge(cfg.Name),
+		shards:   make([]tableShard, n),
 	}
 	for i := range s.shards {
 		s.shards[i].tab = New(shardCfg)
+		s.shards[i].tab.occGauge = nil
 	}
 	return s
 }
@@ -136,9 +146,22 @@ func (s *Sharded) Probe(seg int, key []byte) ([]uint64, bool) {
 func (s *Sharded) Record(seg int, key []byte, outs []uint64) {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
+	evBefore := sh.tab.stats[seg].Evictions
+	resBefore := sh.tab.resident
 	sh.tab.Record(seg, key, outs)
+	evDelta := sh.tab.stats[seg].Evictions - evBefore
+	resDelta := sh.tab.resident - resBefore
 	sh.mu.Unlock()
 	s.stats[seg].records.Add(1)
+	if evDelta > 0 {
+		s.stats[seg].evictions.Add(evDelta)
+	}
+	if resDelta != 0 {
+		s.resident.Add(int64(resDelta))
+	}
+	if obs.On() {
+		s.occGauge.Set(s.resident.Load())
+	}
 }
 
 // Stats returns segment seg's counters. Reads are atomic snapshots of
@@ -153,6 +176,7 @@ func (s *Sharded) Stats(seg int) SegStats {
 	misses := st.misses.Load()
 	records := st.records.Load()
 	collisions := st.collisions.Load()
+	evictions := st.evictions.Load()
 	probes := st.probes.Load()
 	return SegStats{
 		Probes:     probes,
@@ -160,6 +184,7 @@ func (s *Sharded) Stats(seg int) SegStats {
 		Misses:     misses,
 		Records:    records,
 		Collisions: collisions,
+		Evictions:  evictions,
 	}
 }
 
@@ -173,9 +198,14 @@ func (s *Sharded) TotalStats() SegStats {
 		sum.Misses += st.Misses
 		sum.Records += st.Records
 		sum.Collisions += st.Collisions
+		sum.Evictions += st.Evictions
 	}
 	return sum
 }
+
+// Resident returns the number of entries currently stored across all
+// shards (maintained from atomic per-record deltas; never blocks probes).
+func (s *Sharded) Resident() int { return int(s.resident.Load()) }
 
 // Distinct returns the number of distinct keys ever probed across all
 // shards (the paper's N_ds).

@@ -3,6 +3,8 @@ package reusetab
 import (
 	"fmt"
 	"sort"
+
+	"compreuse/internal/obs"
 )
 
 // Mode selects how a Table behaves.
@@ -54,6 +56,11 @@ type SegStats struct {
 	Misses     int64
 	Records    int64
 	Collisions int64 // probes that missed because a different key held the slot
+	// Evictions counts resident entries displaced by this segment's
+	// records: LRU replacement of the least-recently-used entry, or a
+	// direct-addressed overwrite of a different key's entry (§3.1's
+	// replace-on-collision). Unbounded tables never evict.
+	Evictions int64
 }
 
 // HitRatio returns Hits/Probes, or 0 when never probed.
@@ -77,6 +84,13 @@ type Table struct {
 	cfg   Config
 	stats []SegStats
 	clock int64
+	// resident is the number of entries currently stored (distinct keys
+	// for unbounded tables, occupied slots otherwise).
+	resident int
+	// occGauge, when non-nil, is the per-table occupancy gauge updated on
+	// instrumented records. Sharded clears it on its per-shard tables and
+	// maintains the whole-table gauge itself.
+	occGauge *obs.Gauge
 
 	// Direct-addressed or LRU storage.
 	slots []entry
@@ -120,6 +134,7 @@ func New(cfg Config) *Table {
 		stats:        make([]SegStats, cfg.Segs),
 		accessCounts: map[int]int64{},
 		rank:         map[string]int{},
+		occGauge:     OccupancyGauge(cfg.Name),
 	}
 	switch {
 	case cfg.Mode == ModeProfile:
@@ -216,8 +231,17 @@ func grow(size int) int {
 
 // Probe looks key up for segment seg. On a hit it returns the stored
 // output words. In ModeProfile, Probe always reports a miss and records
-// the key in the census.
+// the key in the census. When instrumentation is enabled (obs.Enable),
+// the probe also feeds the latency/size histograms and outcome counters;
+// disabled, the only added cost is the single obs.On() atomic load.
 func (t *Table) Probe(seg int, key []byte) ([]uint64, bool) {
+	if obs.On() {
+		return t.probeObserved(seg, key)
+	}
+	return t.probe(seg, key)
+}
+
+func (t *Table) probe(seg int, key []byte) ([]uint64, bool) {
 	ks := string(key)
 	st := &t.stats[seg]
 	st.Probes++
@@ -293,8 +317,17 @@ func (t *Table) Probe(seg int, key []byte) ([]uint64, bool) {
 }
 
 // Record stores the outputs computed for key by segment seg. In
-// ModeProfile it is a no-op (the census is taken in Probe).
+// ModeProfile it is a no-op (the census is taken in Probe). Like Probe,
+// Record is instrumented only when obs.On().
 func (t *Table) Record(seg int, key []byte, outs []uint64) {
+	if obs.On() {
+		t.recordObserved(seg, key, outs)
+		return
+	}
+	t.record(seg, key, outs)
+}
+
+func (t *Table) record(seg int, key []byte, outs []uint64) {
 	if t.cfg.Mode == ModeProfile {
 		return
 	}
@@ -314,6 +347,7 @@ func (t *Table) Record(seg int, key []byte, outs []uint64) {
 		if !ok {
 			e = &entry{used: true, key: ks, outs: make([][]uint64, t.cfg.Segs)}
 			t.byKey[ks] = e
+			t.resident++
 		}
 		e.valid |= bit
 		e.outs[seg] = stored
@@ -335,10 +369,12 @@ func (t *Table) Record(seg int, key []byte, outs []uint64) {
 			victim = t.lruFree
 			t.lruFree++
 			t.lruList.pushFront(victim)
+			t.resident++
 		} else {
 			victim = t.lruList.back()
 			delete(t.lruIdx, t.slots[victim].key)
 			t.lruList.moveToFront(victim)
+			st.Evictions++
 		}
 		t.lruIdx[ks] = victim
 		e := &t.slots[victim]
@@ -352,6 +388,11 @@ func (t *Table) Record(seg int, key []byte, outs []uint64) {
 			// Direct-addressed collision: replace the resident entry
 			// (paper §3.1: "the previously recorded inputs and outputs in
 			// the entry is replaced by the new inputs and outputs").
+			if e.used {
+				st.Evictions++
+			} else {
+				t.resident++
+			}
 			*e = entry{used: true, key: ks, outs: make([][]uint64, t.cfg.Segs)}
 		}
 		e.valid |= bit
@@ -449,9 +490,15 @@ func (t *Table) TotalStats() SegStats {
 		sum.Misses += s.Misses
 		sum.Records += s.Records
 		sum.Collisions += s.Collisions
+		sum.Evictions += s.Evictions
 	}
 	return sum
 }
+
+// Resident returns the number of entries currently stored: distinct keys
+// for unbounded tables, occupied slots for bounded ones (never more than
+// Entries), 0 in ModeProfile (the census is not storage).
+func (t *Table) Resident() int { return t.resident }
 
 // SortedCensus returns the union profiling census as (key, count) pairs
 // in first-seen order, for histogram rendering and table sizing.

@@ -5,8 +5,24 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"compreuse/internal/obs"
 	"compreuse/internal/reusetab"
+)
+
+// Memoization metrics, live when observability is enabled (EnableMetrics /
+// obs.Enable). The disabled path of a memoized call pays one atomic load.
+// MemoTable traffic additionally feeds the reuse-table probe metrics
+// (crc_probe_latency_ns, crc_key_bytes, ...) through its underlying
+// sharded table.
+var (
+	mMemoCalls = obs.NewCounter("crc_memo_calls_total",
+		"calls into Memo/Memo2-wrapped functions")
+	mMemoHits = obs.NewCounter("crc_memo_hits_total",
+		"memoized calls served without running the wrapped function")
+	mMemoLatency = obs.NewHistogram("crc_memo_latency_ns",
+		"memoized call latency in nanoseconds (hits and misses alike)", obs.LatencyBuckets)
 )
 
 // This file is the standalone Go-facing reuse runtime: the same table
@@ -37,6 +53,11 @@ type MemoStats struct {
 	Hits int64
 	// Distinct is the number of distinct inputs computed.
 	Distinct int64
+	// Evictions is the number of resident entries displaced by bounded
+	// replacement (LRU or direct-addressed overwrite). Always 0 for the
+	// unbounded Memo/Memo2 wrappers; meaningful for bounded MemoTables,
+	// where LRU churn was previously invisible.
+	Evictions int64
 }
 
 // Snapshot returns a copy of the counters, safe to read while the
@@ -49,8 +70,9 @@ type MemoStats struct {
 func (s *MemoStats) Snapshot() MemoStats {
 	hits := atomic.LoadInt64(&s.Hits)
 	distinct := atomic.LoadInt64(&s.Distinct)
+	evictions := atomic.LoadInt64(&s.Evictions)
 	calls := atomic.LoadInt64(&s.Calls)
-	return MemoStats{Calls: calls, Hits: hits, Distinct: distinct}
+	return MemoStats{Calls: calls, Hits: hits, Distinct: distinct, Evictions: evictions}
 }
 
 // HitRatio is Hits/Calls (0 when never called).
@@ -120,7 +142,9 @@ func Memo[K comparable, V any](f func(K) V) (func(K) V, *MemoStats) {
 	seed := maphash.MakeSeed()
 	mask := uint64(len(shards) - 1)
 	stats := &MemoStats{}
-	return func(k K) V {
+	// call performs one memoized invocation; hit reports whether the value
+	// was served without running f in this goroutine.
+	call := func(k K) (v V, hit bool) {
 		atomic.AddInt64(&stats.Calls, 1)
 		sh := &shards[maphash.Comparable(seed, k)&mask]
 
@@ -130,7 +154,7 @@ func Memo[K comparable, V any](f func(K) V) (func(K) V, *MemoStats) {
 		sh.mu.RUnlock()
 		if ok {
 			atomic.AddInt64(&stats.Hits, 1)
-			return v
+			return v, true
 		}
 
 		// Slow path: re-probe under the write lock, then either join an
@@ -139,13 +163,13 @@ func Memo[K comparable, V any](f func(K) V) (func(K) V, *MemoStats) {
 		if v, ok := sh.vals[k]; ok {
 			sh.mu.Unlock()
 			atomic.AddInt64(&stats.Hits, 1)
-			return v
+			return v, true
 		}
 		if c, ok := sh.inflight[k]; ok {
 			sh.mu.Unlock()
 			<-c.done
 			atomic.AddInt64(&stats.Hits, 1)
-			return c.val
+			return c.val, true
 		}
 		c := &inflightCall[V]{done: make(chan struct{})}
 		sh.inflight[k] = c
@@ -159,7 +183,21 @@ func Memo[K comparable, V any](f func(K) V) (func(K) V, *MemoStats) {
 		sh.mu.Unlock()
 		atomic.AddInt64(&stats.Distinct, 1)
 		close(c.done)
-		return c.val
+		return c.val, false
+	}
+	return func(k K) V {
+		if !obs.On() {
+			v, _ := call(k)
+			return v
+		}
+		start := time.Now()
+		v, hit := call(k)
+		mMemoLatency.Observe(time.Since(start).Nanoseconds())
+		mMemoCalls.Inc()
+		if hit {
+			mMemoHits.Inc()
+		}
+		return v
 	}, stats
 }
 
@@ -244,8 +282,11 @@ func (m *MemoTable) Stats() MemoStats {
 	// Distinct <= Calls (and ReuseRate in [0, 1]) even mid-flight.
 	distinct := int64(m.tab.Distinct())
 	st := m.tab.Stats(0)
-	return MemoStats{Calls: st.Probes, Hits: st.Hits, Distinct: distinct}
+	return MemoStats{Calls: st.Probes, Hits: st.Hits, Distinct: distinct, Evictions: st.Evictions}
 }
+
+// Resident reports the number of entries currently stored in the table.
+func (m *MemoTable) Resident() int { return m.tab.Resident() }
 
 // Shards reports the table's lock-stripe count.
 func (m *MemoTable) Shards() int { return m.tab.Shards() }
