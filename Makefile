@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check bench eval serve eval-json
+.PHONY: build vet test race check bench eval serve eval-serve eval-json fuzz loadgen smoke
 
 build:
 	$(GO) build ./...
@@ -34,7 +34,27 @@ eval:
 eval-json:
 	$(GO) run ./cmd/crcbench -json BENCH_$$(date +%Y%m%d).json
 
-# serve runs the evaluation with live /metrics, /decisions and
+# eval-serve runs the evaluation with live /metrics, /decisions and
 # /debug/pprof at localhost:8344.
-serve:
+eval-serve:
 	$(GO) run ./cmd/crcbench serve -scale 8
+
+# serve starts the networked reuse-cache tier (cache on :8345, metrics
+# and the governor's decision ledger on :8346).
+serve:
+	$(GO) run ./cmd/crcserve
+
+# loadgen hammers a running crcserve with a modeled fleet and prints
+# throughput, RTT percentiles and governor decisions.
+loadgen:
+	$(GO) run ./cmd/crcserve loadgen
+
+# fuzz exercises the wire codec's decoder against corrupt frames.
+fuzz:
+	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=20s ./internal/wire/
+
+# smoke is the CI loadgen smoke test: boot crcserve, drive 2s of real
+# traffic, require nonzero shared hits and a clean SIGTERM drain — all
+# under the race detector.
+smoke:
+	$(GO) test -race -count=1 -run 'TestLoadgenSmoke|TestCrcserve' -v ./cmd/crcserve/

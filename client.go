@@ -1,0 +1,517 @@
+package compreuse
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"compreuse/internal/obs"
+	"compreuse/internal/wire"
+)
+
+// Client metrics (live when obs is enabled, like everything else).
+var (
+	mRemoteRTT = obs.NewHistogram("crc_remote_rtt_ns",
+		"remote reuse-cache round-trip latency in nanoseconds", obs.LatencyBuckets)
+	mRemoteCalls = obs.NewCounter("crc_remote_calls_total",
+		"requests sent to the remote reuse cache")
+	mRemoteErrors = obs.NewCounter("crc_remote_errors_total",
+		"remote reuse-cache requests that failed")
+)
+
+// ClientConfig configures a connection to a crcserve instance.
+type ClientConfig struct {
+	// Addr is the server's TCP address, e.g. "cache:8345".
+	Addr string
+	// Conns is the connection-pool size; requests round-robin across
+	// it. 0 means 2.
+	Conns int
+	// MaxInflight bounds the pipelined requests per pooled connection;
+	// further callers block. 0 means 128.
+	MaxInflight int
+	// DialTimeout bounds connection establishment. 0 means 5s.
+	DialTimeout time.Duration
+}
+
+func (c ClientConfig) conns() int {
+	if c.Conns <= 0 {
+		return 2
+	}
+	return c.Conns
+}
+
+func (c ClientConfig) maxInflight() int {
+	if c.MaxInflight <= 0 {
+		return 128
+	}
+	return c.MaxInflight
+}
+
+func (c ClientConfig) dialTimeout() time.Duration {
+	if c.DialTimeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.DialTimeout
+}
+
+// Client talks to a remote reuse-cache server (cmd/crcserve) over the
+// internal/wire protocol. It is safe for concurrent use: requests are
+// pipelined over a small pool of connections (many callers share one
+// in-flight window per connection, matched back by sequence number),
+// concurrent GETs for the same key are deduplicated in flight
+// (singleflight), and every response round-trip feeds a smoothed RTT
+// estimate that is reported to the server — the server folds it into
+// the lookup overhead O of its formula-3 admission governor.
+type Client struct {
+	cfg   ClientConfig
+	conns []*clientConn
+	next  atomic.Uint64
+
+	// rttNS is the smoothed round-trip estimate, EWMA weight 1/8.
+	rttNS atomic.Int64
+
+	segMu sync.Mutex
+	segs  map[string]*RemoteSegment
+
+	sfMu sync.Mutex
+	sf   map[sfKey]*sfCall
+
+	closed atomic.Bool
+}
+
+type sfKey struct {
+	seg uint32
+	key string
+}
+
+type sfCall struct {
+	done   chan struct{}
+	vals   []uint64
+	status GetStatus
+	err    error
+}
+
+// DialCache connects to a crcserve instance, establishing the whole
+// connection pool eagerly so a misconfigured address fails at startup,
+// not mid-traffic.
+func DialCache(cfg ClientConfig) (*Client, error) {
+	if cfg.Addr == "" {
+		return nil, errors.New("compreuse: ClientConfig.Addr is empty")
+	}
+	c := &Client{
+		cfg:  cfg,
+		segs: map[string]*RemoteSegment{},
+		sf:   map[sfKey]*sfCall{},
+	}
+	for i := 0; i < cfg.conns(); i++ {
+		cc, err := dialConn(cfg)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.conns = append(c.conns, cc)
+	}
+	return c, nil
+}
+
+// Close tears down the connection pool. In-flight calls fail with
+// ErrClientClosed.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	for _, cc := range c.conns {
+		cc.close(ErrClientClosed)
+	}
+	return nil
+}
+
+// ErrClientClosed is returned by calls on a closed Client.
+var ErrClientClosed = errors.New("compreuse: reuse-cache client closed")
+
+// RTT returns the smoothed round-trip estimate to the server.
+func (c *Client) RTT() time.Duration { return time.Duration(c.rttNS.Load()) }
+
+// observeRTT folds one measured round-trip into the estimate.
+func (c *Client) observeRTT(d time.Duration) {
+	ns := d.Nanoseconds()
+	if obs.On() {
+		mRemoteRTT.Observe(ns)
+	}
+	old := c.rttNS.Load()
+	if old == 0 {
+		c.rttNS.Store(ns)
+		return
+	}
+	c.rttNS.Store(old + (ns-old)/8)
+}
+
+// call sends one request over a pooled connection and waits for its
+// response frame.
+func (c *Client) call(req *wire.Frame) (wire.Frame, error) {
+	if c.closed.Load() {
+		return wire.Frame{}, ErrClientClosed
+	}
+	if obs.On() {
+		mRemoteCalls.Inc()
+	}
+	cc := c.conns[c.next.Add(1)%uint64(len(c.conns))]
+	start := time.Now()
+	resp, err := cc.roundTrip(req)
+	if err != nil {
+		if obs.On() {
+			mRemoteErrors.Inc()
+		}
+		return wire.Frame{}, err
+	}
+	c.observeRTT(time.Since(start))
+	if e := resp.Err(); e != nil {
+		return wire.Frame{}, e
+	}
+	return resp, nil
+}
+
+// SegmentConfig describes the shared table a segment wants on the
+// server. The first client to register a name fixes the geometry;
+// later registrations share the existing table as-is.
+type SegmentConfig struct {
+	// Entries bounds the server-side table (0 = unbounded).
+	Entries int
+	// LRU selects associative LRU replacement over direct addressing.
+	LRU bool
+	// OutWords is the output width in 64-bit words (0 = 1).
+	OutWords int
+}
+
+// RemoteSegment is a handle to one named segment's shared table.
+type RemoteSegment struct {
+	c        *Client
+	id       uint32
+	name     string
+	outWords int
+	// bypassed caches the server's last admission verdict so a
+	// bypassed segment does not pay a round trip per call; every
+	// bypassRecheck-th Get goes to the server anyway to notice
+	// readmission.
+	bypassed atomic.Bool
+	sinceByp atomic.Int64
+	l2Hits   atomic.Int64
+	l2Misses atomic.Int64
+	l2Bypass atomic.Int64
+}
+
+// bypassRecheck is how many locally short-circuited calls a bypassed
+// segment makes between probes that check for readmission.
+const bypassRecheck = 64
+
+// Segment registers (or re-attaches to) a named segment on the server
+// and returns its handle. Handles are cached per name.
+func (c *Client) Segment(name string, cfg SegmentConfig) (*RemoteSegment, error) {
+	c.segMu.Lock()
+	if s, ok := c.segs[name]; ok {
+		c.segMu.Unlock()
+		return s, nil
+	}
+	c.segMu.Unlock()
+
+	outWords := cfg.OutWords
+	if outWords <= 0 {
+		outWords = 1
+	}
+	req := &wire.Frame{Op: wire.OpHello, Name: name,
+		Vals: []uint64{uint64(cfg.Entries), b2u(cfg.LRU), uint64(outWords)}}
+	resp, err := c.call(req)
+	if err != nil {
+		return nil, fmt.Errorf("register segment %q: %w", name, err)
+	}
+	s := &RemoteSegment{c: c, id: resp.Seg, name: name, outWords: outWords}
+	if len(resp.Vals) > 2 {
+		s.outWords = int(resp.Vals[2])
+	}
+	c.segMu.Lock()
+	if prior, ok := c.segs[name]; ok {
+		s = prior
+	} else {
+		c.segs[name] = s
+	}
+	c.segMu.Unlock()
+	return s, nil
+}
+
+// GetStatus classifies a remote probe's outcome.
+type GetStatus int
+
+// Get outcomes.
+const (
+	// Miss: the shared table has no value; compute and Put.
+	Miss GetStatus = iota
+	// Hit: the value came from the shared table.
+	Hit
+	// Bypass: the admission governor turned the segment off; compute
+	// locally and skip the Put.
+	Bypass
+)
+
+func (s GetStatus) String() string {
+	switch s {
+	case Hit:
+		return "hit"
+	case Bypass:
+		return "bypass"
+	default:
+		return "miss"
+	}
+}
+
+// Get probes the shared table. Concurrent Gets for the same key are
+// coalesced into one round trip; every caller receives the same
+// result. The returned slice is owned by the caller.
+func (s *RemoteSegment) Get(key []byte) ([]uint64, GetStatus, error) {
+	// Short-circuit a known-bypassed segment, revalidating every
+	// bypassRecheck calls so readmission is noticed.
+	if s.bypassed.Load() && s.sinceByp.Add(1)%bypassRecheck != 0 {
+		s.l2Bypass.Add(1)
+		return nil, Bypass, nil
+	}
+
+	k := sfKey{seg: s.id, key: string(key)}
+	c := s.c
+	c.sfMu.Lock()
+	if call, ok := c.sf[k]; ok {
+		c.sfMu.Unlock()
+		<-call.done
+		return append([]uint64(nil), call.vals...), call.status, call.err
+	}
+	call := &sfCall{done: make(chan struct{})}
+	c.sf[k] = call
+	c.sfMu.Unlock()
+
+	call.vals, call.status, call.err = s.get(key)
+	c.sfMu.Lock()
+	delete(c.sf, k)
+	c.sfMu.Unlock()
+	close(call.done)
+	return call.vals, call.status, call.err
+}
+
+func (s *RemoteSegment) get(key []byte) ([]uint64, GetStatus, error) {
+	req := &wire.Frame{Op: wire.OpGet, Seg: s.id, Key: key,
+		Cost: uint64(s.c.rttNS.Load())}
+	resp, err := s.c.call(req)
+	if err != nil {
+		return nil, Miss, err
+	}
+	switch {
+	case resp.Flags&wire.FlagBypass != 0:
+		s.bypassed.Store(true)
+		s.l2Bypass.Add(1)
+		return nil, Bypass, nil
+	case resp.Flags&wire.FlagHit != 0:
+		s.bypassed.Store(false)
+		s.l2Hits.Add(1)
+		return resp.Vals, Hit, nil
+	default:
+		s.bypassed.Store(false)
+		s.l2Misses.Add(1)
+		return nil, Miss, nil
+	}
+}
+
+// Put records the outputs computed for key, reporting the measured
+// computation cost — the paper's C, which the server's governor weighs
+// against its measured overhead O. Skip the Put after a Bypass status.
+func (s *RemoteSegment) Put(key []byte, vals []uint64, cost time.Duration) error {
+	if s.bypassed.Load() {
+		return nil // the governor said stop; don't pay the round trip
+	}
+	req := &wire.Frame{Op: wire.OpPut, Seg: s.id, Key: key, Vals: vals,
+		Cost: uint64(cost.Nanoseconds())}
+	resp, err := s.c.call(req)
+	if err != nil {
+		return err
+	}
+	if resp.Flags&wire.FlagBypass != 0 {
+		s.bypassed.Store(true)
+	}
+	return nil
+}
+
+// Flush empties the segment's server-side table and resets its
+// admission state.
+func (s *RemoteSegment) Flush() error {
+	_, err := s.c.call(&wire.Frame{Op: wire.OpFlush, Seg: s.id})
+	if err == nil {
+		s.bypassed.Store(false)
+	}
+	return err
+}
+
+// RemoteStats is a snapshot of a segment's server-side counters and
+// governor estimates.
+type RemoteStats struct {
+	Probes, Hits, Misses, Records int64
+	Distinct, Resident            int64
+	Bypassed                      int64 // requests answered with FlagBypass
+	BypassedNow                   bool  // current governor state
+	R                             float64
+	C, O                          time.Duration
+}
+
+// Stats fetches the segment's live server-side statistics.
+func (s *RemoteSegment) Stats() (RemoteStats, error) {
+	resp, err := s.c.call(&wire.Frame{Op: wire.OpStats, Seg: s.id})
+	if err != nil {
+		return RemoteStats{}, err
+	}
+	if len(resp.Vals) < wire.StatsLen {
+		return RemoteStats{}, fmt.Errorf("stats: short response (%d vals)", len(resp.Vals))
+	}
+	v := resp.Vals
+	return RemoteStats{
+		Probes:      int64(v[wire.StatsProbes]),
+		Hits:        int64(v[wire.StatsHits]),
+		Misses:      int64(v[wire.StatsMisses]),
+		Records:     int64(v[wire.StatsRecords]),
+		Distinct:    int64(v[wire.StatsDistinct]),
+		Resident:    int64(v[wire.StatsResident]),
+		Bypassed:    int64(v[wire.StatsBypassed]),
+		BypassedNow: v[wire.StatsState] != 0,
+		R:           float64(v[wire.StatsR]) / 1e6,
+		C:           time.Duration(v[wire.StatsC]),
+		O:           time.Duration(v[wire.StatsO]),
+	}, nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// clientConn is one pooled connection: a writer goroutine batching
+// pipelined requests, a reader goroutine matching responses back to
+// waiters by sequence number.
+type clientConn struct {
+	nc      net.Conn
+	writeCh chan *wire.Frame
+
+	mu      sync.Mutex
+	pending map[uint64]chan wire.Frame
+	err     error
+	seq     uint64
+
+	inflight chan struct{} // capacity = MaxInflight
+}
+
+func dialConn(cfg ClientConfig) (*clientConn, error) {
+	nc, err := net.DialTimeout("tcp", cfg.Addr, cfg.dialTimeout())
+	if err != nil {
+		return nil, err
+	}
+	cc := &clientConn{
+		nc:       nc,
+		writeCh:  make(chan *wire.Frame, cfg.maxInflight()),
+		pending:  map[uint64]chan wire.Frame{},
+		inflight: make(chan struct{}, cfg.maxInflight()),
+	}
+	go cc.writeLoop()
+	go cc.readLoop()
+	return cc, nil
+}
+
+// roundTrip pipelines one request and blocks for its response.
+func (cc *clientConn) roundTrip(req *wire.Frame) (wire.Frame, error) {
+	cc.inflight <- struct{}{}
+	defer func() { <-cc.inflight }()
+
+	ch := make(chan wire.Frame, 1)
+	cc.mu.Lock()
+	if cc.err != nil {
+		err := cc.err
+		cc.mu.Unlock()
+		return wire.Frame{}, err
+	}
+	cc.seq++
+	req.Seq = cc.seq
+	cc.pending[req.Seq] = ch
+	cc.mu.Unlock()
+
+	cc.writeCh <- req
+	resp, ok := <-ch
+	if !ok {
+		cc.mu.Lock()
+		err := cc.err
+		cc.mu.Unlock()
+		if err == nil {
+			err = errors.New("compreuse: connection closed")
+		}
+		return wire.Frame{}, err
+	}
+	return resp, nil
+}
+
+// writeLoop encodes queued requests, coalescing everything already
+// queued into one flush — the client half of pipelining.
+func (cc *clientConn) writeLoop() {
+	bw := bufio.NewWriterSize(cc.nc, 64<<10)
+	w := wire.NewWriter(bw)
+	for f := range cc.writeCh {
+		if err := w.Write(f); err != nil {
+			cc.close(err)
+			return
+		}
+		for more := true; more; {
+			select {
+			case f2 := <-cc.writeCh:
+				if err := w.Write(f2); err != nil {
+					cc.close(err)
+					return
+				}
+			default:
+				more = false
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			cc.close(err)
+			return
+		}
+	}
+}
+
+// readLoop decodes responses and hands each to its waiter.
+func (cc *clientConn) readLoop() {
+	r := wire.NewReader(bufio.NewReaderSize(cc.nc, 64<<10))
+	for {
+		var f wire.Frame
+		if err := r.Next(&f); err != nil {
+			cc.close(err)
+			return
+		}
+		cc.mu.Lock()
+		ch, ok := cc.pending[f.Seq]
+		delete(cc.pending, f.Seq)
+		cc.mu.Unlock()
+		if ok {
+			ch <- f
+		}
+	}
+}
+
+// close fails every pending and future call with err.
+func (cc *clientConn) close(err error) {
+	cc.mu.Lock()
+	if cc.err == nil {
+		cc.err = err
+		cc.nc.Close()
+		for seq, ch := range cc.pending {
+			close(ch)
+			delete(cc.pending, seq)
+		}
+	}
+	cc.mu.Unlock()
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"compreuse/internal/bench"
 	"compreuse/internal/core"
 	"compreuse/internal/obs"
+	"compreuse/internal/sigctx"
 )
 
 // serveMain is the `crcbench serve` subcommand: it enables the telemetry
@@ -31,6 +33,8 @@ func serveMain(args []string) error {
 	exp := fs.String("exp", "all", "comma-separated experiment names, or 'all'")
 	scale := fs.Int64("scale", 1, "divide workload sizes by this factor")
 	quiet := fs.Bool("q", false, "suppress progress output")
+	grace := fs.Duration("drain", 2*time.Second,
+		"how long to let in-flight scrapes finish after SIGINT/SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,7 +67,15 @@ func serveMain(args []string) error {
 			len(results), time.Since(start).Seconds())
 	}()
 
-	return http.Serve(ln, mux)
+	// Drain on SIGINT/SIGTERM instead of dying mid-scrape: stop
+	// accepting, let in-flight responses finish, then return cleanly.
+	ctx, stop := sigctx.Notify(context.Background())
+	defer stop()
+	if err := sigctx.ServeHTTP(ctx, &http.Server{Handler: mux}, ln, *grace); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "crcbench serve: clean drain")
+	return nil
 }
 
 // decisionStore holds the decision ledgers of completed pipeline runs,

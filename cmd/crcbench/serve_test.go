@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeGracefulSignal runs the real serve subcommand and checks
+// that SIGTERM produces a clean drain (serveMain returns nil) instead
+// of killing the process mid-scrape.
+func TestServeGracefulSignal(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		done <- serveMain([]string{
+			"-addr", "127.0.0.1:0", "-exp", "fig5", "-scale", "64", "-q",
+		})
+	}()
+	// Let the listener come up and the signal handler install before
+	// delivering the signal.
+	time.Sleep(300 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serveMain returned %v after SIGTERM", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not exit after SIGTERM")
+	}
+}

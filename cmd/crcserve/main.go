@@ -1,0 +1,162 @@
+// Command crcserve is the remote reuse-cache tier: one process holding
+// the paper's reuse tables and serving them over TCP (internal/wire
+// protocol) to a fleet of workers, each of which would otherwise
+// re-discover the same distinct input patterns on its own. The online
+// admission governor applies the paper's formula 3 (R·C − O > 0) per
+// segment against live numbers — hit rates R from the shared tables,
+// computation costs C reported by clients, overhead O measured from
+// probe latency plus client round trips — and bypasses segments that
+// stop paying for their round trip.
+//
+// Usage:
+//
+//	crcserve                        # listen on :8345, metrics on :8346
+//	crcserve -addr :9000 -max-conns 512 -mem-budget 268435456
+//	crcserve loadgen -addr host:8345 -dur 5s   # hammer a running server
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, responses to
+// every request already received are flushed, then the process exits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"compreuse/internal/obs"
+	"compreuse/internal/reused"
+	"compreuse/internal/sigctx"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "loadgen" {
+		rep, err := loadgenRun(os.Args[2:], os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		rep.print(os.Stdout)
+		return
+	}
+	if err := run(os.Args[1:], os.Stderr, nil); err != nil && err != flag.ErrHelp {
+		fmt.Fprintf(os.Stderr, "crcserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the server and blocks until SIGINT/SIGTERM has been
+// received and the drain finished (returning nil), or a hard error
+// occurs. ready, when non-nil, is called with the cache listener's
+// address once the server is accepting — the tests use it to serve on
+// port 0.
+func run(args []string, logw io.Writer, ready func(net.Addr)) error {
+	fs := flag.NewFlagSet("crcserve", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	addr := fs.String("addr", "localhost:8345", "cache listen address")
+	httpAddr := fs.String("http", "localhost:8346",
+		"metrics/debug HTTP listen address (/metrics, /decisions, /debug/pprof); empty disables")
+	maxConns := fs.Int("max-conns", reused.DefaultMaxConns, "max simultaneous client connections")
+	maxInflight := fs.Int("max-inflight", reused.DefaultMaxInflight,
+		"per-connection pipelined-request bound (backpressure beyond it)")
+	memBudget := fs.Int64("mem-budget", 0, "modeled bytes across all segment tables; 0 = unlimited")
+	shards := fs.Int("shards", 0, "lock stripes per segment table; 0 = near GOMAXPROCS")
+	govWindow := fs.Int("gov-window", reused.DefaultWindow,
+		"probes between admission-governor evaluations; negative disables the governor")
+	govProbation := fs.Int("gov-probation", reused.DefaultProbation,
+		"bypassed requests before a segment is readmitted")
+	drain := fs.Duration("drain", reused.DefaultDrainGrace,
+		"how long to keep serving connected clients after SIGINT/SIGTERM")
+	quiet := fs.Bool("q", false, "suppress governor-decision logging")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	obs.Enable()
+	srv := reused.New(reused.Config{
+		MaxConns:    *maxConns,
+		MaxInflight: *maxInflight,
+		MemBudget:   *memBudget,
+		Shards:      *shards,
+		DrainGrace:  *drain,
+		Governor: reused.GovernorConfig{
+			Window:    *govWindow,
+			Probation: *govProbation,
+			OnDecision: func(d reused.Decision) {
+				if !*quiet {
+					fmt.Fprintf(logw, "governor: %s %s R=%.3f C=%v O=%v gain=%v\n",
+						d.State, d.Segment, d.R,
+						time.Duration(d.C), time.Duration(d.O),
+						time.Duration(d.Gain))
+				}
+			},
+		},
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := sigctx.Notify(context.Background())
+	defer stop()
+
+	// Observability sidecar: the standard obs surface plus the
+	// governor's decision ledger, drained on the same signal context.
+	httpDone := make(chan error, 1)
+	if *httpAddr != "" {
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		mux := obs.Handler()
+		mux.HandleFunc("/decisions", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(srv.Decisions())
+		})
+		fmt.Fprintf(logw, "metrics on http://%s/metrics and /decisions\n", hln.Addr())
+		go func() {
+			httpDone <- sigctx.ServeHTTP(ctx, &http.Server{Handler: mux}, hln, *drain)
+		}()
+	} else {
+		httpDone <- nil
+	}
+
+	fmt.Fprintf(logw, "crcserve listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready(ln.Addr())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(logw, "crcserve: signal received, draining (up to %v)\n", *drain)
+
+	shCtx, cancel := context.WithTimeout(context.Background(), *drain+time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-serveErr; !errors.Is(err, reused.ErrServerClosed) {
+		return err
+	}
+	if err := <-httpDone; err != nil {
+		return fmt.Errorf("metrics server: %w", err)
+	}
+	fmt.Fprintln(logw, "crcserve: clean drain")
+	return nil
+}

@@ -1,0 +1,271 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"compreuse"
+)
+
+// syncBuf collects the server's log lines from concurrent writers.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestCrcserve boots the real binary's run function once and drives the
+// ISSUE's three acceptance properties against it in order, ending with
+// the SIGTERM drain (which stops the server).
+func TestCrcserve(t *testing.T) {
+	logs := &syncBuf{}
+	addrCh := make(chan net.Addr, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-http", "127.0.0.1:0",
+			"-gov-window", "64",
+			"-gov-probation", "1000000", // keep BYPASS sticky for the test
+			"-drain", "2s",
+		}, logs, func(a net.Addr) { addrCh <- a })
+	}()
+	var addr string
+	select {
+	case a := <-addrCh:
+		addr = a.String()
+	case err := <-runErr:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	// Acceptance 1: overlapping key streams from >= 4 independent
+	// clients (4 fleet members × 2 conns each) produce shared reuse —
+	// aggregate server-side hit rate above zero.
+	t.Run("SharedReuse", func(t *testing.T) {
+		rep, err := loadgenRun([]string{
+			"-addr", addr,
+			"-fleet", "4", "-workers", "2", "-conns", "2",
+			"-dur", "500ms", "-keys", "64",
+			// Expensive enough that formula 3 keeps the segment admitted
+			// on a loopback RTT.
+			"-cost", "500us",
+			"-seg", "shared",
+		}, io.Discard)
+		if err != nil {
+			t.Fatalf("loadgen: %v", err)
+		}
+		if rep.Errors != 0 {
+			t.Fatalf("loadgen saw %d errors (ops %d)", rep.Errors, rep.Ops)
+		}
+		if rep.Ops == 0 || rep.Server.Probes == 0 {
+			t.Fatalf("no traffic reached the server: %+v", rep)
+		}
+		if rep.Server.Hits == 0 {
+			t.Fatalf("no shared reuse: %d probes, 0 hits (distinct %d)",
+				rep.Server.Probes, rep.Server.Distinct)
+		}
+		t.Logf("shared segment: %d/%d hits across 4 clients, RTT p50 %v p99 %v",
+			rep.Server.Hits, rep.Server.Probes, rep.P50, rep.P99)
+	})
+
+	// Acceptance 2: a segment whose client-reported C is far below the
+	// measured overhead O is driven to BYPASS by the governor.
+	t.Run("GovernorBypassesCheapSegment", func(t *testing.T) {
+		c, err := compreuse.DialCache(compreuse.ClientConfig{Addr: addr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		seg, err := c.Segment("cheap", compreuse.SegmentConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		bypassed := false
+		for i := 0; !bypassed && time.Now().Before(deadline); i++ {
+			key := []byte(fmt.Sprintf("cheap-%03d", i%8))
+			_, status, err := seg.Get(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch status {
+			case compreuse.Bypass:
+				bypassed = true
+			case compreuse.Miss:
+				// C = 1ns: never worth a network round trip.
+				if err := seg.Put(key, []uint64{uint64(i)}, time.Nanosecond); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if !bypassed {
+			st, _ := seg.Stats()
+			t.Fatalf("governor never bypassed the cheap segment: %+v", st)
+		}
+		st, err := seg.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.BypassedNow {
+			t.Fatalf("Get said bypass but stats disagree: %+v", st)
+		}
+		if !strings.Contains(logs.String(), "BYPASS cheap") {
+			t.Errorf("decision was not logged; logs:\n%s", logs.String())
+		}
+	})
+
+	// The metrics sidecar serves the decision ledger.
+	t.Run("DecisionsEndpoint", func(t *testing.T) {
+		m := regexp.MustCompile(`metrics on http://([^/\s]+)`).FindStringSubmatch(logs.String())
+		if m == nil {
+			t.Fatalf("no metrics address in logs:\n%s", logs.String())
+		}
+		resp, err := http.Get("http://" + m[1] + "/decisions")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /decisions: %s", resp.Status)
+		}
+		if !strings.Contains(string(body), `"BYPASS"`) {
+			t.Errorf("decision ledger missing BYPASS entry: %s", body)
+		}
+	})
+
+	// Acceptance 3: SIGTERM during a burst of in-flight requests drains
+	// cleanly — every request already issued gets its response, and run
+	// itself returns nil.
+	t.Run("SigtermDrain", func(t *testing.T) {
+		c, err := compreuse.DialCache(compreuse.ClientConfig{Addr: addr, Conns: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		seg, err := c.Segment("drain", compreuse.SegmentConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const inflight = 64
+		var failed atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < inflight; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				key := []byte(fmt.Sprintf("drain-%04d", i))
+				if _, _, err := seg.Get(key); err != nil {
+					failed.Add(1)
+					t.Logf("get %d: %v", i, err)
+				}
+			}(i)
+		}
+		close(start)
+		// Let the burst reach the wire, then deliver the signal.
+		time.Sleep(2 * time.Millisecond)
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		if n := failed.Load(); n != 0 {
+			t.Fatalf("%d of %d in-flight requests dropped during drain", n, inflight)
+		}
+
+		select {
+		case err := <-runErr:
+			if err != nil {
+				t.Fatalf("run returned %v after SIGTERM", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("server did not exit after SIGTERM")
+		}
+		if !strings.Contains(logs.String(), "clean drain") {
+			t.Errorf("drain not logged; logs:\n%s", logs.String())
+		}
+	})
+}
+
+// TestLoadgenSmoke is the CI smoke test: a short real-traffic run
+// against a fresh server must produce nonzero shared hits and a clean
+// drain, all under the race detector.
+func TestLoadgenSmoke(t *testing.T) {
+	logs := &syncBuf{}
+	addrCh := make(chan net.Addr, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{"-addr", "127.0.0.1:0", "-http", "", "-q"},
+			logs, func(a net.Addr) { addrCh <- a })
+	}()
+	var addr string
+	select {
+	case a := <-addrCh:
+		addr = a.String()
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	dur := "2s"
+	if testing.Short() {
+		dur = "300ms"
+	}
+	rep, err := loadgenRun([]string{
+		"-addr", addr, "-dur", dur, "-keys", "256", "-cost", "200us",
+	}, io.Discard)
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	rep.print(&testWriter{t})
+	if rep.Server.Hits == 0 {
+		t.Fatalf("smoke traffic produced no hits: %+v", rep.Server)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("smoke traffic saw %d errors", rep.Errors)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("drain failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w *testWriter) Write(p []byte) (int, error) {
+	w.t.Log(strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}

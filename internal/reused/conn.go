@@ -1,0 +1,297 @@
+package reused
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+
+	"compreuse/internal/obs"
+	"compreuse/internal/wire"
+)
+
+// connBufBytes sizes the per-connection read and write buffers: large
+// enough that a deep pipeline of small frames coalesces into few
+// syscalls.
+const connBufBytes = 64 << 10
+
+// framePool recycles frames (and their Key/Vals backing arrays)
+// between the reader and writer of every connection.
+var framePool = sync.Pool{New: func() any { return new(wire.Frame) }}
+
+// conn is one client connection: a reader goroutine that decodes and
+// executes requests, a writer goroutine that encodes and batches
+// responses, and a bounded queue between them whose backpressure
+// ultimately reaches the client through TCP.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	out chan *wire.Frame
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{srv: s, nc: nc, out: make(chan *wire.Frame, s.cfg.maxInflight())}
+}
+
+// beginDrain puts the connection into drain mode: requests already
+// written by the client keep being read, executed and answered until
+// deadline, after which the blocked read returns and the connection
+// winds down through the normal flush-then-close path — so no response
+// to an accepted request is ever dropped.
+func (c *conn) beginDrain(deadline time.Time) {
+	c.nc.SetReadDeadline(deadline)
+}
+
+// run owns the connection's lifecycle. It returns (and unregisters the
+// connection) only after the writer has flushed everything the reader
+// enqueued.
+func (c *conn) run() {
+	writerDone := make(chan struct{})
+	go func() {
+		c.writeLoop()
+		close(writerDone)
+	}()
+
+	r := wire.NewReader(bufio.NewReaderSize(c.nc, connBufBytes))
+	for {
+		f := framePool.Get().(*wire.Frame)
+		if err := r.Next(f); err != nil {
+			// Clean EOF, drain deadline, protocol garbage: all end the
+			// read side. Responses already queued still go out.
+			framePool.Put(f)
+			break
+		}
+		c.srv.process(f)
+		c.out <- f // blocks when the writer is behind: backpressure
+	}
+	close(c.out)
+	<-writerDone
+	c.nc.Close()
+	c.srv.removeConn(c)
+}
+
+// writeLoop encodes queued responses, coalescing every response that is
+// already queued into a single buffered flush. If the connection dies
+// mid-write it keeps draining the queue (discarding) so the reader can
+// never deadlock against a full queue.
+func (c *conn) writeLoop() {
+	bw := bufio.NewWriterSize(c.nc, connBufBytes)
+	w := wire.NewWriter(bw)
+	dead := false
+	for f := range c.out {
+		if !dead {
+			if err := w.Write(f); err != nil {
+				dead = true
+				c.nc.Close() // unblock the reader too
+			}
+		}
+		release(f)
+		// Batch: drain whatever else is queued before paying a flush.
+		for more := true; more && !dead; {
+			select {
+			case f2, ok := <-c.out:
+				if !ok {
+					bw.Flush()
+					return
+				}
+				if err := w.Write(f2); err != nil {
+					dead = true
+					c.nc.Close()
+				}
+				release(f2)
+			default:
+				more = false
+			}
+		}
+		if !dead {
+			if err := bw.Flush(); err != nil {
+				dead = true
+				c.nc.Close()
+			}
+		}
+	}
+	if !dead {
+		bw.Flush()
+	}
+}
+
+// release returns a frame to the pool, dropping any reference it holds
+// into caller-owned memory (a response must never let the pool reuse a
+// buffer the reuse table or another goroutine still owns).
+func release(f *wire.Frame) {
+	f.Name = ""
+	f.Key = nil
+	f.Vals = nil
+	framePool.Put(f)
+}
+
+// process executes one request frame in place, turning it into its
+// response. The frame's Seq survives untouched, which is all the
+// pipelining contract needs.
+func (s *Server) process(f *wire.Frame) {
+	instrumented := obs.On()
+	if instrumented {
+		opCounter(f.Op).Inc()
+	}
+	switch f.Op {
+	case wire.OpHello:
+		s.processHello(f)
+	case wire.OpGet:
+		s.processGet(f, instrumented)
+	case wire.OpPut:
+		s.processPut(f)
+	case wire.OpFlush, wire.OpStats:
+		seg, ok := s.segmentByID(f.Seg)
+		if !ok {
+			fail(f, "unknown segment id")
+			return
+		}
+		if f.Op == wire.OpFlush {
+			seg.tab.Reset()
+			seg.gov.reset()
+			respond(f, 0)
+		} else {
+			s.processStats(f, seg)
+		}
+	default:
+		fail(f, "unsupported op")
+	}
+}
+
+func (s *Server) processHello(f *wire.Frame) {
+	var entries, lru, outWords uint64
+	if len(f.Vals) > 0 {
+		entries = f.Vals[0]
+	}
+	if len(f.Vals) > 1 {
+		lru = f.Vals[1]
+	}
+	if len(f.Vals) > 2 {
+		outWords = f.Vals[2]
+	}
+	seg, err := s.segmentFor(f.Name, int(entries), lru != 0, int(outWords))
+	if err != nil {
+		fail(f, err.Error())
+		return
+	}
+	f.Seg = seg.id
+	cfg := seg.tab.Config()
+	respond(f, 0)
+	f.Vals = append(f.Vals[:0], uint64(cfg.Entries), b2u(cfg.LRU), uint64(seg.outWords))
+}
+
+func (s *Server) processGet(f *wire.Frame, instrumented bool) {
+	seg, ok := s.segmentByID(f.Seg)
+	if !ok {
+		fail(f, "unknown segment id")
+		return
+	}
+	rttNS := int64(f.Cost) // client-reported round-trip estimate
+	if instrumented && rttNS > 0 {
+		mClientRTT.Observe(rttNS)
+	}
+	if seg.bypassOrReadmit(s) {
+		if instrumented {
+			seg.bypassed.Inc()
+		}
+		respond(f, wire.FlagBypass)
+		return
+	}
+	start := time.Now()
+	outs, hit := seg.tab.Probe(0, f.Key)
+	probeNS := time.Since(start).Nanoseconds()
+	if d := seg.gov.observeGet(seg.name, hit, probeNS+rttNS); d != nil {
+		s.recordDecision(*d)
+	}
+	if !hit {
+		respond(f, 0)
+		return
+	}
+	if instrumented {
+		seg.hits.Inc()
+	}
+	respond(f, wire.FlagHit)
+	// Copy the stored words into the frame-owned buffer: the frame goes
+	// back to a pool, and the table keeps owning outs.
+	f.Vals = append(f.Vals[:0], outs...)
+}
+
+func (s *Server) processPut(f *wire.Frame) {
+	seg, ok := s.segmentByID(f.Seg)
+	if !ok {
+		fail(f, "unknown segment id")
+		return
+	}
+	if seg.bypassOrReadmit(s) {
+		if obs.On() {
+			seg.bypassed.Inc()
+		}
+		respond(f, wire.FlagBypass)
+		return
+	}
+	if len(f.Vals) != seg.outWords {
+		fail(f, "wrong output arity")
+		return
+	}
+	seg.gov.observePut(int64(f.Cost))
+	seg.tab.Record(0, f.Key, f.Vals)
+	s.enforceBudget()
+	respond(f, 0)
+}
+
+func (s *Server) processStats(f *wire.Frame, seg *segment) {
+	st := seg.tab.TotalStats()
+	g := seg.gov
+	respond(f, 0)
+	vals := append(f.Vals[:0], make([]uint64, wire.StatsLen)...)
+	vals[wire.StatsProbes] = uint64(st.Probes)
+	vals[wire.StatsHits] = uint64(st.Hits)
+	vals[wire.StatsMisses] = uint64(st.Misses)
+	vals[wire.StatsRecords] = uint64(st.Records)
+	vals[wire.StatsDistinct] = uint64(seg.tab.Distinct())
+	vals[wire.StatsResident] = uint64(seg.tab.Resident())
+	vals[wire.StatsBypassed] = uint64(g.bypassTotal.Load())
+	vals[wire.StatsState] = b2u(g.bypassed())
+	vals[wire.StatsR] = uint64(g.rPPM.Load())
+	vals[wire.StatsC] = uint64(g.cEWMA.Load())
+	vals[wire.StatsO] = uint64(g.oEWMA.Load())
+	f.Vals = vals
+}
+
+// bypassOrReadmit reports whether this request should be answered with
+// FlagBypass. A bypassed request advances the governor's probation; the
+// request that exhausts it resets the segment's table (cold R
+// re-measurement) and readmits — that request itself is still answered
+// as bypassed, the next one probes.
+func (sg *segment) bypassOrReadmit(s *Server) bool {
+	if !sg.gov.bypassed() {
+		return false
+	}
+	if d := sg.gov.observeBypass(sg.name, sg.tab.Reset); d != nil {
+		s.recordDecision(*d)
+	}
+	return true
+}
+
+// respond turns a request frame into its success response in place.
+func respond(f *wire.Frame, flags uint8) {
+	f.Flags = wire.FlagResp | flags
+	f.Name = ""
+	f.Key = nil
+	f.Vals = f.Vals[:0]
+}
+
+// fail turns a request frame into an error response carrying msg.
+func fail(f *wire.Frame, msg string) {
+	f.Flags = wire.FlagResp | wire.FlagErr
+	f.Name = msg
+	f.Key = nil
+	f.Vals = nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

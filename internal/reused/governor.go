@@ -1,0 +1,259 @@
+package reused
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The admission governor is the paper's formula 3 — profitable iff
+// R·C − O > 0 — run online, per segment, against the remote tier's own
+// numbers instead of compile-time profiles:
+//
+//	R  the reuse rate, from the server's live hit/miss counters
+//	C  the computation cost a client avoids on a hit, reported by
+//	   clients on every PUT (they just paid it)
+//	O  the lookup overhead a client pays on every probe: the server's
+//	   measured table-probe latency plus the client-reported round-trip
+//	   estimate carried on each GET
+//
+// A network hop makes O thousands of cycles instead of the paper's
+// tens, so segments that were comfortably profitable in-process can be
+// net losses remotely. The governor evaluates each segment every
+// Window probes and flips it to BYPASS when the gain goes non-positive;
+// bypassed segments answer GETs immediately with FlagBypass (clients
+// compute locally and stop PUTting). After Probation bypassed requests
+// the segment is readmitted with a freshly Reset table so R is
+// re-measured from cold — workloads drift, and yesterday's loser may
+// repeat its inputs today.
+
+// GovernorConfig tunes the online admission policy.
+type GovernorConfig struct {
+	// Window is the number of probes between policy evaluations.
+	// 0 means DefaultWindow; negative disables the governor (segments
+	// are always admitted).
+	Window int
+	// Probation is the number of bypassed requests after which a
+	// BYPASSed segment is readmitted for re-measurement. 0 means
+	// DefaultProbation.
+	Probation int
+	// OnDecision, when non-nil, is called synchronously with every
+	// state transition (from the connection goroutine that triggered
+	// it; keep it cheap).
+	OnDecision func(Decision)
+}
+
+// Governor defaults.
+const (
+	DefaultWindow    = 512
+	DefaultProbation = 4096
+)
+
+func (c GovernorConfig) window() int {
+	if c.Window == 0 {
+		return DefaultWindow
+	}
+	return c.Window
+}
+
+func (c GovernorConfig) probation() int {
+	if c.Probation == 0 {
+		return DefaultProbation
+	}
+	return c.Probation
+}
+
+// Decision is one governor state transition, kept in the server's
+// ledger and handed to GovernorConfig.OnDecision.
+type Decision struct {
+	// Segment is the segment name.
+	Segment string `json:"segment"`
+	// State is the new state: "BYPASS" or "READMIT".
+	State string `json:"state"`
+	// R is the reuse rate over the evaluation window.
+	R float64 `json:"r"`
+	// C is the smoothed client-reported computation cost, ns.
+	C int64 `json:"c_ns"`
+	// O is the smoothed measured probe+RTT overhead, ns.
+	O int64 `json:"o_ns"`
+	// Gain is R·C − O in ns: the paper's formula-3 value that forced
+	// the transition (≤ 0 on BYPASS; 0 on READMIT, which is taken on
+	// probation, not on measurement).
+	Gain float64 `json:"gain_ns"`
+	// Probes and Hits are the window counters behind R.
+	Probes int64 `json:"probes"`
+	Hits   int64 `json:"hits"`
+}
+
+// governor states.
+const (
+	govAdmitted int32 = iota
+	govBypassed
+)
+
+// governor holds one segment's admission state. Window counters are
+// plain atomics updated from every connection goroutine; transitions
+// (evaluate, readmit, flush) serialize on mu. Counter zeroing at a
+// window boundary is not atomic with concurrent adds, so a handful of
+// samples can slip between windows — the policy is statistical and
+// tolerates that.
+type governor struct {
+	cfg GovernorConfig
+
+	state atomic.Int32
+
+	// Window accumulators.
+	winProbes atomic.Int64
+	winHits   atomic.Int64
+	oSum      atomic.Int64 // probe+RTT ns within window
+	cSum      atomic.Int64 // client-reported C ns within window
+	cCnt      atomic.Int64
+
+	// Smoothed across windows (survive window resets; cEWMA also
+	// survives bypass, so readmission remembers what the segment
+	// claimed to cost).
+	cEWMA atomic.Int64
+	oEWMA atomic.Int64
+	rPPM  atomic.Int64 // last evaluated R, parts per million
+
+	// bypassSince counts requests answered with FlagBypass since the
+	// flip; bypassTotal is the lifetime count.
+	bypassSince atomic.Int64
+	bypassTotal atomic.Int64
+
+	mu sync.Mutex
+}
+
+func newGovernor(cfg GovernorConfig) *governor {
+	return &governor{cfg: cfg}
+}
+
+// bypassed reports whether the segment is currently bypassed.
+func (g *governor) bypassed() bool { return g.state.Load() == govBypassed }
+
+// ewma folds sample into the running estimate with weight 1/8.
+func ewma(cur *atomic.Int64, sample int64) int64 {
+	old := cur.Load()
+	if old == 0 {
+		cur.Store(sample)
+		return sample
+	}
+	next := old + (sample-old)/8
+	cur.Store(next)
+	return next
+}
+
+// observeGet records one admitted GET: its table outcome and its
+// measured overhead (server probe latency + client-reported RTT). It
+// returns a Decision pointer when this observation closed a window and
+// flipped the segment to BYPASS.
+func (g *governor) observeGet(seg string, hit bool, overheadNS int64) *Decision {
+	if g.cfg.Window < 0 {
+		return nil
+	}
+	g.winHits.Add(b2i(hit))
+	g.oSum.Add(overheadNS)
+	if g.winProbes.Add(1) < int64(g.cfg.window()) {
+		return nil
+	}
+	return g.evaluate(seg)
+}
+
+// observePut records a client-reported computation cost C.
+func (g *governor) observePut(costNS int64) {
+	if g.cfg.Window < 0 || costNS <= 0 {
+		return
+	}
+	g.cSum.Add(costNS)
+	g.cCnt.Add(1)
+}
+
+// observeBypass records one request answered with FlagBypass. When the
+// probation runs out it readmits the segment — calling resetTab under
+// the transition lock, before the state flips, so the first admitted
+// probe sees a cold table and R is re-measured from scratch — and
+// returns the READMIT decision.
+func (g *governor) observeBypass(seg string, resetTab func()) *Decision {
+	g.bypassTotal.Add(1)
+	if g.bypassSince.Add(1) < int64(g.cfg.probation()) {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.state.Load() != govBypassed || g.bypassSince.Load() < int64(g.cfg.probation()) {
+		return nil
+	}
+	resetTab()
+	g.resetWindowLocked()
+	g.bypassSince.Store(0)
+	g.state.Store(govAdmitted)
+	return &Decision{Segment: seg, State: "READMIT",
+		C: g.cEWMA.Load(), O: g.oEWMA.Load()}
+}
+
+// evaluate closes a window: recompute R, C and O, fold them into the
+// smoothed estimates, and apply formula 3. Called with the window
+// counters at (or slightly past) the window size.
+func (g *governor) evaluate(seg string) *Decision {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	probes := g.winProbes.Load()
+	if probes < int64(g.cfg.window()) || g.state.Load() != govAdmitted {
+		// Another goroutine already evaluated this window.
+		return nil
+	}
+	hits := g.winHits.Load()
+	r := float64(hits) / float64(probes)
+	g.rPPM.Store(int64(r * 1e6))
+
+	o := ewma(&g.oEWMA, g.oSum.Load()/probes)
+
+	c := g.cEWMA.Load()
+	if cnt := g.cCnt.Load(); cnt > 0 {
+		c = ewma(&g.cEWMA, g.cSum.Load()/cnt)
+	}
+
+	g.resetWindowLocked()
+
+	if c == 0 {
+		// No client ever reported a cost: nothing to weigh the hits
+		// with, so stay admitted rather than judge on a guess.
+		return nil
+	}
+	gain := r*float64(c) - float64(o)
+	if gain > 0 {
+		return nil
+	}
+	g.state.Store(govBypassed)
+	g.bypassSince.Store(0)
+	return &Decision{Segment: seg, State: "BYPASS",
+		R: r, C: c, O: o, Gain: gain, Probes: probes, Hits: hits}
+}
+
+// resetWindowLocked zeroes the window accumulators (mu held).
+func (g *governor) resetWindowLocked() {
+	g.winProbes.Store(0)
+	g.winHits.Store(0)
+	g.oSum.Store(0)
+	g.cSum.Store(0)
+	g.cCnt.Store(0)
+}
+
+// reset returns the governor to its initial admitted state (FLUSH op).
+func (g *governor) reset() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.resetWindowLocked()
+	g.state.Store(govAdmitted)
+	g.bypassSince.Store(0)
+	g.bypassTotal.Store(0)
+	g.cEWMA.Store(0)
+	g.oEWMA.Store(0)
+	g.rPPM.Store(0)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

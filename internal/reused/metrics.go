@@ -1,0 +1,62 @@
+package reused
+
+import (
+	"fmt"
+
+	"compreuse/internal/obs"
+	"compreuse/internal/wire"
+)
+
+// Server metrics, registered in the default obs registry so crcserve's
+// MetricsHandler exports them next to the reuse-table counters the
+// segment tables already feed (crc_probes_total, crc_probe_latency_ns,
+// per-table occupancy gauges, ...). Updates are gated on obs.On() at
+// the call sites, per the repo-wide cost discipline.
+var (
+	mConnsOpen = obs.NewGauge("crcserve_conns_open",
+		"client connections currently open")
+	mConnsTotal = obs.NewCounter("crcserve_conns_total",
+		"client connections ever accepted")
+	mConnsRejected = obs.NewCounter("crcserve_conns_rejected_total",
+		"connections refused by the --max-conns limit or during shutdown")
+	mSegments = obs.NewGauge("crcserve_segments",
+		"registered reuse segments")
+	mGovTransitions = obs.NewCounter("crcserve_governor_transitions_total",
+		"admission-governor BYPASS/READMIT transitions")
+	mBudgetFlushes = obs.NewCounter("crcserve_budget_flushes_total",
+		"segment tables flushed by the --mem-budget cap")
+	mClientRTT = obs.NewHistogram("crcserve_client_rtt_ns",
+		"client-reported round-trip estimates carried on GET frames, ns",
+		obs.LatencyBuckets)
+
+	mOpRequests = [...]*obs.Counter{
+		wire.OpHello: obs.NewCounter(`crcserve_requests_total{op="hello"}`, opHelp),
+		wire.OpGet:   obs.NewCounter(`crcserve_requests_total{op="get"}`, opHelp),
+		wire.OpPut:   obs.NewCounter(`crcserve_requests_total{op="put"}`, opHelp),
+		wire.OpFlush: obs.NewCounter(`crcserve_requests_total{op="flush"}`, opHelp),
+		wire.OpStats: obs.NewCounter(`crcserve_requests_total{op="stats"}`, opHelp),
+	}
+	mOpOther = obs.NewCounter(`crcserve_requests_total{op="other"}`, opHelp)
+)
+
+const opHelp = "requests served, by operation"
+
+// opCounter returns the request counter for an operation.
+func opCounter(op wire.Op) *obs.Counter {
+	if int(op) < len(mOpRequests) && mOpRequests[op] != nil {
+		return mOpRequests[op]
+	}
+	return mOpOther
+}
+
+// segHitCounters returns the per-segment hit counter.
+func segHitCounters(name string) *obs.Counter {
+	return obs.NewCounter(fmt.Sprintf("crcserve_seg_hits_total{segment=%q}", name),
+		"GETs served from the shared reuse table, per segment")
+}
+
+// segBypassCounters returns the per-segment bypass counter.
+func segBypassCounters(name string) *obs.Counter {
+	return obs.NewCounter(fmt.Sprintf("crcserve_seg_bypass_total{segment=%q}", name),
+		"requests answered with FlagBypass by the admission governor, per segment")
+}

@@ -61,3 +61,13 @@ func (l *lruList) moveToFront(i int) {
 
 // back returns the least recently used slot, or -1 when the list is empty.
 func (l *lruList) back() int { return l.tail }
+
+// reset unlinks every slot, returning the list to its freshly built
+// state without reallocating the link slices.
+func (l *lruList) reset() {
+	l.head, l.tail = -1, -1
+	for i := range l.prev {
+		l.prev[i] = -1
+		l.next[i] = -1
+	}
+}

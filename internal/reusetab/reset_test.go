@@ -1,0 +1,179 @@
+package reusetab
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// fill drives n distinct keys through probe-then-record on segment 0.
+func fill(t probeRecorder, n int) {
+	for i := 0; i < n; i++ {
+		key := AppendInt(nil, int64(i))
+		if _, hit := t.Probe(0, key); !hit {
+			t.Record(0, key, []uint64{uint64(i)})
+		}
+	}
+}
+
+type probeRecorder interface {
+	Probe(seg int, key []byte) ([]uint64, bool)
+	Record(seg int, key []byte, outs []uint64)
+}
+
+// tableConfigs covers the three storage modes of Table.
+func tableConfigs() map[string]Config {
+	base := Config{Segs: 1, KeyBytes: 8, OutWords: []int{1}, OutBytes: []int{8}}
+	cfgs := map[string]Config{}
+	for name, mut := range map[string]func(*Config){
+		"optimal": func(c *Config) {},
+		"direct":  func(c *Config) { c.Entries = 16 },
+		"lru":     func(c *Config) { c.Entries = 16; c.LRU = true },
+	} {
+		c := base
+		c.Name = name
+		mut(&c)
+		cfgs[name] = c
+	}
+	return cfgs
+}
+
+// TestTableReset fills each table mode past its capacity, resets it,
+// and checks the table is indistinguishable from a fresh one: empty,
+// zero stats, and the same behavior on a replayed workload.
+func TestTableReset(t *testing.T) {
+	for name, cfg := range tableConfigs() {
+		t.Run(name, func(t *testing.T) {
+			tab := New(cfg)
+			fill(tab, 64)
+			if tab.Resident() == 0 || tab.Distinct() != 64 {
+				t.Fatalf("pre-reset: resident=%d distinct=%d", tab.Resident(), tab.Distinct())
+			}
+
+			tab.Reset()
+			if got := tab.Resident(); got != 0 {
+				t.Errorf("post-reset resident = %d", got)
+			}
+			if got := tab.Distinct(); got != 0 {
+				t.Errorf("post-reset distinct = %d", got)
+			}
+			if st := tab.TotalStats(); st != (SegStats{}) {
+				t.Errorf("post-reset stats = %+v", st)
+			}
+			if ac := tab.AccessCounts(); ac != nil {
+				t.Errorf("post-reset access counts = %v", ac)
+			}
+			// Every previously recorded key must now miss.
+			if _, hit := tab.Probe(0, AppendInt(nil, 63)); hit {
+				t.Error("post-reset probe hit a stale entry")
+			}
+
+			// A replayed workload behaves exactly like on a fresh table.
+			fresh := New(cfg)
+			tab.Reset()
+			fill(tab, 64)
+			fill(fresh, 64)
+			if a, b := tab.TotalStats(), fresh.TotalStats(); a != b {
+				t.Errorf("replay after reset diverged: %+v vs fresh %+v", a, b)
+			}
+			if tab.Resident() != fresh.Resident() {
+				t.Errorf("replay resident %d vs fresh %d", tab.Resident(), fresh.Resident())
+			}
+		})
+	}
+}
+
+// TestTableResetProfile clears the profiling census too.
+func TestTableResetProfile(t *testing.T) {
+	cfg := tableConfigs()["optimal"]
+	cfg.Mode = ModeProfile
+	tab := New(cfg)
+	for i := 0; i < 10; i++ {
+		tab.Probe(0, AppendInt(nil, int64(i%5)))
+	}
+	if tab.Distinct() != 5 {
+		t.Fatalf("census distinct = %d", tab.Distinct())
+	}
+	tab.Reset()
+	if tab.Distinct() != 0 || len(tab.SortedCensus()) != 0 {
+		t.Errorf("post-reset census: distinct=%d census=%v", tab.Distinct(), tab.SortedCensus())
+	}
+}
+
+// TestShardedReset mirrors TestTableReset on the concurrent table.
+func TestShardedReset(t *testing.T) {
+	for name, cfg := range tableConfigs() {
+		t.Run(name, func(t *testing.T) {
+			tab := NewSharded(cfg, 4)
+			fill(tab, 64)
+			tab.Reset()
+			if tab.Resident() != 0 || tab.Distinct() != 0 {
+				t.Errorf("post-reset resident=%d distinct=%d", tab.Resident(), tab.Distinct())
+			}
+			if st := tab.TotalStats(); st != (SegStats{}) {
+				t.Errorf("post-reset stats = %+v", st)
+			}
+			if _, hit := tab.Probe(0, AppendInt(nil, 1)); hit {
+				t.Error("post-reset probe hit a stale entry")
+			}
+		})
+	}
+}
+
+// TestShardedResetConcurrent hammers Probe/Record from many goroutines
+// while another goroutine repeatedly resets; run under -race. The
+// assertions are only sanity bounds — the point is the absence of
+// races, deadlocks and panics.
+func TestShardedResetConcurrent(t *testing.T) {
+	cfg := Config{Name: "reset-hammer", Segs: 1, KeyBytes: 8,
+		OutWords: []int{1}, OutBytes: []int{8}}
+	tab := NewSharded(cfg, 8)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := AppendInt(nil, int64(i%128))
+				if _, hit := tab.Probe(0, key); !hit {
+					tab.Record(0, key, []uint64{uint64(i)})
+				}
+			}
+		}(g)
+	}
+	for r := 0; r < 50; r++ {
+		tab.Reset()
+	}
+	close(stop)
+	wg.Wait()
+
+	st := tab.TotalStats()
+	if st.Probes < 0 || st.Hits > st.Probes {
+		t.Errorf("inconsistent stats after concurrent resets: %+v", st)
+	}
+	if d := tab.Distinct(); d > 128 {
+		t.Errorf("distinct %d exceeds key universe", d)
+	}
+}
+
+func ExampleSharded_Reset() {
+	tab := NewSharded(Config{Name: "ex", Segs: 1, KeyBytes: 8,
+		OutWords: []int{1}, OutBytes: []int{8}}, 2)
+	key := AppendInt(nil, 7)
+	tab.Record(0, key, []uint64{42})
+	_, hit := tab.Probe(0, key)
+	fmt.Println("before reset, hit:", hit)
+	tab.Reset()
+	_, hit = tab.Probe(0, key)
+	fmt.Println("after reset, hit:", hit)
+	// Output:
+	// before reset, hit: true
+	// after reset, hit: false
+}

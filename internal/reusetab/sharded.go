@@ -203,6 +203,35 @@ func (s *Sharded) TotalStats() SegStats {
 	return sum
 }
 
+// Reset empties every shard and zeroes all statistics without
+// reallocating. Reset locks each shard in turn rather than all at once,
+// so concurrent probes never deadlock against it; a probe racing the
+// reset lands either before or after its shard is cleared, and the
+// atomic counters are zeroed last. Intended for quiescent or
+// best-effort use (the server's FLUSH op, the governor's readmission).
+func (s *Sharded) Reset() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.tab.Reset()
+		sh.mu.Unlock()
+	}
+	for i := range s.stats {
+		st := &s.stats[i]
+		st.probes.Store(0)
+		st.hits.Store(0)
+		st.misses.Store(0)
+		st.records.Store(0)
+		st.collisions.Store(0)
+		st.evictions.Store(0)
+	}
+	s.distinct.Store(0)
+	s.resident.Store(0)
+	if obs.On() {
+		s.occGauge.Set(0)
+	}
+}
+
 // Resident returns the number of entries currently stored across all
 // shards (maintained from atomic per-record deltas; never blocks probes).
 func (s *Sharded) Resident() int { return int(s.resident.Load()) }

@@ -400,6 +400,43 @@ func (t *Table) record(seg int, key []byte, outs []uint64) {
 	}
 }
 
+// Reset empties the table and zeroes its statistics without
+// reallocating storage: slots are cleared in place, maps are cleared
+// with their buckets retained, and the LRU recency list is unlinked.
+// After Reset the table behaves exactly like a freshly built one — the
+// remote tier's FLUSH operation and the admission governor's
+// BYPASS→READMIT transition (which must re-measure the reuse rate R
+// from a cold table) are both built on it.
+func (t *Table) Reset() {
+	for i := range t.stats {
+		t.stats[i] = SegStats{}
+	}
+	t.clock = 0
+	t.resident = 0
+	for i := range t.slots {
+		t.slots[i] = entry{}
+	}
+	if t.lruIdx != nil {
+		clear(t.lruIdx)
+		t.lruList.reset()
+		t.lruFree = 0
+	}
+	if t.byKey != nil {
+		clear(t.byKey)
+	}
+	if t.census != nil {
+		clear(t.census)
+		for i := range t.segCensus {
+			clear(t.segCensus[i])
+		}
+	}
+	clear(t.accessCounts)
+	clear(t.rank)
+	if t.occGauge != nil && obs.On() {
+		t.occGauge.Set(0)
+	}
+}
+
 // Distinct returns the number of distinct input sets seen across all
 // merged segments. In ModeProfile this is the union census size; in reuse
 // modes — optimal, direct-addressed and LRU alike — it is the number of

@@ -1,0 +1,47 @@
+// Package sigctx is the shared graceful-shutdown plumbing of the
+// long-running binaries (cmd/crcserve and crcbench serve): a context
+// that cancels on SIGINT/SIGTERM, and a helper that drains an
+// http.Server against it. Keeping it in one place means every daemon
+// in the repo drains the same way instead of re-growing ad-hoc signal
+// handlers.
+package sigctx
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Notify returns a child of parent that is canceled on SIGINT or
+// SIGTERM (or when parent cancels). The returned stop function releases
+// the signal registration; call it before exiting so a second signal
+// falls back to the default (kill) behavior instead of being swallowed.
+func Notify(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
+
+// ServeHTTP runs srv.Serve(ln) until ctx cancels, then drains it with
+// srv.Shutdown bounded by grace. It returns nil after a clean drain and
+// the serve or shutdown error otherwise.
+func ServeHTTP(ctx context.Context, srv *http.Server, ln net.Listener, grace time.Duration) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := srv.Shutdown(shCtx)
+	// Serve's return after Shutdown is the expected ErrServerClosed.
+	if serveErr := <-errCh; !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return err
+}

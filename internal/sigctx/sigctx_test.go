@@ -1,0 +1,77 @@
+package sigctx
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestNotify delivers a real SIGTERM to the test process and expects
+// the context to cancel instead of the process dying.
+func TestNotify(t *testing.T) {
+	ctx, stop := Notify(context.Background())
+	defer stop()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGTERM did not cancel the context")
+	}
+}
+
+// TestServeHTTPDrain cancels the context while a request is in flight
+// and expects that request to complete and ServeHTTP to return nil.
+func TestServeHTTPDrain(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	var served atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		time.Sleep(100 * time.Millisecond) // keep the request in flight across the cancel
+		served.Add(1)
+		w.WriteHeader(http.StatusOK)
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- ServeHTTP(ctx, &http.Server{Handler: h}, ln, 2*time.Second) }()
+
+	respErr := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		respErr <- err
+	}()
+
+	<-entered
+	cancel()
+
+	if err := <-respErr; err != nil {
+		t.Fatalf("in-flight request dropped during drain: %v", err)
+	}
+	if n := served.Load(); n != 1 {
+		t.Fatalf("handler completions = %d, want 1", n)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ServeHTTP returned %v after drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeHTTP did not return after cancel")
+	}
+}

@@ -1,0 +1,47 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeFrame is a native Go fuzz target (go test -fuzz=FuzzDecodeFrame)
+// over the payload decoder — the one function in the subsystem that
+// consumes bytes straight off the network. The properties:
+//
+//  1. DecodeFrame never panics, whatever the bytes (the harness catches
+//     panics as crashes).
+//  2. If a payload decodes, re-encoding the decoded frame and decoding
+//     again yields an identical frame (decode∘encode∘decode is stable),
+//     and the re-encoded payload is canonical — it equals the input.
+//     Together these mean decode(encode(f)) == f for every reachable
+//     frame and that no two distinct valid payloads alias one frame.
+func FuzzDecodeFrame(f *testing.F) {
+	for _, s := range sampleFrames() {
+		f.Add(AppendFrame(nil, &s)[4:])
+	}
+	// A few deliberately broken seeds so the corpus starts on the error
+	// paths too.
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, headerBytes))
+	f.Add(append(AppendFrame(nil, &Frame{Op: OpGet})[4:], 0x00))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fr Frame
+		if err := DecodeFrame(data, &fr); err != nil {
+			return // corrupt input must error, not panic — nothing more to check
+		}
+		reenc := AppendFrame(nil, &fr)[4:]
+		if !bytes.Equal(reenc, data) {
+			t.Fatalf("re-encode not canonical:\n in  %x\n out %x", data, reenc)
+		}
+		var fr2 Frame
+		if err := DecodeFrame(reenc, &fr2); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(fr, fr2) {
+			t.Fatalf("decode/encode/decode drift:\n first  %+v\n second %+v", fr, fr2)
+		}
+	})
+}

@@ -1,0 +1,330 @@
+// Package wire is the binary protocol of the remote reuse-cache tier
+// (crcserve): a compact length-prefixed frame codec carrying segment
+// registrations, probes, records, flushes and statistics between a
+// client fleet and one shared reuse-table server.
+//
+// Every message is one Frame. Requests and responses share the layout;
+// FlagResp distinguishes them, and Seq matches a response to its request
+// so many requests can be pipelined on one connection without waiting.
+// The encoding is fixed little-endian with explicit length prefixes —
+// no reflection, no allocation beyond the payload slices — and every
+// variable-length field is bounds-checked on decode so a corrupt or
+// hostile frame errors out instead of panicking or over-allocating.
+//
+// The Cost field carries the paper's cost-model quantities over the
+// wire: on a PUT it is the client-measured computation cost C of the
+// recorded segment in nanoseconds; on a GET it is the client's smoothed
+// round-trip estimate, which the server folds into its measured lookup
+// overhead O. Those two numbers, together with the server's own
+// hit/miss counters (R), drive the online admission governor — the
+// paper's formula 3, R·C − O > 0, evaluated live per segment.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op identifies a frame's operation.
+type Op uint8
+
+// Frame operations.
+const (
+	// OpHello registers (or looks up) a named segment on the server.
+	// Name carries the segment name; Vals carries [entries, lru] — the
+	// requested table bound (0 = unbounded) and replacement policy.
+	// The response's Seg is the server-assigned segment id.
+	OpHello Op = iota + 1
+	// OpGet probes the segment's reuse table with Key. Cost carries the
+	// client's smoothed RTT estimate in nanoseconds (0 = unknown). The
+	// response carries FlagHit and the stored Vals on a hit, FlagBypass
+	// when the governor has turned the segment off.
+	OpGet
+	// OpPut records Vals as the outputs computed for Key. Cost carries
+	// the client-measured computation cost C in nanoseconds. The
+	// response acknowledges (FlagBypass when the segment is bypassed and
+	// the record was dropped).
+	OpPut
+	// OpFlush empties the segment's table and zeroes its statistics.
+	OpFlush
+	// OpStats asks for the segment's live counters; the response's Vals
+	// hold them in StatsVals order.
+	OpStats
+	opMax
+)
+
+var opNames = [...]string{"invalid", "HELLO", "GET", "PUT", "FLUSH", "STATS"}
+
+// String returns the operation mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Frame flags.
+const (
+	// FlagResp marks a response frame.
+	FlagResp uint8 = 1 << iota
+	// FlagHit marks a GET response served from the table.
+	FlagHit
+	// FlagBypass marks a response for a segment the admission governor
+	// has turned off: the client should compute locally and stop
+	// sending PUTs until the segment is readmitted.
+	FlagBypass
+	// FlagErr marks an error response; Name carries the message.
+	FlagErr
+)
+
+// Decode limits: a frame that claims more than these is corrupt (or
+// hostile) and is rejected before any allocation is sized from it.
+const (
+	// MaxKey is the largest accepted key, in bytes.
+	MaxKey = 1 << 20
+	// MaxVals is the largest accepted output vector, in words.
+	MaxVals = 1 << 16
+	// MaxName is the largest accepted segment/error name, in bytes.
+	MaxName = 1 << 10
+	// MaxFrame is the largest accepted payload, in bytes.
+	MaxFrame = 1 << 24
+)
+
+// Frame is one protocol message. All operations share the layout;
+// fields an operation does not use stay zero and cost nothing beyond
+// their fixed header bytes.
+type Frame struct {
+	// Op is the operation.
+	Op Op
+	// Flags carries the Flag* bits.
+	Flags uint8
+	// Seg is the server-assigned segment id (assigned by HELLO).
+	Seg uint32
+	// Seq matches a response to its pipelined request.
+	Seq uint64
+	// Cost is a nanosecond quantity: C on PUT, the client RTT estimate
+	// on GET (see the package comment).
+	Cost uint64
+	// Name is the segment name (HELLO) or error text (FlagErr).
+	Name string
+	// Key is the input-pattern key bytes.
+	Key []byte
+	// Vals are output words (PUT/GET-hit) or counters (STATS, HELLO).
+	Vals []uint64
+}
+
+// IsResp reports whether the frame is a response.
+func (f *Frame) IsResp() bool { return f.Flags&FlagResp != 0 }
+
+// Err returns the error a FlagErr response carries, or nil.
+func (f *Frame) Err() error {
+	if f.Flags&FlagErr == 0 {
+		return nil
+	}
+	return fmt.Errorf("%s: %s", f.Op, f.Name)
+}
+
+// StatsVals indexes into a STATS response's Vals.
+const (
+	StatsProbes = iota
+	StatsHits
+	StatsMisses
+	StatsRecords
+	StatsDistinct
+	StatsResident
+	StatsBypassed // requests answered with FlagBypass
+	StatsState    // 0 = admitted, 1 = bypassed
+	StatsR        // reuse rate R scaled by 1e6
+	StatsC        // smoothed client-reported C, ns
+	StatsO        // smoothed measured lookup+RTT overhead O, ns
+	StatsLen      // number of counters
+)
+
+// Payload layout after the uint32 length prefix:
+//
+//	op      uint8
+//	flags   uint8
+//	seg     uint32
+//	seq     uint64
+//	cost    uint64
+//	nameLen uint16, name bytes
+//	keyLen  uint32, key bytes
+//	nvals   uint16, vals (uint64 each)
+const headerBytes = 1 + 1 + 4 + 8 + 8
+
+var le = binary.LittleEndian
+
+// Errors returned by the decoder.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	ErrTruncated     = errors.New("wire: truncated frame")
+	ErrBadOp         = errors.New("wire: unknown op")
+	ErrFieldTooLarge = errors.New("wire: field exceeds its limit")
+	ErrTrailing      = errors.New("wire: trailing bytes after frame")
+)
+
+// AppendFrame appends f's encoding — length prefix included — to buf
+// and returns the extended slice.
+func AppendFrame(buf []byte, f *Frame) []byte {
+	payload := headerBytes + 2 + len(f.Name) + 4 + len(f.Key) + 2 + 8*len(f.Vals)
+	buf = le.AppendUint32(buf, uint32(payload))
+	buf = append(buf, byte(f.Op), f.Flags)
+	buf = le.AppendUint32(buf, f.Seg)
+	buf = le.AppendUint64(buf, f.Seq)
+	buf = le.AppendUint64(buf, f.Cost)
+	buf = le.AppendUint16(buf, uint16(len(f.Name)))
+	buf = append(buf, f.Name...)
+	buf = le.AppendUint32(buf, uint32(len(f.Key)))
+	buf = append(buf, f.Key...)
+	buf = le.AppendUint16(buf, uint16(len(f.Vals)))
+	for _, v := range f.Vals {
+		buf = le.AppendUint64(buf, v)
+	}
+	return buf
+}
+
+// DecodeFrame decodes one payload (the bytes after the length prefix)
+// into f. The Name, Key and Vals fields are copied out of data, so the
+// caller may reuse its buffer. Every length is validated before use;
+// corrupt input returns an error, never a panic.
+func DecodeFrame(data []byte, f *Frame) error {
+	if len(data) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	if len(data) < headerBytes {
+		return ErrTruncated
+	}
+	op := Op(data[0])
+	if op == 0 || op >= opMax {
+		return fmt.Errorf("%w: %d", ErrBadOp, data[0])
+	}
+	f.Op = op
+	f.Flags = data[1]
+	f.Seg = le.Uint32(data[2:])
+	f.Seq = le.Uint64(data[6:])
+	f.Cost = le.Uint64(data[14:])
+	rest := data[headerBytes:]
+
+	nameLen, rest, err := takeLen(rest, 2, MaxName)
+	if err != nil {
+		return err
+	}
+	f.Name = string(rest[:nameLen])
+	rest = rest[nameLen:]
+
+	keyLen, rest, err := takeLen(rest, 4, MaxKey)
+	if err != nil {
+		return err
+	}
+	f.Key = append(f.Key[:0], rest[:keyLen]...)
+	if keyLen == 0 {
+		f.Key = nil
+	}
+	rest = rest[keyLen:]
+
+	nvals, rest, err := takeLen(rest, 2, MaxVals)
+	if err != nil {
+		return err
+	}
+	if len(rest) < 8*nvals {
+		return ErrTruncated
+	}
+	if nvals == 0 {
+		f.Vals = nil
+	} else {
+		if cap(f.Vals) < nvals {
+			f.Vals = make([]uint64, nvals)
+		}
+		f.Vals = f.Vals[:nvals]
+		for i := 0; i < nvals; i++ {
+			f.Vals[i] = le.Uint64(rest[8*i:])
+		}
+	}
+	if len(rest) != 8*nvals {
+		return ErrTrailing
+	}
+	return nil
+}
+
+// takeLen reads a width-byte little-endian length from the front of
+// data, validates it against limit and the remaining bytes, and returns
+// the length together with the slice after the prefix.
+func takeLen(data []byte, width, limit int) (int, []byte, error) {
+	if len(data) < width {
+		return 0, nil, ErrTruncated
+	}
+	var n int
+	switch width {
+	case 2:
+		n = int(le.Uint16(data))
+	default:
+		n = int(le.Uint32(data))
+	}
+	if n > limit {
+		return 0, nil, fmt.Errorf("%w: %d > %d", ErrFieldTooLarge, n, limit)
+	}
+	rest := data[width:]
+	if len(rest) < n {
+		return 0, nil, ErrTruncated
+	}
+	return n, rest, nil
+}
+
+// Reader decodes frames from a stream, reusing one payload buffer
+// across frames. It is not safe for concurrent use; a connection owns
+// one Reader on its read side.
+type Reader struct {
+	r   io.Reader
+	buf []byte
+	len [4]byte
+}
+
+// NewReader wraps r. For performance the caller should hand in a
+// buffered reader; Reader adds no buffering of its own.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Next reads one frame into f. io.EOF is returned verbatim on a clean
+// end-of-stream boundary; a stream that ends inside a frame returns
+// io.ErrUnexpectedEOF.
+func (r *Reader) Next(f *Frame) error {
+	if _, err := io.ReadFull(r.r, r.len[:]); err != nil {
+		return err
+	}
+	n := int(le.Uint32(r.len[:]))
+	if n > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	if cap(r.buf) < n {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	return DecodeFrame(r.buf, f)
+}
+
+// Writer encodes frames onto a stream, reusing one encode buffer. It is
+// not safe for concurrent use; a connection owns one Writer on its
+// write side (the server's per-connection writer goroutine, which also
+// batches: it encodes frames back-to-back and flushes once per drain).
+type Writer struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewWriter wraps w (typically a bufio.Writer whose Flush the caller
+// controls, so pipelined responses coalesce into few syscalls).
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Write encodes and writes one frame.
+func (w *Writer) Write(f *Frame) error {
+	w.buf = AppendFrame(w.buf[:0], f)
+	_, err := w.w.Write(w.buf)
+	return err
+}

@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func sampleFrames() []Frame {
+	return []Frame{
+		{Op: OpHello, Seq: 1, Name: "quan", Vals: []uint64{1024, 1}},
+		{Op: OpHello, Flags: FlagResp, Seq: 1, Seg: 7},
+		{Op: OpGet, Seq: 2, Seg: 7, Cost: 48_000, Key: []byte{1, 2, 3, 4}},
+		{Op: OpGet, Flags: FlagResp | FlagHit, Seq: 2, Seg: 7, Vals: []uint64{99}},
+		{Op: OpGet, Flags: FlagResp | FlagBypass, Seq: 3, Seg: 7},
+		{Op: OpPut, Seq: 4, Seg: 7, Cost: 12_500, Key: bytes.Repeat([]byte{0xAB}, 32),
+			Vals: []uint64{1, 2, 3}},
+		{Op: OpFlush, Seq: 5, Seg: 7},
+		{Op: OpStats, Flags: FlagResp, Seq: 6, Seg: 7,
+			Vals: make([]uint64, StatsLen)},
+		{Op: OpPut, Flags: FlagResp | FlagErr, Seq: 7, Name: "unknown segment 9"},
+	}
+}
+
+// TestRoundTrip encodes every sample frame and decodes it back,
+// expecting field-for-field equality, both via DecodeFrame and via the
+// streaming Reader.
+func TestRoundTrip(t *testing.T) {
+	var stream []byte
+	for _, f := range sampleFrames() {
+		stream = AppendFrame(stream, &f)
+
+		one := AppendFrame(nil, &f)
+		var got Frame
+		if err := DecodeFrame(one[4:], &got); err != nil {
+			t.Fatalf("%s: decode: %v", f.Op, err)
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Errorf("%s: round trip\n got %+v\nwant %+v", f.Op, got, f)
+		}
+	}
+
+	r := NewReader(bytes.NewReader(stream))
+	var got Frame
+	for i, want := range sampleFrames() {
+		if err := r.Next(&got); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("frame %d:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	if err := r.Next(&got); err != io.EOF {
+		t.Errorf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+// TestReaderReuse checks that a Reader reusing its payload buffer (and
+// the caller reusing one Frame) still hands back correct field values.
+func TestReaderReuse(t *testing.T) {
+	var stream []byte
+	a := Frame{Op: OpPut, Seq: 1, Key: []byte("longer-key-aaaa"), Vals: []uint64{1, 2, 3, 4}}
+	b := Frame{Op: OpGet, Seq: 2, Key: []byte("k")}
+	stream = AppendFrame(stream, &a)
+	stream = AppendFrame(stream, &b)
+
+	r := NewReader(bufio.NewReader(bytes.NewReader(stream)))
+	var f Frame
+	if err := r.Next(&f); err != nil {
+		t.Fatal(err)
+	}
+	keyA := append([]byte(nil), f.Key...)
+	if err := r.Next(&f); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, b) {
+		t.Errorf("second frame %+v, want %+v", f, b)
+	}
+	if string(keyA) != "longer-key-aaaa" {
+		t.Errorf("first key corrupted by reuse: %q", keyA)
+	}
+}
+
+// TestWriterBatches checks that Writer leaves flushing to the caller's
+// bufio.Writer, so pipelined frames coalesce into one flush.
+func TestWriterBatches(t *testing.T) {
+	var sink bytes.Buffer
+	bw := bufio.NewWriter(&sink)
+	w := NewWriter(bw)
+	for _, f := range sampleFrames() {
+		if err := w.Write(&f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sink.Len() != 0 {
+		t.Errorf("writer flushed early: %d bytes before Flush", sink.Len())
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&sink)
+	var f Frame
+	n := 0
+	for r.Next(&f) == nil {
+		n++
+	}
+	if n != len(sampleFrames()) {
+		t.Errorf("decoded %d frames, want %d", n, len(sampleFrames()))
+	}
+}
+
+// TestDecodeCorrupt feeds structurally broken payloads and expects
+// typed errors, not panics.
+func TestDecodeCorrupt(t *testing.T) {
+	good := AppendFrame(nil, &Frame{Op: OpPut, Key: []byte("abc"), Vals: []uint64{1}})[4:]
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short header", good[:headerBytes-1], ErrTruncated},
+		{"bad op zero", mutate(good, 0, 0), ErrBadOp},
+		{"bad op high", mutate(good, 0, byte(opMax)), ErrBadOp},
+		{"name len over limit", mutate(good, headerBytes+1, 0xFF), ErrFieldTooLarge},
+		{"truncated key", good[:len(good)-9], ErrTruncated},
+		{"trailing bytes", append(append([]byte(nil), good...), 0), ErrTrailing},
+	}
+	for _, tc := range cases {
+		var f Frame
+		err := DecodeFrame(tc.data, &f)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	// A declared length beyond MaxFrame is rejected by the stream reader
+	// before any allocation.
+	huge := le.AppendUint32(nil, MaxFrame+1)
+	r := NewReader(bytes.NewReader(huge))
+	var f Frame
+	if err := r.Next(&f); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized length prefix: %v, want ErrFrameTooLarge", err)
+	}
+
+	// A stream that dies mid-frame is an unexpected EOF, not a clean one.
+	full := AppendFrame(nil, &Frame{Op: OpGet, Key: []byte("abcdef")})
+	r = NewReader(bytes.NewReader(full[:len(full)-2]))
+	if err := r.Next(&f); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("mid-frame EOF: %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func mutate(data []byte, i int, b byte) []byte {
+	cp := append([]byte(nil), data...)
+	cp[i] = b
+	return cp
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	f := Frame{Op: OpPut, Seq: 42, Seg: 3, Cost: 12345,
+		Key: bytes.Repeat([]byte{7}, 16), Vals: []uint64{1, 2}}
+	var buf []byte
+	var out Frame
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendFrame(buf[:0], &f)
+		if err := DecodeFrame(buf[4:], &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

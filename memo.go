@@ -125,90 +125,165 @@ type memoShard[K comparable, V any] struct {
 	_        [24]byte
 }
 
-// Memo wraps a pure function of one comparable argument with an unbounded
-// reuse table ("optimal" sizing in the paper's terms: the table holds
-// every distinct input). The wrapper is safe for concurrent use: probes
-// are striped over sharded locks, and concurrent callers with the same
-// key share one computation of f (singleflight) — the duplicates count as
-// hits, since they are served from another caller's work. Read the
-// returned stats with Snapshot while goroutines may still be calling the
-// wrapper.
-func Memo[K comparable, V any](f func(K) V) (func(K) V, *MemoStats) {
-	shards := make([]memoShard[K, V], memoShardCount())
-	for i := range shards {
-		shards[i].vals = map[K]V{}
-		shards[i].inflight = map[K]*inflightCall[V]{}
-	}
-	seed := maphash.MakeSeed()
-	mask := uint64(len(shards) - 1)
-	stats := &MemoStats{}
-	// call performs one memoized invocation; hit reports whether the value
-	// was served without running f in this goroutine.
-	call := func(k K) (v V, hit bool) {
-		atomic.AddInt64(&stats.Calls, 1)
-		sh := &shards[maphash.Comparable(seed, k)&mask]
-
-		// Fast path: shared-lock probe.
-		sh.mu.RLock()
-		v, ok := sh.vals[k]
-		sh.mu.RUnlock()
-		if ok {
-			atomic.AddInt64(&stats.Hits, 1)
-			return v, true
-		}
-
-		// Slow path: re-probe under the write lock, then either join an
-		// in-flight computation or become its leader.
-		sh.mu.Lock()
-		if v, ok := sh.vals[k]; ok {
-			sh.mu.Unlock()
-			atomic.AddInt64(&stats.Hits, 1)
-			return v, true
-		}
-		if c, ok := sh.inflight[k]; ok {
-			sh.mu.Unlock()
-			<-c.done
-			atomic.AddInt64(&stats.Hits, 1)
-			return c.val, true
-		}
-		c := &inflightCall[V]{done: make(chan struct{})}
-		sh.inflight[k] = c
-		sh.mu.Unlock()
-
-		c.val = f(k)
-
-		sh.mu.Lock()
-		sh.vals[k] = c.val
-		delete(sh.inflight, k)
-		sh.mu.Unlock()
-		atomic.AddInt64(&stats.Distinct, 1)
-		close(c.done)
-		return c.val, false
-	}
-	return func(k K) V {
-		if !obs.On() {
-			v, _ := call(k)
-			return v
-		}
-		start := time.Now()
-		v, hit := call(k)
-		mMemoLatency.Observe(time.Since(start).Nanoseconds())
-		mMemoCalls.Inc()
-		if hit {
-			mMemoHits.Inc()
-		}
-		return v
-	}, stats
+// Memoized is the handle behind Memo: the sharded singleflight reuse
+// table plus its statistics, with the lifecycle operations — Reset in
+// particular — that the bare closure returned by Memo cannot carry.
+// Long-lived callers (servers whose key universe drifts, the remote
+// tier's governor re-measuring a readmitted segment) construct one with
+// NewMemoized and call Reset when the cached state should be dropped.
+type Memoized[K comparable, V any] struct {
+	f      func(K) V
+	shards []memoShard[K, V]
+	seed   maphash.Seed
+	mask   uint64
+	stats  MemoStats
 }
 
-// Memo2 memoizes a pure function of two comparable arguments.
-func Memo2[A, B comparable, V any](f func(A, B) V) (func(A, B) V, *MemoStats) {
-	type key struct {
-		a A
-		b B
+// NewMemoized wraps a pure function of one comparable argument with an
+// unbounded reuse table ("optimal" sizing in the paper's terms: the
+// table holds every distinct input). The wrapper is safe for concurrent
+// use: probes are striped over sharded locks, and concurrent callers
+// with the same key share one computation of f (singleflight) — the
+// duplicates count as hits, since they are served from another caller's
+// work.
+func NewMemoized[K comparable, V any](f func(K) V) *Memoized[K, V] {
+	m := &Memoized[K, V]{
+		f:      f,
+		shards: make([]memoShard[K, V], memoShardCount()),
+		seed:   maphash.MakeSeed(),
 	}
-	g, stats := Memo(func(k key) V { return f(k.a, k.b) })
-	return func(a A, b B) V { return g(key{a, b}) }, stats
+	m.mask = uint64(len(m.shards) - 1)
+	for i := range m.shards {
+		m.shards[i].vals = map[K]V{}
+		m.shards[i].inflight = map[K]*inflightCall[V]{}
+	}
+	return m
+}
+
+// call performs one memoized invocation; hit reports whether the value
+// was served without running f in this goroutine.
+func (m *Memoized[K, V]) call(k K) (v V, hit bool) {
+	atomic.AddInt64(&m.stats.Calls, 1)
+	sh := &m.shards[maphash.Comparable(m.seed, k)&m.mask]
+
+	// Fast path: shared-lock probe.
+	sh.mu.RLock()
+	v, ok := sh.vals[k]
+	sh.mu.RUnlock()
+	if ok {
+		atomic.AddInt64(&m.stats.Hits, 1)
+		return v, true
+	}
+
+	// Slow path: re-probe under the write lock, then either join an
+	// in-flight computation or become its leader.
+	sh.mu.Lock()
+	if v, ok := sh.vals[k]; ok {
+		sh.mu.Unlock()
+		atomic.AddInt64(&m.stats.Hits, 1)
+		return v, true
+	}
+	if c, ok := sh.inflight[k]; ok {
+		sh.mu.Unlock()
+		<-c.done
+		atomic.AddInt64(&m.stats.Hits, 1)
+		return c.val, true
+	}
+	c := &inflightCall[V]{done: make(chan struct{})}
+	sh.inflight[k] = c
+	sh.mu.Unlock()
+
+	c.val = m.f(k)
+
+	sh.mu.Lock()
+	sh.vals[k] = c.val
+	delete(sh.inflight, k)
+	sh.mu.Unlock()
+	atomic.AddInt64(&m.stats.Distinct, 1)
+	close(c.done)
+	return c.val, false
+}
+
+// Call invokes the memoized function.
+func (m *Memoized[K, V]) Call(k K) V {
+	if !obs.On() {
+		v, _ := m.call(k)
+		return v
+	}
+	start := time.Now()
+	v, hit := m.call(k)
+	mMemoLatency.Observe(time.Since(start).Nanoseconds())
+	mMemoCalls.Inc()
+	if hit {
+		mMemoHits.Inc()
+	}
+	return v
+}
+
+// Stats returns a consistent snapshot of the counters (see
+// MemoStats.Snapshot).
+func (m *Memoized[K, V]) Stats() MemoStats { return m.stats.Snapshot() }
+
+// Reset drops every cached value and zeroes the statistics without
+// reallocating the shard maps. It is safe to call concurrently with
+// Call: each shard is cleared under its write lock, and computations in
+// flight during the reset simply store into the freshly cleared shard
+// when they finish. Counter zeroing is not atomic with the map clears,
+// so snapshots taken while callers race a Reset may be momentarily
+// inconsistent; they converge once the reset returns.
+func (m *Memoized[K, V]) Reset() {
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		clear(sh.vals)
+		sh.mu.Unlock()
+	}
+	atomic.StoreInt64(&m.stats.Calls, 0)
+	atomic.StoreInt64(&m.stats.Hits, 0)
+	atomic.StoreInt64(&m.stats.Distinct, 0)
+	atomic.StoreInt64(&m.stats.Evictions, 0)
+}
+
+// Memo wraps f as NewMemoized does and returns the call closure plus a
+// pointer to the live stats — the original convenience signature. Use
+// NewMemoized directly when the caller also needs Reset.
+func Memo[K comparable, V any](f func(K) V) (func(K) V, *MemoStats) {
+	m := NewMemoized(f)
+	return m.Call, &m.stats
+}
+
+// Memoized2 is the two-argument Memoized handle, built by NewMemoized2.
+type Memoized2[A, B comparable, V any] struct {
+	m *Memoized[pairKey[A, B], V]
+}
+
+type pairKey[A, B comparable] struct {
+	a A
+	b B
+}
+
+// NewMemoized2 memoizes a pure function of two comparable arguments,
+// returning a handle with Call, Stats and Reset.
+func NewMemoized2[A, B comparable, V any](f func(A, B) V) *Memoized2[A, B, V] {
+	return &Memoized2[A, B, V]{m: NewMemoized(func(k pairKey[A, B]) V { return f(k.a, k.b) })}
+}
+
+// Call invokes the memoized function.
+func (m *Memoized2[A, B, V]) Call(a A, b B) V { return m.m.Call(pairKey[A, B]{a, b}) }
+
+// Stats returns a consistent snapshot of the counters.
+func (m *Memoized2[A, B, V]) Stats() MemoStats { return m.m.Stats() }
+
+// Reset drops every cached value and zeroes the statistics (see
+// Memoized.Reset).
+func (m *Memoized2[A, B, V]) Reset() { m.m.Reset() }
+
+// Memo2 memoizes a pure function of two comparable arguments, returning
+// the call closure plus a pointer to the live stats. Use NewMemoized2
+// directly when the caller also needs Reset.
+func Memo2[A, B comparable, V any](f func(A, B) V) (func(A, B) V, *MemoStats) {
+	m := NewMemoized2(f)
+	return m.Call, &m.m.stats
 }
 
 // MemoTable is a bounded reuse table with the paper's replacement
@@ -284,6 +359,11 @@ func (m *MemoTable) Stats() MemoStats {
 	st := m.tab.Stats(0)
 	return MemoStats{Calls: st.Probes, Hits: st.Hits, Distinct: distinct, Evictions: st.Evictions}
 }
+
+// Reset empties the table and zeroes its statistics without
+// reallocating (see reusetab.Sharded.Reset for the concurrency
+// contract).
+func (m *MemoTable) Reset() { m.tab.Reset() }
 
 // Resident reports the number of entries currently stored in the table.
 func (m *MemoTable) Resident() int { return m.tab.Resident() }

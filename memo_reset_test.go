@@ -1,0 +1,112 @@
+package compreuse
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMemoizedReset checks that Reset drops cached values (the function
+// runs again) and zeroes the statistics.
+func TestMemoizedReset(t *testing.T) {
+	var runs atomic.Int64
+	m := NewMemoized(func(k int) int {
+		runs.Add(1)
+		return k * k
+	})
+	for i := 0; i < 8; i++ {
+		m.Call(i % 4)
+	}
+	if got := runs.Load(); got != 4 {
+		t.Fatalf("runs before reset = %d, want 4", got)
+	}
+	if st := m.Stats(); st.Calls != 8 || st.Hits != 4 || st.Distinct != 4 {
+		t.Fatalf("stats before reset = %+v", st)
+	}
+
+	m.Reset()
+	if st := m.Stats(); st != (MemoStats{}) {
+		t.Errorf("stats after reset = %+v", st)
+	}
+	if got := m.Call(2); got != 4 {
+		t.Errorf("Call(2) = %d after reset", got)
+	}
+	if got := runs.Load(); got != 5 {
+		t.Errorf("runs after reset = %d, want 5 (cache was not dropped)", got)
+	}
+}
+
+// TestMemoized2Reset exercises the two-argument handle.
+func TestMemoized2Reset(t *testing.T) {
+	var runs atomic.Int64
+	m := NewMemoized2(func(a, b int) int {
+		runs.Add(1)
+		return a + b
+	})
+	m.Call(1, 2)
+	m.Call(1, 2)
+	if runs.Load() != 1 {
+		t.Fatalf("runs = %d before reset", runs.Load())
+	}
+	m.Reset()
+	m.Call(1, 2)
+	if runs.Load() != 2 {
+		t.Errorf("runs = %d after reset, want 2", runs.Load())
+	}
+	if st := m.Stats(); st.Calls != 1 || st.Distinct != 1 {
+		t.Errorf("stats after reset+call = %+v", st)
+	}
+}
+
+// TestMemoTableReset checks MemoTable.Reset empties storage and stats.
+func TestMemoTableReset(t *testing.T) {
+	mt := NewMemoTable(MemoTableConfig{Name: "reset", Entries: 32, LRU: true, Shards: 2})
+	for i := int64(0); i < 16; i++ {
+		key := EncodeInt(nil, i)
+		if _, ok := mt.Lookup(key); !ok {
+			mt.Store(key, uint64(i))
+		}
+	}
+	if mt.Resident() == 0 {
+		t.Fatal("table empty before reset")
+	}
+	mt.Reset()
+	if mt.Resident() != 0 {
+		t.Errorf("resident = %d after reset", mt.Resident())
+	}
+	if st := mt.Stats(); st != (MemoStats{}) {
+		t.Errorf("stats after reset = %+v", st)
+	}
+	if _, ok := mt.Lookup(EncodeInt(nil, 3)); ok {
+		t.Error("stale entry survived reset")
+	}
+}
+
+// TestMemoizedResetConcurrent races Reset against callers under -race.
+func TestMemoizedResetConcurrent(t *testing.T) {
+	m := NewMemoized(func(k int) int { return k })
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if got := m.Call(i % 64); got != i%64 {
+					t.Errorf("Call(%d) = %d", i%64, got)
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < 100; r++ {
+		m.Reset()
+	}
+	close(stop)
+	wg.Wait()
+}

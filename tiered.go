@@ -1,0 +1,152 @@
+package compreuse
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// TieredMemoConfig sizes a TieredMemo.
+type TieredMemoConfig struct {
+	// Name is the shared segment name on the server; every process in
+	// the fleet using the same name shares one L2 table.
+	Name string
+	// L1Entries bounds the process-local L1 table (0 = unbounded).
+	L1Entries int
+	// L1LRU selects LRU replacement for a bounded L1.
+	L1LRU bool
+	// L1Shards stripes the L1 for parallel callers (0 = 1).
+	L1Shards int
+	// Remote configures the server-side table (Entries/LRU; OutWords
+	// is forced to 1 — TieredMemo caches single-word values).
+	Remote SegmentConfig
+}
+
+// TieredStats counts where a TieredMemo's calls were served from.
+type TieredStats struct {
+	// Calls is the number of Do invocations.
+	Calls int64
+	// L1Hits were served from the process-local table — no round trip.
+	L1Hits int64
+	// L2Hits were served from the shared remote table — one RTT, no
+	// computation.
+	L2Hits int64
+	// Computes ran the computation (remote miss, bypass, or error).
+	Computes int64
+	// Bypassed is the subset of Computes short-circuited by the
+	// governor's BYPASS verdict (locally cached or fresh).
+	Bypassed int64
+	// Errors is the subset of Computes taken because the remote tier
+	// failed; the caller still got a value, computed locally.
+	Errors int64
+}
+
+// TieredMemo layers a process-local MemoTable (L1) over a remote
+// crcserve segment (L2): an L1 hit costs a hash probe, an L2 hit costs
+// one round trip, and only a fleet-wide first encounter of a key pays
+// the computation — a warm fleet shares every distinct result. The
+// remote tier degrades gracefully: on server errors, and for segments
+// the admission governor has bypassed (a round trip is only worth
+// paying while R·C − O > 0 holds on the server's live numbers), Do
+// simply computes locally.
+type TieredMemo struct {
+	l1    *MemoTable
+	seg   *RemoteSegment
+	stats [6]atomic.Int64 // mirrors TieredStats field order
+}
+
+const (
+	tsCalls = iota
+	tsL1Hits
+	tsL2Hits
+	tsComputes
+	tsBypassed
+	tsErrors
+)
+
+// NewTieredMemo registers the segment on the server and builds the
+// two-level table.
+func NewTieredMemo(c *Client, cfg TieredMemoConfig) (*TieredMemo, error) {
+	remote := cfg.Remote
+	remote.OutWords = 1
+	seg, err := c.Segment(cfg.Name, remote)
+	if err != nil {
+		return nil, err
+	}
+	return &TieredMemo{
+		l1: NewMemoTable(MemoTableConfig{
+			Name:    cfg.Name + "/l1",
+			Entries: cfg.L1Entries,
+			LRU:     cfg.L1LRU,
+			Shards:  cfg.L1Shards,
+		}),
+		seg: seg,
+	}, nil
+}
+
+// Do returns the value for key, from L1, then L2, then by running
+// compute. A computed value is recorded in both tiers together with its
+// measured cost C (unless the governor has bypassed the segment). Do
+// never fails: remote errors are counted and absorbed by computing
+// locally. Safe for concurrent use; concurrent misses on one key are
+// deduplicated per tier (L2 by the client's singleflight).
+func (t *TieredMemo) Do(key []byte, compute func() uint64) uint64 {
+	t.stats[tsCalls].Add(1)
+	if v, ok := t.l1.Lookup(key); ok {
+		t.stats[tsL1Hits].Add(1)
+		return v
+	}
+
+	vals, status, err := t.seg.Get(key)
+	switch {
+	case err == nil && status == Hit && len(vals) > 0:
+		t.stats[tsL2Hits].Add(1)
+		t.l1.Store(key, vals[0])
+		return vals[0]
+	case err != nil:
+		t.stats[tsErrors].Add(1)
+	case status == Bypass:
+		t.stats[tsBypassed].Add(1)
+	}
+
+	t.stats[tsComputes].Add(1)
+	start := time.Now()
+	v := compute()
+	cost := time.Since(start)
+	t.l1.Store(key, v)
+	if err == nil && status == Miss {
+		// Report C with the PUT: the server's governor weighs exactly
+		// this cost against the overhead O of serving the segment.
+		if perr := t.seg.Put(key, []uint64{v}, cost); perr != nil {
+			t.stats[tsErrors].Add(1)
+		}
+	}
+	return v
+}
+
+// Stats returns a snapshot of the tier counters.
+func (t *TieredMemo) Stats() TieredStats {
+	return TieredStats{
+		Calls:    t.stats[tsCalls].Load(),
+		L1Hits:   t.stats[tsL1Hits].Load(),
+		L2Hits:   t.stats[tsL2Hits].Load(),
+		Computes: t.stats[tsComputes].Load(),
+		Bypassed: t.stats[tsBypassed].Load(),
+		Errors:   t.stats[tsErrors].Load(),
+	}
+}
+
+// L1Stats returns the local table's counters.
+func (t *TieredMemo) L1Stats() MemoStats { return t.l1.Stats() }
+
+// RemoteStats fetches the shared segment's live server-side counters.
+func (t *TieredMemo) RemoteStats() (RemoteStats, error) { return t.seg.Stats() }
+
+// Reset drops both tiers: the local table is emptied in place and the
+// server-side segment is flushed (which also readmits it).
+func (t *TieredMemo) Reset() error {
+	t.l1.Reset()
+	for i := range t.stats {
+		t.stats[i].Store(0)
+	}
+	return t.seg.Flush()
+}
