@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check bench eval serve eval-serve eval-json fuzz loadgen smoke
+.PHONY: build vet test race check bench bench-json bench-gate eval serve eval-serve eval-json fuzz loadgen smoke
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,18 @@ check: build vet race
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem .
+
+# bench-json snapshots the perf trajectory (hot-path ns + allocs/op,
+# loadgen throughput, GET RTT p50/p99 over TCP loopback vs a unix
+# socket) into the committed baseline; schema crcbench-perf/1.
+bench-json:
+	$(GO) run ./cmd/crcbench perfjson -o BENCH_6.json
+
+# bench-gate re-measures and diffs against the committed baseline:
+# allocs/op regressions fail hard, timing regressions warn (CI runs
+# this).
+bench-gate:
+	$(GO) run ./cmd/crcbench perfjson -o bench-perf.json -compare BENCH_6.json
 
 # eval regenerates every table and figure of the paper plus the ablations
 # and the concurrent-runtime sweep.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,7 +26,11 @@ var (
 
 // ClientConfig configures a connection to a crcserve instance.
 type ClientConfig struct {
-	// Addr is the server's TCP address, e.g. "cache:8345".
+	// Addr is the server's address: a TCP host:port, e.g. "cache:8345",
+	// or a unix-domain socket path with the "unix://" scheme, e.g.
+	// "unix:///run/crcserve.sock". The unix transport skips the loopback
+	// TCP stack for co-located fleets, shrinking the round-trip share of
+	// the lookup overhead O.
 	Addr string
 	// Conns is the connection-pool size; requests round-robin across
 	// it. 0 means 2.
@@ -202,6 +207,34 @@ type RemoteSegment struct {
 	l2Hits   atomic.Int64
 	l2Misses atomic.Int64
 	l2Bypass atomic.Int64
+
+	// Batching state: Gets and Puts that arrive while a flight is in
+	// progress queue up and leave as one MGET/MPUT frame when it
+	// returns, so n concurrent misses cost one round trip instead of n.
+	// getQ and putQ are independent (a GET flight does not delay PUTs).
+	batchMu   sync.Mutex
+	getQ      []*batchGet
+	getFlying bool
+	putQ      []*batchPut
+	putFlying bool
+}
+
+// batchGet is one queued probe awaiting its (possibly shared) flight.
+type batchGet struct {
+	key    []byte
+	done   chan struct{}
+	vals   []uint64
+	status GetStatus
+	err    error
+}
+
+// batchPut is one queued record awaiting its flight.
+type batchPut struct {
+	key  []byte
+	vals []uint64
+	cost time.Duration
+	done chan struct{}
+	err  error
 }
 
 // bypassRecheck is how many locally short-circuited calls a bypassed
@@ -298,7 +331,94 @@ func (s *RemoteSegment) Get(key []byte) ([]uint64, GetStatus, error) {
 	return call.vals, call.status, call.err
 }
 
+// get enqueues one probe for the flight loop and waits for its result.
+// The caller blocks for the flight's round trip either way; what the
+// queue buys is that every probe queued during an in-flight RTT leaves
+// in a single MGET frame when it returns.
 func (s *RemoteSegment) get(key []byte) ([]uint64, GetStatus, error) {
+	bg := &batchGet{key: key, done: make(chan struct{})}
+	s.batchMu.Lock()
+	s.getQ = append(s.getQ, bg)
+	if !s.getFlying {
+		s.getFlying = true
+		go s.getFlightLoop()
+	}
+	s.batchMu.Unlock()
+	<-bg.done
+	return bg.vals, bg.status, bg.err
+}
+
+// getFlightLoop drains the GET queue, one frame per iteration, until a
+// drain finds it empty. A batch of one flies as a plain GET (identical
+// wire cost to the unbatched client); larger batches fly as one MGET.
+func (s *RemoteSegment) getFlightLoop() {
+	for {
+		s.batchMu.Lock()
+		batch := s.getQ
+		s.getQ = nil
+		if len(batch) == 0 {
+			s.getFlying = false
+			s.batchMu.Unlock()
+			return
+		}
+		s.batchMu.Unlock()
+		s.flyGets(batch)
+	}
+}
+
+func (s *RemoteSegment) flyGets(batch []*batchGet) {
+	defer func() {
+		for _, bg := range batch {
+			close(bg.done)
+		}
+	}()
+	if len(batch) == 1 {
+		bg := batch[0]
+		bg.vals, bg.status, bg.err = s.getOne(bg.key)
+		return
+	}
+	req := &wire.Frame{Op: wire.OpMGet, Seg: s.id,
+		Cost: uint64(s.c.rttNS.Load()), Items: make([]wire.Item, len(batch))}
+	for i, bg := range batch {
+		req.Items[i].Key = bg.key
+	}
+	resp, err := s.c.call(req)
+	switch {
+	case err != nil:
+		for _, bg := range batch {
+			bg.status, bg.err = Miss, err
+		}
+	case resp.Flags&wire.FlagBypass != 0:
+		s.bypassed.Store(true)
+		s.l2Bypass.Add(int64(len(batch)))
+		for _, bg := range batch {
+			bg.status = Bypass
+		}
+	case len(resp.Items) != len(batch):
+		err := fmt.Errorf("mget %q: %d response items, want %d",
+			s.name, len(resp.Items), len(batch))
+		for _, bg := range batch {
+			bg.status, bg.err = Miss, err
+		}
+	default:
+		s.bypassed.Store(false)
+		for i, bg := range batch {
+			// The response frame is owned by this flight (the read loop
+			// decodes each response into a fresh frame), so items hand
+			// their Vals over without a copy.
+			if it := &resp.Items[i]; it.Flags&wire.FlagHit != 0 {
+				bg.status, bg.vals = Hit, it.Vals
+				s.l2Hits.Add(1)
+			} else {
+				bg.status = Miss
+				s.l2Misses.Add(1)
+			}
+		}
+	}
+}
+
+// getOne is the single-probe wire exchange.
+func (s *RemoteSegment) getOne(key []byte) ([]uint64, GetStatus, error) {
 	req := &wire.Frame{Op: wire.OpGet, Seg: s.id, Key: key,
 		Cost: uint64(s.c.rttNS.Load())}
 	resp, err := s.c.call(req)
@@ -324,20 +444,70 @@ func (s *RemoteSegment) get(key []byte) ([]uint64, GetStatus, error) {
 // Put records the outputs computed for key, reporting the measured
 // computation cost — the paper's C, which the server's governor weighs
 // against its measured overhead O. Skip the Put after a Bypass status.
+// Concurrent Puts queued while one is in flight leave as a single MPUT
+// frame, each carrying its own cost.
 func (s *RemoteSegment) Put(key []byte, vals []uint64, cost time.Duration) error {
 	if s.bypassed.Load() {
 		return nil // the governor said stop; don't pay the round trip
 	}
-	req := &wire.Frame{Op: wire.OpPut, Seg: s.id, Key: key, Vals: vals,
-		Cost: uint64(cost.Nanoseconds())}
-	resp, err := s.c.call(req)
+	bp := &batchPut{key: key, vals: vals, cost: cost, done: make(chan struct{})}
+	s.batchMu.Lock()
+	s.putQ = append(s.putQ, bp)
+	if !s.putFlying {
+		s.putFlying = true
+		go s.putFlightLoop()
+	}
+	s.batchMu.Unlock()
+	<-bp.done
+	return bp.err
+}
+
+// putFlightLoop mirrors getFlightLoop for records.
+func (s *RemoteSegment) putFlightLoop() {
+	for {
+		s.batchMu.Lock()
+		batch := s.putQ
+		s.putQ = nil
+		if len(batch) == 0 {
+			s.putFlying = false
+			s.batchMu.Unlock()
+			return
+		}
+		s.batchMu.Unlock()
+		s.flyPuts(batch)
+	}
+}
+
+func (s *RemoteSegment) flyPuts(batch []*batchPut) {
+	defer func() {
+		for _, bp := range batch {
+			close(bp.done)
+		}
+	}()
+	var resp wire.Frame
+	var err error
+	if len(batch) == 1 {
+		bp := batch[0]
+		resp, err = s.c.call(&wire.Frame{Op: wire.OpPut, Seg: s.id,
+			Key: bp.key, Vals: bp.vals, Cost: uint64(bp.cost.Nanoseconds())})
+	} else {
+		req := &wire.Frame{Op: wire.OpMPut, Seg: s.id,
+			Items: make([]wire.Item, len(batch))}
+		for i, bp := range batch {
+			req.Items[i] = wire.Item{Key: bp.key, Vals: bp.vals,
+				Cost: uint64(bp.cost.Nanoseconds())}
+		}
+		resp, err = s.c.call(req)
+	}
 	if err != nil {
-		return err
+		for _, bp := range batch {
+			bp.err = err
+		}
+		return
 	}
 	if resp.Flags&wire.FlagBypass != 0 {
 		s.bypassed.Store(true)
 	}
-	return nil
 }
 
 // Flush empties the segment's server-side table and resets its
@@ -408,8 +578,19 @@ type clientConn struct {
 	inflight chan struct{} // capacity = MaxInflight
 }
 
+// ParseAddr splits a crcserve address into the network and address
+// arguments of net.Dial/net.Listen: "unix://<path>" selects a
+// unix-domain socket at <path>, anything else is TCP.
+func ParseAddr(addr string) (network, address string) {
+	if path, ok := strings.CutPrefix(addr, "unix://"); ok {
+		return "unix", path
+	}
+	return "tcp", addr
+}
+
 func dialConn(cfg ClientConfig) (*clientConn, error) {
-	nc, err := net.DialTimeout("tcp", cfg.Addr, cfg.dialTimeout())
+	network, address := ParseAddr(cfg.Addr)
+	nc, err := net.DialTimeout(network, address, cfg.dialTimeout())
 	if err != nil {
 		return nil, err
 	}

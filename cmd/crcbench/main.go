@@ -18,6 +18,10 @@
 //
 //	crcbench serve -exp fig5 -scale 4   # run experiments, then serve
 //	                                    # /metrics, /decisions, /debug/pprof
+//
+//	crcbench perfjson -o BENCH_6.json            # snapshot the perf trajectory
+//	crcbench perfjson -compare BENCH_6.json      # diff a fresh run against it
+//	                                             # (allocs/op regressions fail)
 package main
 
 import (
@@ -35,6 +39,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		if err := serveMain(os.Args[2:]); err != nil {
 			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "perfjson" {
+		if err := perfJSONMain(os.Args[2:], os.Stderr); err != nil && err != flag.ErrHelp {
+			fmt.Fprintf(os.Stderr, "perfjson: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,415 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"compreuse"
+	"compreuse/internal/reused"
+	"compreuse/internal/reusetab"
+)
+
+// The perfjson subcommand measures the runtime's performance envelope —
+// the in-process hot path (probe/record/memo-hit ns and allocs per op)
+// and the networked tier (GET throughput and RTT percentiles over TCP
+// loopback and a unix-domain socket) — and emits one JSON document.
+// Committed snapshots (BENCH_*.json) form the perf trajectory; the
+// -compare flag diffs a fresh run against a committed baseline and
+// fails hard when the hot path regresses on allocations (timing metrics
+// only warn: CI machines are noisy, allocation counts are not).
+//
+// Schema changes bump perfSchema.
+
+const perfSchema = "crcbench-perf/1"
+
+// perfRegressPct is the compare gate: a metric more than 10% worse than
+// the baseline is a regression.
+const perfRegressPct = 0.10
+
+type perfDoc struct {
+	Schema    string                      `json:"schema"`
+	Date      string                      `json:"date"`
+	GoVersion string                      `json:"go_version"`
+	HotPath   map[string]perfHotMetric    `json:"hot_path"`
+	Server    map[string]perfServerMetric `json:"server"`
+}
+
+// perfHotMetric is one in-process hot-path measurement.
+type perfHotMetric struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// perfServerMetric is one transport's loadgen measurement: warm-GET
+// throughput and client-observed RTT percentiles.
+type perfServerMetric struct {
+	OpsPerSec float64 `json:"ops_per_sec"`
+	GetP50NS  int64   `json:"get_p50_ns"`
+	GetP99NS  int64   `json:"get_p99_ns"`
+}
+
+func perfJSONMain(args []string, logw io.Writer) error {
+	fs := flag.NewFlagSet("crcbench perfjson", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	out := fs.String("o", "", "write the measurement JSON to this file")
+	baseline := fs.String("compare", "",
+		"baseline JSON to diff against; exit nonzero on a hard (allocs/op) regression")
+	dur := fs.Duration("dur", 750*time.Millisecond, "traffic duration per transport")
+	workers := fs.Int("workers", 4, "concurrent GET workers per transport")
+	keys := fs.Int("keys", 256, "distinct warm keys per transport")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	doc, err := measurePerf(*dur, *workers, *keys, logw)
+	if err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing %s: %w", *out, err)
+		}
+		fmt.Fprintf(logw, "wrote %s\n", *out)
+	} else {
+		fmt.Fprintf(logw, "%s\n", data)
+	}
+
+	if *baseline != "" {
+		old, err := readPerfDoc(*baseline)
+		if err != nil {
+			return fmt.Errorf("-compare: %w", err)
+		}
+		hard := comparePerf(old, doc, logw)
+		if len(hard) > 0 {
+			return fmt.Errorf("%d hard perf regression(s) against %s", len(hard), *baseline)
+		}
+		fmt.Fprintf(logw, "no hard regressions against %s\n", *baseline)
+	}
+	return nil
+}
+
+func readPerfDoc(path string) (*perfDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc perfDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema != perfSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, doc.Schema, perfSchema)
+	}
+	return &doc, nil
+}
+
+// measurePerf runs every measurement and assembles the document.
+func measurePerf(dur time.Duration, workers, keys int, logw io.Writer) (*perfDoc, error) {
+	doc := &perfDoc{
+		Schema:    perfSchema,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		HotPath:   map[string]perfHotMetric{},
+		Server:    map[string]perfServerMetric{},
+	}
+
+	fmt.Fprintf(logw, "measuring in-process hot path...\n")
+	for name, bench := range hotPathBenchmarks() {
+		r := testing.Benchmark(bench)
+		m := perfHotMetric{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: float64(r.AllocsPerOp()),
+		}
+		doc.HotPath[name] = m
+		fmt.Fprintf(logw, "  %-18s %8.1f ns/op  %5.1f allocs/op\n", name, m.NsPerOp, m.AllocsPerOp)
+	}
+
+	sockDir, err := os.MkdirTemp("", "crcbench-perf")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(sockDir)
+	transports := []struct{ name, listenNet, listenAddr string }{
+		{"tcp", "tcp", "127.0.0.1:0"},
+		{"unix", "unix", filepath.Join(sockDir, "crc.sock")},
+	}
+	for _, tr := range transports {
+		fmt.Fprintf(logw, "measuring %s transport (%v)...\n", tr.name, dur)
+		m, err := measureTransport(tr.listenNet, tr.listenAddr, dur, workers, keys)
+		if err != nil {
+			return nil, fmt.Errorf("%s transport: %w", tr.name, err)
+		}
+		doc.Server[tr.name] = m
+		fmt.Fprintf(logw, "  %-5s %9.0f ops/s  GET p50 %v  p99 %v\n",
+			tr.name, m.OpsPerSec, time.Duration(m.GetP50NS), time.Duration(m.GetP99NS))
+	}
+	return doc, nil
+}
+
+// hotPathBenchmarks builds the in-process measurements. They mirror the
+// zero-alloc assertions in the test suite; here the numbers are recorded
+// as the trajectory CI diffs against.
+func hotPathBenchmarks() map[string]func(*testing.B) {
+	mkKeys := func(n int) [][]byte {
+		keys := make([][]byte, n)
+		for i := range keys {
+			keys[i] = reusetab.AppendInt(reusetab.AppendInt(nil, int64(i)), int64(i*31))
+		}
+		return keys
+	}
+	return map[string]func(*testing.B){
+		"table_probe": func(b *testing.B) {
+			tab := reusetab.New(reusetab.Config{Name: "perf", Segs: 1, KeyBytes: 8,
+				OutWords: []int{2}, OutBytes: []int{16}})
+			keys := mkKeys(256)
+			outs := []uint64{1, 2}
+			for _, k := range keys {
+				tab.Probe(0, k)
+				tab.Record(0, k, outs)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, hit := tab.Probe(0, keys[i%len(keys)]); !hit {
+					b.Fatal("warm probe missed")
+				}
+			}
+		},
+		"table_record": func(b *testing.B) {
+			tab := reusetab.New(reusetab.Config{Name: "perf", Segs: 1, KeyBytes: 8,
+				OutWords: []int{2}, OutBytes: []int{16}})
+			keys := mkKeys(256)
+			outs := []uint64{1, 2}
+			for _, k := range keys {
+				tab.Probe(0, k)
+				tab.Record(0, k, outs)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tab.Record(0, keys[i%len(keys)], outs)
+			}
+		},
+		"sharded_probe": func(b *testing.B) {
+			tab := reusetab.NewSharded(reusetab.Config{Name: "perf", Segs: 1, KeyBytes: 8,
+				OutWords: []int{1}, OutBytes: []int{8}}, 8)
+			keys := mkKeys(256)
+			for _, k := range keys {
+				tab.Probe(0, k)
+				tab.Record(0, k, []uint64{9})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, hit := tab.ProbeWord(0, keys[i%len(keys)]); !hit {
+					b.Fatal("warm probe missed")
+				}
+			}
+		},
+		"memoized_hit": func(b *testing.B) {
+			m := compreuse.NewMemoized(func(x int) int { return x * x })
+			for i := 0; i < 64; i++ {
+				m.Call(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Call(i % 64)
+			}
+		},
+		"memo_table_hit": func(b *testing.B) {
+			m := compreuse.NewMemoTable(compreuse.MemoTableConfig{Name: "perf"})
+			var kb compreuse.KeyBuf
+			for i := 0; i < 64; i++ {
+				k := kb.Reset().Int(int64(i)).Bytes()
+				m.Store(k, uint64(i))
+				m.Lookup(k)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := m.Lookup(kb.Reset().Int(int64(i % 64)).Bytes()); !ok {
+					b.Fatal("warm lookup missed")
+				}
+			}
+		},
+	}
+}
+
+// measureTransport boots an in-process crcserve core on one listener,
+// warms a segment, then drives concurrent GETs at it for dur, reporting
+// throughput and client-observed RTT percentiles.
+func measureTransport(network, address string, dur time.Duration, workers, nkeys int) (perfServerMetric, error) {
+	ln, err := net.Listen(network, address)
+	if err != nil {
+		return perfServerMetric{}, err
+	}
+	srv := reused.New(reused.Config{
+		// Keep the governor out of the measurement: every probe is
+		// admitted, so the percentiles are pure transport + table.
+		Governor: reused.GovernorConfig{Window: -1},
+	})
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		<-serveDone
+		if network == "unix" {
+			os.Remove(address)
+		}
+	}()
+
+	addr := ln.Addr().String()
+	if network == "unix" {
+		addr = "unix://" + addr
+	}
+	c, err := compreuse.DialCache(compreuse.ClientConfig{Addr: addr, Conns: 2})
+	if err != nil {
+		return perfServerMetric{}, err
+	}
+	defer c.Close()
+	seg, err := c.Segment("perf", compreuse.SegmentConfig{})
+	if err != nil {
+		return perfServerMetric{}, err
+	}
+
+	keys := make([][]byte, nkeys)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("perf-key-%08d", i))
+		if err := seg.Put(keys[i], []uint64{uint64(i)}, time.Millisecond); err != nil {
+			return perfServerMetric{}, err
+		}
+	}
+
+	var (
+		ops      atomic.Int64
+		sampleMu sync.Mutex
+		samples  []int64
+	)
+	start := time.Now()
+	deadline := start.Add(dur)
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			local := make([]int64, 0, 4096)
+			for time.Now().Before(deadline) {
+				k := keys[rng.Intn(len(keys))]
+				t0 := time.Now()
+				_, status, err := seg.Get(k)
+				rtt := time.Since(t0)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if status != compreuse.Hit {
+					errCh <- fmt.Errorf("warm key %q: status %v", k, status)
+					return
+				}
+				ops.Add(1)
+				local = append(local, rtt.Nanoseconds())
+			}
+			sampleMu.Lock()
+			samples = append(samples, local...)
+			sampleMu.Unlock()
+		}(int64(w) + 1)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return perfServerMetric{}, err
+	default:
+	}
+	if len(samples) == 0 {
+		return perfServerMetric{}, fmt.Errorf("no samples in %v", dur)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return perfServerMetric{
+		OpsPerSec: float64(ops.Load()) / elapsed.Seconds(),
+		GetP50NS:  samples[len(samples)/2],
+		GetP99NS:  samples[len(samples)*99/100],
+	}, nil
+}
+
+// perfRegression is one metric that got worse than the gate allows.
+type perfRegression struct {
+	Metric   string
+	Old, New float64
+	Hard     bool
+}
+
+// comparePerf diffs doc against the baseline and logs every regression,
+// returning the hard ones (allocs/op: the compiler either elides the
+// allocation or it does not — noise is no excuse). Timing and
+// throughput metrics warn only. Metrics missing from the baseline are
+// new and pass trivially.
+func comparePerf(old, doc *perfDoc, logw io.Writer) []perfRegression {
+	var hard []perfRegression
+	report := func(r perfRegression) {
+		kind := "warning"
+		if r.Hard {
+			kind = "REGRESSION"
+			hard = append(hard, r)
+		}
+		fmt.Fprintf(logw, "perf %s: %s %.1f -> %.1f (gate: %.0f%%)\n",
+			kind, r.Metric, r.Old, r.New, perfRegressPct*100)
+	}
+	for name, om := range old.HotPath {
+		nm, ok := doc.HotPath[name]
+		if !ok {
+			fmt.Fprintf(logw, "perf warning: baseline metric hot_path.%s disappeared\n", name)
+			continue
+		}
+		// Hard gate. 10% of a zero-alloc baseline is zero, so any new
+		// allocation on a previously clean path trips it.
+		if nm.AllocsPerOp > om.AllocsPerOp*(1+perfRegressPct)+1e-9 {
+			report(perfRegression{"hot_path." + name + ".allocs_per_op",
+				om.AllocsPerOp, nm.AllocsPerOp, true})
+		}
+		if nm.NsPerOp > om.NsPerOp*(1+perfRegressPct) {
+			report(perfRegression{"hot_path." + name + ".ns_per_op",
+				om.NsPerOp, nm.NsPerOp, false})
+		}
+	}
+	for name, om := range old.Server {
+		nm, ok := doc.Server[name]
+		if !ok {
+			fmt.Fprintf(logw, "perf warning: baseline metric server.%s disappeared\n", name)
+			continue
+		}
+		if nm.OpsPerSec < om.OpsPerSec*(1-perfRegressPct) {
+			report(perfRegression{"server." + name + ".ops_per_sec",
+				om.OpsPerSec, nm.OpsPerSec, false})
+		}
+		if float64(nm.GetP50NS) > float64(om.GetP50NS)*(1+perfRegressPct) {
+			report(perfRegression{"server." + name + ".get_p50_ns",
+				float64(om.GetP50NS), float64(nm.GetP50NS), false})
+		}
+		if float64(nm.GetP99NS) > float64(om.GetP99NS)*(1+perfRegressPct) {
+			report(perfRegression{"server." + name + ".get_p99_ns",
+				float64(om.GetP99NS), float64(nm.GetP99NS), false})
+		}
+	}
+	return hard
+}

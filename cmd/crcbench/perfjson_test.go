@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestComparePerfGate pins the gate semantics: allocs/op regressions are
+// hard failures, timing and throughput regressions only warn, and
+// improvements or new metrics pass silently.
+func TestComparePerfGate(t *testing.T) {
+	base := &perfDoc{
+		Schema: perfSchema,
+		HotPath: map[string]perfHotMetric{
+			"table_probe": {NsPerOp: 60, AllocsPerOp: 0},
+			"memo_hit":    {NsPerOp: 40, AllocsPerOp: 0},
+		},
+		Server: map[string]perfServerMetric{
+			"tcp":  {OpsPerSec: 100000, GetP50NS: 30000, GetP99NS: 80000},
+			"unix": {OpsPerSec: 150000, GetP50NS: 20000, GetP99NS: 60000},
+		},
+	}
+	clone := func() *perfDoc {
+		data, _ := json.Marshal(base)
+		var d perfDoc
+		json.Unmarshal(data, &d)
+		return &d
+	}
+
+	t.Run("Identical", func(t *testing.T) {
+		var log strings.Builder
+		if hard := comparePerf(base, clone(), &log); len(hard) != 0 {
+			t.Fatalf("identical docs regressed: %v\n%s", hard, log.String())
+		}
+	})
+
+	t.Run("AllocRegressionIsHard", func(t *testing.T) {
+		cur := clone()
+		m := cur.HotPath["table_probe"]
+		m.AllocsPerOp = 1 // a previously clean path started allocating
+		cur.HotPath["table_probe"] = m
+		var log strings.Builder
+		hard := comparePerf(base, cur, &log)
+		if len(hard) != 1 || hard[0].Metric != "hot_path.table_probe.allocs_per_op" {
+			t.Fatalf("hard = %v, want the alloc regression\n%s", hard, log.String())
+		}
+	})
+
+	t.Run("TimingRegressionWarnsOnly", func(t *testing.T) {
+		cur := clone()
+		m := cur.HotPath["table_probe"]
+		m.NsPerOp = 90 // +50%
+		cur.HotPath["table_probe"] = m
+		s := cur.Server["tcp"]
+		s.GetP50NS = 60000 // +100%
+		s.OpsPerSec = 50000
+		cur.Server["tcp"] = s
+		var log strings.Builder
+		if hard := comparePerf(base, cur, &log); len(hard) != 0 {
+			t.Fatalf("timing regressions failed hard: %v", hard)
+		}
+		for _, want := range []string{
+			"hot_path.table_probe.ns_per_op",
+			"server.tcp.get_p50_ns",
+			"server.tcp.ops_per_sec",
+		} {
+			if !strings.Contains(log.String(), want) {
+				t.Errorf("no warning for %s in:\n%s", want, log.String())
+			}
+		}
+	})
+
+	t.Run("WithinGatePasses", func(t *testing.T) {
+		cur := clone()
+		m := cur.HotPath["table_probe"]
+		m.NsPerOp = 64 // +6.7%, inside the 10% gate
+		cur.HotPath["table_probe"] = m
+		var log strings.Builder
+		if hard := comparePerf(base, cur, &log); len(hard) != 0 || log.Len() != 0 {
+			t.Fatalf("within-gate drift flagged: %v\n%s", hard, log.String())
+		}
+	})
+
+	t.Run("ImprovementPasses", func(t *testing.T) {
+		cur := clone()
+		s := cur.Server["unix"]
+		s.GetP50NS = 10000
+		s.OpsPerSec = 300000
+		cur.Server["unix"] = s
+		var log strings.Builder
+		if hard := comparePerf(base, cur, &log); len(hard) != 0 || log.Len() != 0 {
+			t.Fatalf("improvement flagged: %v\n%s", hard, log.String())
+		}
+	})
+}
+
+// TestPerfJSONEndToEnd runs the real subcommand with a short traffic
+// window and checks the document it writes: schema, zero-alloc hot
+// paths, and both transports measured. This is the committed
+// BENCH_*.json pipeline, end to end.
+func TestPerfJSONEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks; skipped in -short")
+	}
+	out := filepath.Join(t.TempDir(), "perf.json")
+	var log strings.Builder
+	if err := perfJSONMain([]string{"-o", out, "-dur", "150ms", "-keys", "64"}, &log); err != nil {
+		t.Fatalf("perfjson: %v\n%s", err, log.String())
+	}
+	doc, err := readPerfDoc(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"table_probe", "table_record", "sharded_probe",
+		"memoized_hit", "memo_table_hit"} {
+		m, ok := doc.HotPath[name]
+		if !ok {
+			t.Fatalf("hot_path.%s missing", name)
+		}
+		if m.AllocsPerOp != 0 {
+			t.Errorf("hot_path.%s: %.1f allocs/op, want 0", name, m.AllocsPerOp)
+		}
+		if m.NsPerOp <= 0 {
+			t.Errorf("hot_path.%s: ns/op %v, want > 0", name, m.NsPerOp)
+		}
+	}
+	for _, name := range []string{"tcp", "unix"} {
+		m, ok := doc.Server[name]
+		if !ok {
+			t.Fatalf("server.%s missing", name)
+		}
+		if m.OpsPerSec <= 0 || m.GetP50NS <= 0 || m.GetP99NS < m.GetP50NS {
+			t.Errorf("server.%s: implausible measurement %+v", name, m)
+		}
+	}
+
+	// A fresh run compared against itself must pass the gate (timing
+	// noise between two immediate runs stays warn-only by design).
+	var cmpLog strings.Builder
+	hard := comparePerf(doc, doc, &cmpLog)
+	if len(hard) != 0 {
+		t.Fatalf("self-compare regressed: %v", hard)
+	}
+
+	// Guard against a stale-schema baseline being silently accepted.
+	if err := os.WriteFile(out, []byte(`{"schema":"bogus/9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readPerfDoc(out); err == nil {
+		t.Fatal("bogus schema accepted")
+	}
+}

@@ -62,7 +62,8 @@ func (r loadgenReport) print(w io.Writer) {
 func loadgenRun(args []string, logw io.Writer) (loadgenReport, error) {
 	fs := flag.NewFlagSet("crcserve loadgen", flag.ContinueOnError)
 	fs.SetOutput(logw)
-	addr := fs.String("addr", "localhost:8345", "crcserve address")
+	addr := fs.String("addr", "localhost:8345",
+		"crcserve address (host:port or unix:///path/to.sock)")
 	fleet := fs.Int("fleet", 4, "independent clients (modeled fleet processes)")
 	workers := fs.Int("workers", 0, "workers per client; 0 = GOMAXPROCS")
 	conns := fs.Int("conns", 2, "pooled connections per client")

@@ -25,11 +25,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"net"
 	"net/http"
 	"os"
 	"time"
 
+	"compreuse"
 	"compreuse/internal/obs"
 	"compreuse/internal/reused"
 	"compreuse/internal/sigctx"
@@ -51,6 +53,23 @@ func main() {
 	}
 }
 
+// removeStaleSocket unlinks a leftover socket file so a restart after
+// an unclean exit can bind again. It refuses to remove anything that is
+// not a socket — a mistyped -addr must not delete a regular file.
+func removeStaleSocket(path string) error {
+	info, err := os.Lstat(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if info.Mode()&os.ModeSocket == 0 {
+		return fmt.Errorf("unix socket path %q exists and is not a socket", path)
+	}
+	return os.Remove(path)
+}
+
 // run starts the server and blocks until SIGINT/SIGTERM has been
 // received and the drain finished (returning nil), or a hard error
 // occurs. ready, when non-nil, is called with the cache listener's
@@ -59,7 +78,8 @@ func main() {
 func run(args []string, logw io.Writer, ready func(net.Addr)) error {
 	fs := flag.NewFlagSet("crcserve", flag.ContinueOnError)
 	fs.SetOutput(logw)
-	addr := fs.String("addr", "localhost:8345", "cache listen address")
+	addr := fs.String("addr", "localhost:8345",
+		"cache listen address: host:port for TCP, or unix:///path/to.sock")
 	httpAddr := fs.String("http", "localhost:8346",
 		"metrics/debug HTTP listen address (/metrics, /decisions, /debug/pprof); empty disables")
 	maxConns := fs.Int("max-conns", reused.DefaultMaxConns, "max simultaneous client connections")
@@ -99,9 +119,22 @@ func run(args []string, logw io.Writer, ready func(net.Addr)) error {
 		},
 	})
 
-	ln, err := net.Listen("tcp", *addr)
+	// A unix:// address serves co-located clients over a unix-domain
+	// socket — same wire protocol, no loopback TCP stack in the
+	// round-trip half of overhead O. A stale socket file from an
+	// unclean previous exit is removed before listening.
+	network, address := compreuse.ParseAddr(*addr)
+	if network == "unix" {
+		if err := removeStaleSocket(address); err != nil {
+			return err
+		}
+	}
+	ln, err := net.Listen(network, address)
 	if err != nil {
 		return err
+	}
+	if network == "unix" {
+		defer os.Remove(address)
 	}
 
 	ctx, stop := sigctx.Notify(context.Background())

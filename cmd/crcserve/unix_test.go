@@ -1,0 +1,158 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"compreuse"
+)
+
+// TestUnixSocket boots the server on a unix-domain socket and drives a
+// full client round trip through the unix:// scheme — the co-located
+// transport whose smaller per-probe overhead O is the point of the
+// feature — then checks the clean drain removes the socket file.
+func TestUnixSocket(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "crc.sock")
+	addr := "unix://" + sock
+
+	logs := &syncBuf{}
+	addrCh := make(chan net.Addr, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{"-addr", addr, "-http", "", "-q"},
+			logs, func(a net.Addr) { addrCh <- a })
+	}()
+	select {
+	case a := <-addrCh:
+		if a.Network() != "unix" || a.String() != sock {
+			t.Fatalf("listening on %s %q, want unix %q", a.Network(), a, sock)
+		}
+	case err := <-runErr:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	c, err := compreuse.DialCache(compreuse.ClientConfig{Addr: addr, Conns: 2})
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	defer c.Close()
+	seg, err := c.Segment("unix", compreuse.SegmentConfig{OutWords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("unix-key")
+	if _, status, err := seg.Get(key); err != nil || status != compreuse.Miss {
+		t.Fatalf("cold get: status %v err %v, want miss", status, err)
+	}
+	if err := seg.Put(key, []uint64{7, 11}, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	vals, status, err := seg.Get(key)
+	if err != nil || status != compreuse.Hit {
+		t.Fatalf("warm get: status %v err %v, want hit", status, err)
+	}
+	if len(vals) != 2 || vals[0] != 7 || vals[1] != 11 {
+		t.Fatalf("warm get vals %v, want [7 11]", vals)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+	if _, err := os.Lstat(sock); !os.IsNotExist(err) {
+		t.Errorf("socket file %s still present after clean drain (err=%v)", sock, err)
+	}
+}
+
+// TestStaleSocketRemoval covers the restart-after-crash path: a
+// leftover socket file is unlinked and rebound, but a regular file at
+// the address refuses to be deleted.
+func TestStaleSocketRemoval(t *testing.T) {
+	dir := t.TempDir()
+
+	t.Run("Missing", func(t *testing.T) {
+		if err := removeStaleSocket(filepath.Join(dir, "never-existed.sock")); err != nil {
+			t.Fatalf("missing path: %v, want nil", err)
+		}
+	})
+
+	t.Run("Stale", func(t *testing.T) {
+		sock := filepath.Join(dir, "stale.sock")
+		ln, err := net.ListenUnix("unix", &net.UnixAddr{Name: sock, Net: "unix"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Leave the socket file behind, as an unclean exit would.
+		ln.SetUnlinkOnClose(false)
+		ln.Close()
+		if _, err := os.Lstat(sock); err != nil {
+			t.Fatalf("setup left no socket file: %v", err)
+		}
+		if err := removeStaleSocket(sock); err != nil {
+			t.Fatalf("stale socket: %v, want removal", err)
+		}
+		if _, err := os.Lstat(sock); !os.IsNotExist(err) {
+			t.Fatal("stale socket file survived removeStaleSocket")
+		}
+	})
+
+	t.Run("RegularFile", func(t *testing.T) {
+		path := filepath.Join(dir, "precious.txt")
+		if err := os.WriteFile(path, []byte("data"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := removeStaleSocket(path)
+		if err == nil || !strings.Contains(err.Error(), "not a socket") {
+			t.Fatalf("regular file: err %v, want refusal", err)
+		}
+		if _, statErr := os.Lstat(path); statErr != nil {
+			t.Fatal("removeStaleSocket deleted a regular file")
+		}
+	})
+
+	// run() itself must surface the refusal rather than listen.
+	t.Run("RunRefuses", func(t *testing.T) {
+		path := filepath.Join(dir, "config.txt")
+		if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := run([]string{"-addr", "unix://" + path, "-http", ""}, &syncBuf{}, nil)
+		if err == nil || !strings.Contains(err.Error(), "not a socket") {
+			t.Fatalf("run on a regular file: err %v, want refusal", err)
+		}
+	})
+}
+
+// TestParseAddr pins the address-scheme split the server and client
+// share.
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in, network, address string
+	}{
+		{"localhost:8345", "tcp", "localhost:8345"},
+		{"127.0.0.1:0", "tcp", "127.0.0.1:0"},
+		{"unix:///run/crc.sock", "unix", "/run/crc.sock"},
+		{"unix://rel.sock", "unix", "rel.sock"},
+	}
+	for _, c := range cases {
+		network, address := compreuse.ParseAddr(c.in)
+		if network != c.network || address != c.address {
+			t.Errorf("ParseAddr(%q) = %q, %q; want %q, %q",
+				c.in, network, address, c.network, c.address)
+		}
+	}
+}

@@ -187,11 +187,15 @@ func ValueHistogram(census []reusetab.KeyCount, buckets int) []Bucket {
 	first := true
 	vals := make([]int64, 0, len(census))
 	counts := make([]int64, 0, len(census))
+	// One scratch buffer decodes every census key; a large census would
+	// otherwise allocate a fresh int slice per key.
+	var scratch []int32
 	for _, kc := range census {
-		ints := reusetab.DecodeInts(kc.Key)
-		if ints == nil {
+		ints, ok := reusetab.DecodeIntsInto(scratch[:0], kc.Key)
+		if !ok || len(ints) == 0 {
 			return nil
 		}
+		scratch = ints
 		v := int64(ints[0])
 		vals = append(vals, v)
 		counts = append(counts, kc.Count)

@@ -122,6 +122,7 @@ func release(f *wire.Frame) {
 	f.Name = ""
 	f.Key = nil
 	f.Vals = nil
+	f.Items = nil
 	framePool.Put(f)
 }
 
@@ -140,6 +141,10 @@ func (s *Server) process(f *wire.Frame) {
 		s.processGet(f, instrumented)
 	case wire.OpPut:
 		s.processPut(f)
+	case wire.OpMGet:
+		s.processMGet(f, instrumented)
+	case wire.OpMPut:
+		s.processMPut(f)
 	case wire.OpFlush, wire.OpStats:
 		seg, ok := s.segmentByID(f.Seg)
 		if !ok {
@@ -239,6 +244,103 @@ func (s *Server) processPut(f *wire.Frame) {
 	respond(f, 0)
 }
 
+// processMGet is the scatter-gather probe: one frame, one round trip,
+// many keys. Each item is probed independently and answered in place
+// (per-item FlagHit plus the stored outputs); the request keys are
+// dropped from the response — the client matches items by index. The
+// client's RTT estimate is amortized evenly across the batch when the
+// governor is charged overhead O, which is exactly the economics that
+// make batching worthwhile under formula 3: the same round trip divided
+// over n probes shrinks each probe's O by n.
+func (s *Server) processMGet(f *wire.Frame, instrumented bool) {
+	seg, ok := s.segmentByID(f.Seg)
+	if !ok {
+		fail(f, "unknown segment id")
+		return
+	}
+	if len(f.Items) == 0 {
+		fail(f, "empty batch")
+		return
+	}
+	rttNS := int64(f.Cost)
+	if instrumented && rttNS > 0 {
+		mClientRTT.Observe(rttNS)
+	}
+	if seg.bypassOrReadmit(s) {
+		if instrumented {
+			seg.bypassed.Inc()
+		}
+		respond(f, wire.FlagBypass)
+		f.Items = nil
+		return
+	}
+	rttShare := rttNS / int64(len(f.Items))
+	for i := range f.Items {
+		it := &f.Items[i]
+		start := time.Now()
+		outs, hit := seg.tab.Probe(0, it.Key)
+		probeNS := time.Since(start).Nanoseconds()
+		if d := seg.gov.observeGet(seg.name, hit, probeNS+rttShare); d != nil {
+			s.recordDecision(*d)
+		}
+		it.Key = nil
+		it.Cost = 0
+		if !hit {
+			it.Flags = 0
+			it.Vals = nil
+			continue
+		}
+		if instrumented {
+			seg.hits.Inc()
+		}
+		it.Flags = wire.FlagHit
+		// Copy out of the table-owned storage, as processGet does.
+		it.Vals = append(it.Vals[:0], outs...)
+	}
+	items := f.Items
+	respond(f, 0)
+	f.Items = items
+}
+
+// processMPut records a batch of computed results in one frame. Items
+// are validated and recorded independently — a wrong-arity item fails
+// the whole frame (the batch is one client-side coalescing decision,
+// not independent requests) — and each item's Cost feeds the governor
+// as that computation's measured C.
+func (s *Server) processMPut(f *wire.Frame) {
+	seg, ok := s.segmentByID(f.Seg)
+	if !ok {
+		fail(f, "unknown segment id")
+		return
+	}
+	if len(f.Items) == 0 {
+		fail(f, "empty batch")
+		return
+	}
+	if seg.bypassOrReadmit(s) {
+		if obs.On() {
+			seg.bypassed.Inc()
+		}
+		respond(f, wire.FlagBypass)
+		f.Items = nil
+		return
+	}
+	for i := range f.Items {
+		if len(f.Items[i].Vals) != seg.outWords {
+			fail(f, "wrong output arity")
+			return
+		}
+	}
+	for i := range f.Items {
+		it := &f.Items[i]
+		seg.gov.observePut(int64(it.Cost))
+		seg.tab.Record(0, it.Key, it.Vals)
+	}
+	s.enforceBudget()
+	respond(f, 0)
+	f.Items = nil
+}
+
 func (s *Server) processStats(f *wire.Frame, seg *segment) {
 	st := seg.tab.TotalStats()
 	g := seg.gov
@@ -287,6 +389,7 @@ func fail(f *wire.Frame, msg string) {
 	f.Name = msg
 	f.Key = nil
 	f.Vals = nil
+	f.Items = nil
 }
 
 func b2u(b bool) uint64 {

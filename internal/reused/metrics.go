@@ -35,6 +35,8 @@ var (
 		wire.OpPut:   obs.NewCounter(`crcserve_requests_total{op="put"}`, opHelp),
 		wire.OpFlush: obs.NewCounter(`crcserve_requests_total{op="flush"}`, opHelp),
 		wire.OpStats: obs.NewCounter(`crcserve_requests_total{op="stats"}`, opHelp),
+		wire.OpMGet:  obs.NewCounter(`crcserve_requests_total{op="mget"}`, opHelp),
+		wire.OpMPut:  obs.NewCounter(`crcserve_requests_total{op="mput"}`, opHelp),
 	}
 	mOpOther = obs.NewCounter(`crcserve_requests_total{op="other"}`, opHelp)
 )

@@ -23,15 +23,29 @@ func AppendFloat(key []byte, v float64) []byte {
 
 // DecodeInts interprets a key as a sequence of 32-bit ints (the common
 // all-int input case) for histogram rendering. It returns nil if the key
-// length is not a multiple of 4.
+// length is not a multiple of 4. Each call allocates a fresh slice; the
+// histogram renderers, which decode every census key in a tight loop,
+// use DecodeIntsInto with one reused scratch buffer instead.
 func DecodeInts(key string) []int32 {
-	if len(key)%4 != 0 {
+	out, ok := DecodeIntsInto(make([]int32, 0, len(key)/4), key)
+	if !ok {
 		return nil
 	}
-	out := make([]int32, len(key)/4)
-	for i := range out {
-		b := key[i*4:]
-		out[i] = int32(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
-	}
 	return out
+}
+
+// DecodeIntsInto appends the key's decoded 32-bit ints to dst and
+// returns the extended slice, reusing dst's capacity — decoding a large
+// census with one scratch buffer allocates only until the buffer reaches
+// the widest key. ok is false (and dst is returned unchanged) when the
+// key length is not a multiple of 4.
+func DecodeIntsInto(dst []int32, key string) ([]int32, bool) {
+	if len(key)%4 != 0 {
+		return dst, false
+	}
+	for i := 0; i < len(key); i += 4 {
+		b := key[i:]
+		dst = append(dst, int32(uint32(b[0])|uint32(b[1])<<8|uint32(b[2])<<16|uint32(b[3])<<24))
+	}
+	return dst, true
 }

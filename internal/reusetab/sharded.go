@@ -114,17 +114,64 @@ func (s *Sharded) shardFor(key []byte) *tableShard {
 }
 
 // Probe looks key up for segment seg in the key's shard. It is safe for
-// concurrent use with other probes, records and stats reads.
+// concurrent use with other probes, records and stats reads. A hit's
+// outputs are returned as a fresh copy (the underlying Table overwrites
+// its stored buffers in place on re-records, so handing out the live
+// slice would race); callers on the zero-allocation path should use
+// ProbeInto or ProbeWord instead.
 func (s *Sharded) Probe(seg int, key []byte) ([]uint64, bool) {
+	return s.ProbeInto(seg, key, nil)
+}
+
+// ProbeInto probes like Probe but appends a hit's outputs to dst and
+// returns the extended slice. The copy happens under the shard lock, so
+// the result can never be torn by a concurrent Record of the same key;
+// with a dst of sufficient capacity a hit allocates nothing.
+func (s *Sharded) ProbeInto(seg int, key []byte, dst []uint64) ([]uint64, bool) {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
 	collBefore := sh.tab.stats[seg].Collisions
 	distBefore := len(sh.tab.rank)
 	outs, hit := sh.tab.Probe(seg, key)
+	if hit {
+		dst = append(dst, outs...)
+	}
 	collDelta := sh.tab.stats[seg].Collisions - collBefore
 	distDelta := len(sh.tab.rank) - distBefore
 	sh.mu.Unlock()
 
+	s.countProbe(seg, hit, collDelta, distDelta)
+	if !hit {
+		return dst, false
+	}
+	return dst, true
+}
+
+// ProbeWord is the single-output fast path (OutWords == 1, the MemoTable
+// configuration): the stored word is read under the shard lock and
+// returned by value, so a hit allocates nothing and needs no caller
+// buffer.
+func (s *Sharded) ProbeWord(seg int, key []byte) (uint64, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	collBefore := sh.tab.stats[seg].Collisions
+	distBefore := len(sh.tab.rank)
+	outs, hit := sh.tab.Probe(seg, key)
+	var v uint64
+	if hit && len(outs) > 0 {
+		v = outs[0]
+	}
+	collDelta := sh.tab.stats[seg].Collisions - collBefore
+	distDelta := len(sh.tab.rank) - distBefore
+	sh.mu.Unlock()
+
+	s.countProbe(seg, hit, collDelta, distDelta)
+	return v, hit
+}
+
+// countProbe folds one probe's outcome into the atomic per-segment
+// counters.
+func (s *Sharded) countProbe(seg int, hit bool, collDelta int64, distDelta int) {
 	st := &s.stats[seg]
 	st.probes.Add(1)
 	if hit {
@@ -138,7 +185,6 @@ func (s *Sharded) Probe(seg int, key []byte) ([]uint64, bool) {
 	if distDelta > 0 {
 		s.distinct.Add(int64(distDelta))
 	}
-	return outs, hit
 }
 
 // Record stores the outputs computed for key by segment seg in the key's

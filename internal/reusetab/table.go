@@ -1,6 +1,7 @@
 package reusetab
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
@@ -72,11 +73,44 @@ func (s SegStats) HitRatio() float64 {
 }
 
 type entry struct {
-	used    bool
-	key     string
+	used bool
+	// key holds the entry's input pattern as bytes (not a string) so a
+	// replacement can reuse the buffer's capacity instead of allocating:
+	// the probe/record hot path must stay at zero allocations in steady
+	// state (formula 3 counts every nanosecond of overhead O against the
+	// segment's profitability).
+	key     []byte
 	valid   uint64
 	outs    [][]uint64
 	lastUse int64
+}
+
+// reclaim repoints an entry at key, reusing the key buffer and the
+// per-segment output-slice headers it already owns. The valid bits are
+// cleared; stale words left in the output buffers are unreachable until
+// a Record re-validates their segment.
+func (e *entry) reclaim(key []byte, segs int, clock int64) {
+	e.used = true
+	e.key = append(e.key[:0], key...)
+	e.valid = 0
+	if cap(e.outs) < segs {
+		e.outs = make([][]uint64, segs)
+	} else {
+		e.outs = e.outs[:segs]
+	}
+	e.lastUse = clock
+}
+
+// storeOuts copies outs into dst, reusing dst's capacity when it
+// suffices. The copy (rather than retaining the caller's slice) keeps
+// the table the sole owner of its stored words.
+func storeOuts(dst, outs []uint64) []uint64 {
+	if cap(dst) < len(outs) {
+		dst = make([]uint64, len(outs))
+	}
+	dst = dst[:len(outs)]
+	copy(dst, outs)
+	return dst
 }
 
 // Table is one reuse table instance.
@@ -162,8 +196,8 @@ func (t *Table) Config() Config { return t.cfg }
 func (t *Table) Stats(seg int) SegStats { return t.stats[seg] }
 
 // index maps a key to a direct-addressed slot.
-func (t *Table) index(key string) int {
-	return IndexOf(key, len(t.slots))
+func (t *Table) index(key []byte) int {
+	return IndexOfBytes(key, len(t.slots))
 }
 
 // IndexOf maps a key to a slot in a direct-addressed table of the given
@@ -182,6 +216,23 @@ func IndexOf(key string, entries int) int {
 		}
 	} else {
 		h = JenkinsHash([]byte(key), 0)
+	}
+	return int(h % uint32(entries))
+}
+
+// IndexOfBytes is IndexOf over a byte-slice key. It is the hot-path
+// variant: no string materialization, no allocation.
+func IndexOfBytes(key []byte, entries int) int {
+	if entries <= 0 {
+		return 0
+	}
+	var h uint32
+	if len(key) <= 4 {
+		for i := len(key) - 1; i >= 0; i-- {
+			h = h<<8 | uint32(key[i])
+		}
+	} else {
+		h = JenkinsHash(key, 0)
 	}
 	return int(h % uint32(entries))
 }
@@ -241,13 +292,22 @@ func (t *Table) Probe(seg int, key []byte) ([]uint64, bool) {
 	return t.probe(seg, key)
 }
 
+// probe is the uninstrumented hot path. It allocates nothing in steady
+// state: every map access spells the string conversion inline
+// (m[string(key)]), which the compiler elides to a hash of the bytes; a
+// string is only materialized when a first-seen key is inserted into the
+// rank map. The returned slice is the table's own storage — it stays
+// valid until the next Record for the same key and segment, which
+// overwrites it in place (callers that retain hits across records, like
+// the concurrent Sharded wrapper, must copy; the VM consumes hits
+// immediately).
 func (t *Table) probe(seg int, key []byte) ([]uint64, bool) {
-	ks := string(key)
 	st := &t.stats[seg]
 	st.Probes++
 	t.clock++
 
 	if t.cfg.Mode == ModeProfile {
+		ks := string(key)
 		t.census[ks]++
 		t.segCensus[seg][ks]++
 		if _, ok := t.rank[ks]; !ok {
@@ -261,15 +321,15 @@ func (t *Table) probe(seg int, key []byte) ([]uint64, bool) {
 	// Distinct() reports the paper's N_ds for bounded tables too (it used
 	// to stay 0 outside optimal/profile modes, which made every bounded
 	// table look like reuse rate 1.0).
-	if _, ok := t.rank[ks]; !ok {
-		t.rank[ks] = len(t.rank)
+	if _, ok := t.rank[string(key)]; !ok {
+		t.rank[string(key)] = len(t.rank)
 	}
 
 	bit := uint64(1) << uint(seg)
 	switch {
 	case t.byKey != nil:
-		t.accessCounts[t.rank[ks]]++
-		e, ok := t.byKey[ks]
+		t.accessCounts[t.rank[string(key)]]++
+		e, ok := t.byKey[string(key)]
 		if !ok || e.valid&bit == 0 {
 			st.Misses++
 			return nil, false
@@ -278,7 +338,7 @@ func (t *Table) probe(seg int, key []byte) ([]uint64, bool) {
 		return e.outs[seg], true
 
 	case t.cfg.LRU:
-		i, resident := t.lruIdx[ks]
+		i, resident := t.lruIdx[string(key)]
 		if !resident {
 			st.Misses++
 			return nil, false
@@ -295,14 +355,14 @@ func (t *Table) probe(seg int, key []byte) ([]uint64, bool) {
 		return e.outs[seg], true
 
 	default:
-		i := t.index(ks)
+		i := t.index(key)
 		t.accessCounts[i]++
 		e := &t.slots[i]
 		if !e.used {
 			st.Misses++
 			return nil, false
 		}
-		if e.key != ks {
+		if !bytes.Equal(e.key, key) {
 			st.Misses++
 			st.Collisions++
 			return nil, false
@@ -327,6 +387,12 @@ func (t *Table) Record(seg int, key []byte, outs []uint64) {
 	t.record(seg, key, outs)
 }
 
+// record is the uninstrumented hot path. Like probe it allocates nothing
+// in steady state: re-records of a resident key copy the outputs into
+// the entry's existing buffers in place, and a direct-addressed or LRU
+// replacement reclaims the victim entry's key and output buffers. Only
+// genuinely new storage — a first-seen key's map insert, an unbounded
+// table's new entry, a buffer growing past its capacity — allocates.
 func (t *Table) record(seg int, key []byte, outs []uint64) {
 	if t.cfg.Mode == ModeProfile {
 		return
@@ -335,29 +401,28 @@ func (t *Table) record(seg int, key []byte, outs []uint64) {
 		panic(fmt.Sprintf("reusetab %q: segment %d recorded %d words, want %d",
 			t.cfg.Name, seg, len(outs), t.cfg.OutWords[seg]))
 	}
-	ks := string(key)
 	st := &t.stats[seg]
 	st.Records++
 	bit := uint64(1) << uint(seg)
-	stored := append([]uint64(nil), outs...)
 
 	switch {
 	case t.byKey != nil:
-		e, ok := t.byKey[ks]
+		e, ok := t.byKey[string(key)]
 		if !ok {
-			e = &entry{used: true, key: ks, outs: make([][]uint64, t.cfg.Segs)}
-			t.byKey[ks] = e
+			e = &entry{}
+			e.reclaim(key, t.cfg.Segs, t.clock)
+			t.byKey[string(key)] = e
 			t.resident++
 		}
 		e.valid |= bit
-		e.outs[seg] = stored
+		e.outs[seg] = storeOuts(e.outs[seg], outs)
 
 	case t.cfg.LRU:
 		// Update in place if resident.
-		if i, resident := t.lruIdx[ks]; resident {
+		if i, resident := t.lruIdx[string(key)]; resident {
 			e := &t.slots[i]
 			e.valid |= bit
-			e.outs[seg] = stored
+			e.outs[seg] = storeOuts(e.outs[seg], outs)
 			e.lastUse = t.clock
 			t.lruList.moveToFront(i)
 			return
@@ -372,19 +437,20 @@ func (t *Table) record(seg int, key []byte, outs []uint64) {
 			t.resident++
 		} else {
 			victim = t.lruList.back()
-			delete(t.lruIdx, t.slots[victim].key)
+			delete(t.lruIdx, string(t.slots[victim].key))
 			t.lruList.moveToFront(victim)
 			st.Evictions++
 		}
-		t.lruIdx[ks] = victim
+		t.lruIdx[string(key)] = victim
 		e := &t.slots[victim]
-		*e = entry{used: true, key: ks, valid: bit, outs: make([][]uint64, t.cfg.Segs), lastUse: t.clock}
-		e.outs[seg] = stored
+		e.reclaim(key, t.cfg.Segs, t.clock)
+		e.valid = bit
+		e.outs[seg] = storeOuts(e.outs[seg], outs)
 
 	default:
-		i := t.index(ks)
+		i := t.index(key)
 		e := &t.slots[i]
-		if !e.used || e.key != ks {
+		if !e.used || !bytes.Equal(e.key, key) {
 			// Direct-addressed collision: replace the resident entry
 			// (paper §3.1: "the previously recorded inputs and outputs in
 			// the entry is replaced by the new inputs and outputs").
@@ -393,10 +459,10 @@ func (t *Table) record(seg int, key []byte, outs []uint64) {
 			} else {
 				t.resident++
 			}
-			*e = entry{used: true, key: ks, outs: make([][]uint64, t.cfg.Segs)}
+			e.reclaim(key, t.cfg.Segs, t.clock)
 		}
 		e.valid |= bit
-		e.outs[seg] = stored
+		e.outs[seg] = storeOuts(e.outs[seg], outs)
 	}
 }
 

@@ -390,7 +390,7 @@ func TestLRUMatchesReferenceScan(t *testing.T) {
 		t.Fatalf("resident keys = %d, want %d", len(tab.lruIdx), c.Entries)
 	}
 	for k, i := range tab.lruIdx {
-		if tab.slots[i].key != k {
+		if string(tab.slots[i].key) != k {
 			t.Fatalf("slot %d holds %q, index says %q", i, tab.slots[i].key, k)
 		}
 	}

@@ -26,6 +26,12 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xFF}, headerBytes))
 	f.Add(append(AppendFrame(nil, &Frame{Op: OpGet})[4:], 0x00))
+	// Batch-op error paths: a truncated item section and a batch section
+	// glued onto a non-batch op.
+	mput := AppendFrame(nil, &Frame{Op: OpMPut, Items: []Item{
+		{Cost: 9, Key: []byte("key"), Vals: []uint64{1}}}})[4:]
+	f.Add(mput[:len(mput)-5])
+	f.Add(append(AppendFrame(nil, &Frame{Op: OpPut})[4:], 0x01, 0x00))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var fr Frame

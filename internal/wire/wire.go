@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Op identifies a frame's operation.
@@ -52,10 +53,26 @@ const (
 	// OpStats asks for the segment's live counters; the response's Vals
 	// hold them in StatsVals order.
 	OpStats
+	// OpMGet probes many keys of one segment in a single frame: the
+	// request's Items carry the keys, the response's Items carry each
+	// probe's outcome (per-item FlagHit plus the stored Vals on a hit).
+	// Cost carries the client RTT estimate, as on GET; the server
+	// amortizes it across the batch when it charges overhead O. One MGET
+	// costs one round trip however many concurrent misses it coalesces.
+	OpMGet
+	// OpMPut records many key→outputs pairs of one segment in a single
+	// frame: the request's Items carry per-item Cost (the measured C of
+	// that computation), Key and Vals. The response acknowledges the
+	// whole batch (FlagBypass when the segment is bypassed and the
+	// records were dropped); it carries no items.
+	OpMPut
 	opMax
 )
 
-var opNames = [...]string{"invalid", "HELLO", "GET", "PUT", "FLUSH", "STATS"}
+var opNames = [...]string{"invalid", "HELLO", "GET", "PUT", "FLUSH", "STATS", "MGET", "MPUT"}
+
+// Batch reports whether frames with this op carry the per-item section.
+func (o Op) Batch() bool { return o == OpMGet || o == OpMPut }
 
 // String returns the operation mnemonic.
 func (o Op) String() string {
@@ -88,6 +105,8 @@ const (
 	MaxVals = 1 << 16
 	// MaxName is the largest accepted segment/error name, in bytes.
 	MaxName = 1 << 10
+	// MaxItems is the largest accepted batch, in items.
+	MaxItems = 1 << 12
 	// MaxFrame is the largest accepted payload, in bytes.
 	MaxFrame = 1 << 24
 )
@@ -112,6 +131,25 @@ type Frame struct {
 	// Key is the input-pattern key bytes.
 	Key []byte
 	// Vals are output words (PUT/GET-hit) or counters (STATS, HELLO).
+	Vals []uint64
+	// Items is the batch section, present only on MGET/MPUT frames
+	// (Op.Batch()); it is ignored by the encoder and cleared by the
+	// decoder for every other op.
+	Items []Item
+}
+
+// Item is one entry of a batch frame. On an MGET request only Key is
+// set; on an MGET response Flags carries the per-item FlagHit and Vals
+// the stored outputs. On an MPUT request Cost is the measured
+// computation cost C of that item, in nanoseconds.
+type Item struct {
+	// Flags carries per-item Flag* bits (FlagHit on MGET responses).
+	Flags uint8
+	// Cost is the per-item nanosecond cost (C on MPUT items).
+	Cost uint64
+	// Key is the item's input-pattern key bytes.
+	Key []byte
+	// Vals are the item's output words.
 	Vals []uint64
 }
 
@@ -152,7 +190,19 @@ const (
 //	nameLen uint16, name bytes
 //	keyLen  uint32, key bytes
 //	nvals   uint16, vals (uint64 each)
+//
+// Batch ops (MGET/MPUT) append one more section — absent for every
+// other op, so pre-batch encodings remain canonical:
+//
+//	nitems  uint16, then per item:
+//	  flags  uint8
+//	  cost   uint64
+//	  keyLen uint32, key bytes
+//	  nvals  uint16, vals (uint64 each)
 const headerBytes = 1 + 1 + 4 + 8 + 8
+
+// itemHeadBytes is the fixed per-item prefix (flags + cost).
+const itemHeadBytes = 1 + 8
 
 var le = binary.LittleEndian
 
@@ -169,6 +219,13 @@ var (
 // and returns the extended slice.
 func AppendFrame(buf []byte, f *Frame) []byte {
 	payload := headerBytes + 2 + len(f.Name) + 4 + len(f.Key) + 2 + 8*len(f.Vals)
+	if f.Op.Batch() {
+		payload += 2
+		for i := range f.Items {
+			it := &f.Items[i]
+			payload += itemHeadBytes + 4 + len(it.Key) + 2 + 8*len(it.Vals)
+		}
+	}
 	buf = le.AppendUint32(buf, uint32(payload))
 	buf = append(buf, byte(f.Op), f.Flags)
 	buf = le.AppendUint32(buf, f.Seg)
@@ -181,6 +238,20 @@ func AppendFrame(buf []byte, f *Frame) []byte {
 	buf = le.AppendUint16(buf, uint16(len(f.Vals)))
 	for _, v := range f.Vals {
 		buf = le.AppendUint64(buf, v)
+	}
+	if f.Op.Batch() {
+		buf = le.AppendUint16(buf, uint16(len(f.Items)))
+		for i := range f.Items {
+			it := &f.Items[i]
+			buf = append(buf, it.Flags)
+			buf = le.AppendUint64(buf, it.Cost)
+			buf = le.AppendUint32(buf, uint32(len(it.Key)))
+			buf = append(buf, it.Key...)
+			buf = le.AppendUint16(buf, uint16(len(it.Vals)))
+			for _, v := range it.Vals {
+				buf = le.AppendUint64(buf, v)
+			}
+		}
 	}
 	return buf
 }
@@ -242,10 +313,83 @@ func DecodeFrame(data []byte, f *Frame) error {
 			f.Vals[i] = le.Uint64(rest[8*i:])
 		}
 	}
-	if len(rest) != 8*nvals {
+	rest = rest[8*nvals:]
+
+	if !op.Batch() {
+		f.Items = nil
+		if len(rest) != 0 {
+			return ErrTrailing
+		}
+		return nil
+	}
+
+	nitems, rest, err := takeLen(rest, 2, MaxItems)
+	if err != nil {
+		return err
+	}
+	if nitems == 0 {
+		f.Items = nil
+	} else {
+		if cap(f.Items) < nitems {
+			// Carry forward the items already held so their Key/Vals
+			// buffers stay reusable after the growth.
+			grown := make([]Item, nitems)
+			copy(grown, f.Items[:cap(f.Items)])
+			f.Items = grown
+		}
+		f.Items = f.Items[:nitems]
+	}
+	for i := 0; i < nitems; i++ {
+		rest, err = decodeItem(rest, &f.Items[i])
+		if err != nil {
+			return err
+		}
+	}
+	if len(rest) != 0 {
 		return ErrTrailing
 	}
 	return nil
+}
+
+// decodeItem decodes one batch item from the front of data, reusing
+// its Key and Vals capacity, and returns the remaining bytes.
+func decodeItem(data []byte, it *Item) ([]byte, error) {
+	if len(data) < itemHeadBytes {
+		return nil, ErrTruncated
+	}
+	it.Flags = data[0]
+	it.Cost = le.Uint64(data[1:])
+	rest := data[itemHeadBytes:]
+
+	keyLen, rest, err := takeLen(rest, 4, MaxKey)
+	if err != nil {
+		return nil, err
+	}
+	it.Key = append(it.Key[:0], rest[:keyLen]...)
+	if keyLen == 0 {
+		it.Key = nil
+	}
+	rest = rest[keyLen:]
+
+	nvals, rest, err := takeLen(rest, 2, MaxVals)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 8*nvals {
+		return nil, ErrTruncated
+	}
+	if nvals == 0 {
+		it.Vals = nil
+	} else {
+		if cap(it.Vals) < nvals {
+			it.Vals = make([]uint64, nvals)
+		}
+		it.Vals = it.Vals[:nvals]
+		for i := 0; i < nvals; i++ {
+			it.Vals[i] = le.Uint64(rest[8*i:])
+		}
+	}
+	return rest[8*nvals:], nil
 }
 
 // takeLen reads a width-byte little-endian length from the front of
@@ -272,13 +416,66 @@ func takeLen(data []byte, width, limit int) (int, []byte, error) {
 	return n, rest, nil
 }
 
+// Payload buffers are pooled in power-of-two size classes so the
+// per-connection Readers of a churning client fleet reuse each other's
+// buffers instead of each growing its own: a freshly accepted
+// connection's first big frame is served from a previous connection's
+// buffer. Within one Reader the buffer is still sticky — the pool is
+// only consulted when the buffer must grow, and only exact
+// class-capacity buffers are accepted back, so foreign slices cannot
+// poison a class.
+var bufClassSizes = [...]int{1 << 8, 1 << 12, 1 << 16, 1 << 20, MaxFrame}
+
+var bufPools [len(bufClassSizes)]sync.Pool
+
+// grabBuf returns a length-n buffer from the smallest fitting size
+// class (freshly allocated at class capacity when the pool is empty).
+func grabBuf(n int) []byte {
+	for i, size := range bufClassSizes {
+		if n <= size {
+			if b, ok := bufPools[i].Get().(*[]byte); ok {
+				return (*b)[:n]
+			}
+			return make([]byte, n, size)
+		}
+	}
+	return make([]byte, n) // larger than MaxFrame: caller already rejected
+}
+
+// releaseBuf returns a buffer to its size-class pool. Buffers whose
+// capacity is not an exact class size (including nil) are dropped.
+func releaseBuf(b []byte) {
+	for i, size := range bufClassSizes {
+		if cap(b) == size {
+			b = b[:0]
+			bufPools[i].Put(&b)
+			return
+		}
+	}
+}
+
 // Reader decodes frames from a stream, reusing one payload buffer
-// across frames. It is not safe for concurrent use; a connection owns
-// one Reader on its read side.
+// across frames (drawn from the package's size-classed pool when it
+// must grow). It is not safe for concurrent use; a connection owns one
+// Reader on its read side and should Release it when the connection
+// closes.
 type Reader struct {
 	r   io.Reader
 	buf []byte
 	len [4]byte
+	// scr retains the Frame field buffers across NextReused calls:
+	// DecodeFrame nils an empty field (part of its public contract),
+	// which would discard the capacity a frame of a different shape grew
+	// — e.g. a GET (key, no vals) after a PUT (key and vals) would drop
+	// the vals buffer and force the next PUT to reallocate it.
+	// NextReused lends these to the frame before decoding and stashes
+	// back whatever the frame holds afterwards, so an alternating-shape
+	// stream stays allocation-free in steady state.
+	scr struct {
+		key   []byte
+		vals  []uint64
+		items []Item
+	}
 }
 
 // NewReader wraps r. For performance the caller should hand in a
@@ -297,7 +494,8 @@ func (r *Reader) Next(f *Frame) error {
 		return ErrFrameTooLarge
 	}
 	if cap(r.buf) < n {
-		r.buf = make([]byte, n)
+		releaseBuf(r.buf)
+		r.buf = grabBuf(n)
 	}
 	r.buf = r.buf[:n]
 	if _, err := io.ReadFull(r.r, r.buf); err != nil {
@@ -307,6 +505,44 @@ func (r *Reader) Next(f *Frame) error {
 		return err
 	}
 	return DecodeFrame(r.buf, f)
+}
+
+// NextReused reads like Next but additionally retains the frame's
+// variable-length buffers across calls, so a stream of frames with
+// alternating shapes decodes without per-frame allocations. The decoded
+// fields are valid only until the next NextReused call on this Reader —
+// use plain Next when decoded frames are handed to another goroutine or
+// otherwise outlive the loop iteration (the server's pooled-frame
+// pipeline does; a client's single-frame response loop does not).
+func (r *Reader) NextReused(f *Frame) error {
+	if f.Key == nil {
+		f.Key = r.scr.key
+	}
+	if f.Vals == nil {
+		f.Vals = r.scr.vals
+	}
+	if f.Items == nil {
+		f.Items = r.scr.items
+	}
+	err := r.Next(f)
+	if f.Key != nil {
+		r.scr.key = f.Key
+	}
+	if f.Vals != nil {
+		r.scr.vals = f.Vals
+	}
+	if f.Items != nil {
+		r.scr.items = f.Items
+	}
+	return err
+}
+
+// Release returns the Reader's payload buffer to the package pool for
+// the next connection's Reader. The Reader remains usable (it will
+// re-grab a buffer on demand); call it once the stream is done.
+func (r *Reader) Release() {
+	releaseBuf(r.buf)
+	r.buf = nil
 }
 
 // Writer encodes frames onto a stream, reusing one encode buffer. It is

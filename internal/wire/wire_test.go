@@ -22,6 +22,15 @@ func sampleFrames() []Frame {
 		{Op: OpStats, Flags: FlagResp, Seq: 6, Seg: 7,
 			Vals: make([]uint64, StatsLen)},
 		{Op: OpPut, Flags: FlagResp | FlagErr, Seq: 7, Name: "unknown segment 9"},
+		{Op: OpMGet, Seq: 8, Seg: 7, Cost: 42_000,
+			Items: []Item{{Key: []byte{1, 2, 3, 4}}, {Key: []byte{5, 6, 7, 8}}}},
+		{Op: OpMGet, Flags: FlagResp, Seq: 8, Seg: 7,
+			Items: []Item{{Flags: FlagHit, Vals: []uint64{99}}, {}}},
+		{Op: OpMPut, Seq: 9, Seg: 7, Items: []Item{
+			{Cost: 12_500, Key: []byte{1, 2, 3, 4}, Vals: []uint64{11, 12}},
+			{Cost: 9_000, Key: bytes.Repeat([]byte{0xCD}, 16), Vals: []uint64{13, 14}}}},
+		{Op: OpMPut, Flags: FlagResp, Seq: 9, Seg: 7},
+		{Op: OpMPut, Flags: FlagResp | FlagBypass, Seq: 10, Seg: 7},
 	}
 }
 
@@ -152,6 +161,103 @@ func TestDecodeCorrupt(t *testing.T) {
 	r = NewReader(bytes.NewReader(full[:len(full)-2]))
 	if err := r.Next(&f); !errors.Is(err, io.ErrUnexpectedEOF) {
 		t.Errorf("mid-frame EOF: %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+// TestDecodeCorruptBatch feeds structurally broken MGET/MPUT payloads
+// and expects typed errors, not panics — the acceptance rule for the
+// batch extension is the same as for the base codec: corrupt input can
+// never take the server down.
+func TestDecodeCorruptBatch(t *testing.T) {
+	good := AppendFrame(nil, &Frame{Op: OpMPut, Seg: 7, Items: []Item{
+		{Cost: 100, Key: []byte("abcd"), Vals: []uint64{1}},
+		{Cost: 200, Key: []byte("efgh"), Vals: []uint64{2}},
+	}})[4:]
+	// nitems sits right after the (empty) frame-level sections.
+	nitemsOff := headerBytes + 2 + 4 + 2
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"missing items section", good[:nitemsOff], ErrTruncated},
+		{"truncated item header", good[:nitemsOff+2+3], ErrTruncated},
+		{"truncated item key", good[:nitemsOff+2+itemHeadBytes+4+2], ErrTruncated},
+		{"truncated item vals", good[:len(good)-4], ErrTruncated},
+		{"item count over data", mutate(good, nitemsOff, 0xFF), ErrTruncated},
+		{"trailing after items", append(append([]byte(nil), good...), 0), ErrTrailing},
+		{"items on non-batch op", append(AppendFrame(nil,
+			&Frame{Op: OpPut, Key: []byte("abcd")})[4:], 0, 0), ErrTrailing},
+	}
+	for _, tc := range cases {
+		var f Frame
+		err := DecodeFrame(tc.data, &f)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	// An item count beyond MaxItems is rejected by the limit even when
+	// the payload is large enough to look plausible.
+	big := make([]byte, nitemsOff)
+	copy(big, good[:nitemsOff])
+	big = le.AppendUint16(big, MaxItems+1)
+	big = append(big, make([]byte, MaxItems+1)...)
+	var f Frame
+	if err := DecodeFrame(big, &f); !errors.Is(err, ErrFieldTooLarge) {
+		t.Errorf("item count over MaxItems: %v, want ErrFieldTooLarge", err)
+	}
+}
+
+// TestReplayAllocationFlat replays a 10k-frame stream through one
+// Reader and a reused Frame and requires the whole replay to stay
+// allocation-flat: after the first pass has grown every buffer, further
+// passes must not allocate per frame (the satellite regression test for
+// the decoder's pooled, reused buffers).
+func TestReplayAllocationFlat(t *testing.T) {
+	var stream []byte
+	for i := 0; i < 10_000; i++ {
+		var f Frame
+		switch i % 3 {
+		case 0:
+			f = Frame{Op: OpGet, Seq: uint64(i), Seg: 1, Cost: 1000,
+				Key: []byte{byte(i), byte(i >> 8), 3, 4}}
+		case 1:
+			f = Frame{Op: OpPut, Seq: uint64(i), Seg: 1, Cost: 2000,
+				Key: []byte{byte(i), byte(i >> 8), 3, 4}, Vals: []uint64{uint64(i), 7}}
+		default:
+			f = Frame{Op: OpMGet, Seq: uint64(i), Seg: 1, Items: []Item{
+				{Key: []byte{byte(i), 1}}, {Key: []byte{byte(i), 2}}}}
+		}
+		stream = AppendFrame(stream, &f)
+	}
+
+	var f Frame
+	replay := func() {
+		r := NewReader(bytes.NewReader(stream))
+		n := 0
+		for {
+			err := r.NextReused(&f)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("frame %d: %v", n, err)
+			}
+			n++
+		}
+		r.Release()
+		if n != 10_000 {
+			t.Fatalf("replayed %d frames, want 10000", n)
+		}
+	}
+	replay() // grow buffers
+	// Each replay may allocate the bytes.Reader and Reader themselves,
+	// but nothing per frame: budget a handful of allocations for 10k
+	// frames.
+	if avg := testing.AllocsPerRun(5, replay); avg > 8 {
+		t.Errorf("10k-frame replay: %.1f allocs, want <= 8 (allocation-flat)", avg)
 	}
 }
 

@@ -335,17 +335,18 @@ func NewMemoTable(cfg MemoTableConfig) *MemoTable {
 }
 
 // Lookup probes the table; ok reports a hit. Safe for concurrent use.
+// A hit allocates nothing: the stored word is read by value under the
+// shard lock (reusetab.Sharded.ProbeWord).
 func (m *MemoTable) Lookup(key []byte) (value uint64, ok bool) {
-	outs, hit := m.tab.Probe(0, key)
-	if !hit {
-		return 0, false
-	}
-	return outs[0], true
+	return m.tab.ProbeWord(0, key)
 }
 
-// Store records a computed value for key. Safe for concurrent use.
+// Store records a computed value for key. Safe for concurrent use. A
+// re-store of a resident key allocates nothing — the table copies the
+// word into its existing entry in place.
 func (m *MemoTable) Store(key []byte, value uint64) {
-	m.tab.Record(0, key, []uint64{value})
+	vals := [1]uint64{value}
+	m.tab.Record(0, key, vals[:])
 }
 
 // Stats returns the table's probe statistics. The counters are atomic
@@ -376,3 +377,38 @@ func EncodeInt(key []byte, v int64) []byte { return reusetab.AppendInt(key, v) }
 
 // EncodeFloat appends a 64-bit float key component.
 func EncodeFloat(key []byte, v float64) []byte { return reusetab.AppendFloat(key, v) }
+
+// KeyBuf is a reusable scratch buffer for composing byte-string keys for
+// MemoTable and TieredMemo. Building the key with EncodeInt/EncodeFloat
+// on a fresh slice allocates on every call; a KeyBuf amortizes that to
+// zero once its buffer has grown to the widest key it has seen, so a
+// warm lookup — encode key, probe, hit — allocates nothing. A KeyBuf is
+// not safe for concurrent use; give each goroutine its own (they are
+// cheap: one slice header).
+type KeyBuf struct {
+	buf []byte
+}
+
+// Reset empties the buffer, keeping its capacity, and returns the KeyBuf
+// for chaining: kb.Reset().Int(a).Int(b).Bytes().
+func (k *KeyBuf) Reset() *KeyBuf {
+	k.buf = k.buf[:0]
+	return k
+}
+
+// Int appends a 32-bit key component.
+func (k *KeyBuf) Int(v int64) *KeyBuf {
+	k.buf = reusetab.AppendInt(k.buf, v)
+	return k
+}
+
+// Float appends a 64-bit float key component.
+func (k *KeyBuf) Float(v float64) *KeyBuf {
+	k.buf = reusetab.AppendFloat(k.buf, v)
+	return k
+}
+
+// Bytes returns the composed key. The slice aliases the scratch buffer:
+// it is valid until the next Reset, and the tables it is passed to copy
+// it rather than retain it.
+func (k *KeyBuf) Bytes() []byte { return k.buf }

@@ -1,6 +1,7 @@
 package compreuse
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -52,6 +53,20 @@ type TieredMemo struct {
 	l1    *MemoTable
 	seg   *RemoteSegment
 	stats [6]atomic.Int64 // mirrors TieredStats field order
+
+	// sf deduplicates concurrent misses on one key: the first caller
+	// (the leader) does the remote GET and, on a fleet-wide miss, the
+	// compute; everyone else waits for the leader's value — one round
+	// trip and one computation per in-flight key, not one per caller.
+	sfMu sync.Mutex
+	sf   map[string]*tieredCall
+}
+
+// tieredCall is one in-flight Do: the leader closes done after storing
+// val, and every follower reads val afterwards.
+type tieredCall struct {
+	done chan struct{}
+	val  uint64
 }
 
 const (
@@ -87,8 +102,10 @@ func NewTieredMemo(c *Client, cfg TieredMemoConfig) (*TieredMemo, error) {
 // compute. A computed value is recorded in both tiers together with its
 // measured cost C (unless the governor has bypassed the segment). Do
 // never fails: remote errors are counted and absorbed by computing
-// locally. Safe for concurrent use; concurrent misses on one key are
-// deduplicated per tier (L2 by the client's singleflight).
+// locally. Safe for concurrent use; concurrent misses on one key
+// singleflight — one remote GET and at most one compute run however
+// many callers pile onto the key — and the followers count as L1 hits,
+// since they are served from another caller's in-flight work.
 func (t *TieredMemo) Do(key []byte, compute func() uint64) uint64 {
 	t.stats[tsCalls].Add(1)
 	if v, ok := t.l1.Lookup(key); ok {
@@ -96,6 +113,32 @@ func (t *TieredMemo) Do(key []byte, compute func() uint64) uint64 {
 		return v
 	}
 
+	ks := string(key)
+	t.sfMu.Lock()
+	if c, ok := t.sf[ks]; ok {
+		t.sfMu.Unlock()
+		<-c.done
+		t.stats[tsL1Hits].Add(1)
+		return c.val
+	}
+	c := &tieredCall{done: make(chan struct{})}
+	if t.sf == nil {
+		t.sf = map[string]*tieredCall{}
+	}
+	t.sf[ks] = c
+	t.sfMu.Unlock()
+
+	c.val = t.doMiss(key, compute)
+	t.sfMu.Lock()
+	delete(t.sf, ks)
+	t.sfMu.Unlock()
+	close(c.done)
+	return c.val
+}
+
+// doMiss is the leader's slow path: L2 probe, then compute, recording
+// the result in both tiers.
+func (t *TieredMemo) doMiss(key []byte, compute func() uint64) uint64 {
 	vals, status, err := t.seg.Get(key)
 	switch {
 	case err == nil && status == Hit && len(vals) > 0:
