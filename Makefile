@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check bench bench-json bench-gate eval serve eval-serve eval-json fuzz loadgen smoke
+.PHONY: build vet test race check bench bench-json bench-gate eval serve eval-serve eval-json fuzz loadgen smoke fleet fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -70,3 +70,15 @@ fuzz:
 # under the race detector.
 smoke:
 	$(GO) test -race -count=1 -run 'TestLoadgenSmoke|TestCrcserve' -v ./cmd/crcserve/
+
+# fleet runs the distributed-tier demo: a 3-node in-process crcserve
+# ring, replicated PUTs, a mid-run node kill, and a warm restart from
+# the victim's drain-time snapshot.
+fleet:
+	$(GO) run ./cmd/crcbench fleet
+
+# fleet-smoke is the CI failover smoke: kill-one-node with zero failed
+# Do calls, ring-balance regression, snapshot round-trips — all under
+# the race detector.
+fleet-smoke:
+	$(GO) test -race -count=1 -run 'TestPoolFailover|TestRingBalance|TestFleetDemo|TestSnapshot|TestShutdownWritesFinalSnapshot' -v . ./cmd/crcbench/ ./internal/reused/

@@ -94,7 +94,11 @@ type sfKey struct {
 }
 
 type sfCall struct {
-	done   chan struct{}
+	done chan struct{}
+	// ok is set by the leader on normal completion, before done closes.
+	// A follower that observes !ok knows the leader panicked out of the
+	// call and must retry instead of trusting the zero-valued result.
+	ok     bool
 	vals   []uint64
 	status GetStatus
 	err    error
@@ -138,28 +142,53 @@ func (c *Client) Close() error {
 // ErrClientClosed is returned by calls on a closed Client.
 var ErrClientClosed = errors.New("compreuse: reuse-cache client closed")
 
+// transportError wraps a failure of the connection itself — a dead
+// socket, a closed client, an encode/decode error — as opposed to a
+// per-request protocol error (FlagErr) the server answered with. The
+// fleet Pool uses the distinction to decide whether a node is down
+// (fail over and redial) or merely rejected one request.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// isTransportErr reports whether err (anywhere in its chain) is a
+// connection-level failure rather than a server-answered protocol error.
+func isTransportErr(err error) bool {
+	var te *transportError
+	return errors.As(err, &te)
+}
+
 // RTT returns the smoothed round-trip estimate to the server.
 func (c *Client) RTT() time.Duration { return time.Duration(c.rttNS.Load()) }
 
-// observeRTT folds one measured round-trip into the estimate.
+// observeRTT folds one measured round-trip into the estimate. The
+// load/compute/store is a CAS loop: a plain store would silently drop
+// concurrent observations, and this estimate is what the server charges
+// as the network half of overhead O — a lossy EWMA would bias the
+// governor's formula-3 arithmetic under parallel callers.
 func (c *Client) observeRTT(d time.Duration) {
 	ns := d.Nanoseconds()
 	if obs.On() {
 		mRemoteRTT.Observe(ns)
 	}
-	old := c.rttNS.Load()
-	if old == 0 {
-		c.rttNS.Store(ns)
-		return
+	for {
+		old := c.rttNS.Load()
+		next := ns
+		if old != 0 {
+			next = old + (ns-old)/8
+		}
+		if c.rttNS.CompareAndSwap(old, next) {
+			return
+		}
 	}
-	c.rttNS.Store(old + (ns-old)/8)
 }
 
 // call sends one request over a pooled connection and waits for its
 // response frame.
 func (c *Client) call(req *wire.Frame) (wire.Frame, error) {
 	if c.closed.Load() {
-		return wire.Frame{}, ErrClientClosed
+		return wire.Frame{}, &transportError{ErrClientClosed}
 	}
 	if obs.On() {
 		mRemoteCalls.Inc()
@@ -171,7 +200,7 @@ func (c *Client) call(req *wire.Frame) (wire.Frame, error) {
 		if obs.On() {
 			mRemoteErrors.Inc()
 		}
-		return wire.Frame{}, err
+		return wire.Frame{}, &transportError{err}
 	}
 	c.observeRTT(time.Since(start))
 	if e := resp.Err(); e != nil {
@@ -313,22 +342,40 @@ func (s *RemoteSegment) Get(key []byte) ([]uint64, GetStatus, error) {
 
 	k := sfKey{seg: s.id, key: string(key)}
 	c := s.c
-	c.sfMu.Lock()
-	if call, ok := c.sf[k]; ok {
+	for {
+		c.sfMu.Lock()
+		if call, ok := c.sf[k]; ok {
+			c.sfMu.Unlock()
+			<-call.done
+			if !call.ok {
+				// The leader panicked out of its flight; its result is
+				// garbage. Retry — this caller likely becomes the leader.
+				continue
+			}
+			return append([]uint64(nil), call.vals...), call.status, call.err
+		}
+		call := &sfCall{done: make(chan struct{})}
+		c.sf[k] = call
 		c.sfMu.Unlock()
-		<-call.done
-		return append([]uint64(nil), call.vals...), call.status, call.err
-	}
-	call := &sfCall{done: make(chan struct{})}
-	c.sf[k] = call
-	c.sfMu.Unlock()
 
-	call.vals, call.status, call.err = s.get(key)
-	c.sfMu.Lock()
-	delete(c.sf, k)
-	c.sfMu.Unlock()
-	close(call.done)
-	return call.vals, call.status, call.err
+		// The map delete and the done close live in a defer so that a
+		// panic anywhere in the leader's flight (the user-visible half of
+		// it runs compute callbacks in TieredMemo) still unparks every
+		// follower and clears the entry — otherwise one panic would hang
+		// every future Get of this key forever. The panic itself is not
+		// recovered: it propagates to the leader's caller.
+		func() {
+			defer func() {
+				c.sfMu.Lock()
+				delete(c.sf, k)
+				c.sfMu.Unlock()
+				close(call.done)
+			}()
+			call.vals, call.status, call.err = s.get(key)
+			call.ok = true
+		}()
+		return call.vals, call.status, call.err
+	}
 }
 
 // get enqueues one probe for the flight loop and waits for its result.
@@ -447,7 +494,12 @@ func (s *RemoteSegment) getOne(key []byte) ([]uint64, GetStatus, error) {
 // Concurrent Puts queued while one is in flight leave as a single MPUT
 // frame, each carrying its own cost.
 func (s *RemoteSegment) Put(key []byte, vals []uint64, cost time.Duration) error {
-	if s.bypassed.Load() {
+	// Short-circuit a known-bypassed segment with the same periodic
+	// revalidation as Get: every bypassRecheck-th Put goes to the server
+	// anyway. Without the probe, a segment whose traffic is Put-heavy
+	// (or whose Gets dried up) would stay locally bypassed forever after
+	// a server-side readmission and silently drop records.
+	if s.bypassed.Load() && s.sinceByp.Add(1)%bypassRecheck != 0 {
 		return nil // the governor said stop; don't pay the round trip
 	}
 	bp := &batchPut{key: key, vals: vals, cost: cost, done: make(chan struct{})}
@@ -505,9 +557,10 @@ func (s *RemoteSegment) flyPuts(batch []*batchPut) {
 		}
 		return
 	}
-	if resp.Flags&wire.FlagBypass != 0 {
-		s.bypassed.Store(true)
-	}
+	// Track the verdict both ways: a non-bypass acknowledgement clears a
+	// stale local bypass flag (the server has readmitted the segment), so
+	// the Put path revalidates symmetrically with the Get path.
+	s.bypassed.Store(resp.Flags&wire.FlagBypass != 0)
 }
 
 // Flush empties the segment's server-side table and resets its
@@ -569,6 +622,11 @@ func b2u(b bool) uint64 {
 type clientConn struct {
 	nc      net.Conn
 	writeCh chan *wire.Frame
+	// done is closed by close() and unblocks roundTrip senders parked on
+	// writeCh: once writeLoop has exited there is no receiver, and a
+	// sender that passed the cc.err check before the close would
+	// otherwise block forever on a full writeCh.
+	done chan struct{}
 
 	mu      sync.Mutex
 	pending map[uint64]chan wire.Frame
@@ -597,6 +655,7 @@ func dialConn(cfg ClientConfig) (*clientConn, error) {
 	cc := &clientConn{
 		nc:       nc,
 		writeCh:  make(chan *wire.Frame, cfg.maxInflight()),
+		done:     make(chan struct{}),
 		pending:  map[uint64]chan wire.Frame{},
 		inflight: make(chan struct{}, cfg.maxInflight()),
 	}
@@ -622,7 +681,22 @@ func (cc *clientConn) roundTrip(req *wire.Frame) (wire.Frame, error) {
 	cc.pending[req.Seq] = ch
 	cc.mu.Unlock()
 
-	cc.writeCh <- req
+	// The send races connection teardown: writeLoop exits on a write
+	// error without draining writeCh, so a bare send here could park
+	// forever with no receiver. close() closes cc.done, failing the send
+	// fast with the stored teardown error.
+	select {
+	case cc.writeCh <- req:
+	case <-cc.done:
+		cc.mu.Lock()
+		delete(cc.pending, req.Seq)
+		err := cc.err
+		cc.mu.Unlock()
+		if err == nil {
+			err = errors.New("compreuse: connection closed")
+		}
+		return wire.Frame{}, err
+	}
 	resp, ok := <-ch
 	if !ok {
 		cc.mu.Lock()
@@ -683,12 +757,15 @@ func (cc *clientConn) readLoop() {
 	}
 }
 
-// close fails every pending and future call with err.
+// close fails every pending and future call with err: the stored error
+// gates new round trips, closing each pending channel fails the waiters,
+// and closing done unparks any sender blocked on writeCh.
 func (cc *clientConn) close(err error) {
 	cc.mu.Lock()
 	if cc.err == nil {
 		cc.err = err
 		cc.nc.Close()
+		close(cc.done)
 		for seq, ch := range cc.pending {
 			close(ch)
 			delete(cc.pending, seq)

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestFleetDemo runs the whole kill-and-warm-restart scenario scaled
+// down: 3 nodes, a short burst of load, one graceful kill, one restart
+// from the drain-time snapshot. The acceptance bar is the ISSUE's: no
+// Do call may fail (remote errors are absorbed by computing locally,
+// and with a live replica they should not even occur), and the
+// restarted node must come back warm from its snapshot.
+func TestFleetDemo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet demo runs seconds of wall-clock load")
+	}
+	var out strings.Builder
+	rep, err := fleetMain([]string{
+		"-nodes", "3", "-workers", "2", "-dur", "1500ms",
+		"-keys", "512", "-cost", "5us",
+	}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tiered.Calls == 0 {
+		t.Fatal("no Do calls recorded")
+	}
+	if rep.Tiered.Errors != 0 {
+		t.Errorf("%d Do calls fell back on remote errors, want 0 (reads must fail over inside Get)",
+			rep.Tiered.Errors)
+	}
+	if rep.VictimAddr == "" {
+		t.Fatal("no node was killed")
+	}
+	if rep.WarmSegments == 0 || rep.WarmEntries == 0 {
+		t.Errorf("victim restarted cold (%d segments / %d entries), want a warm snapshot restore",
+			rep.WarmSegments, rep.WarmEntries)
+	}
+	if rep.WarmStats.Resident == 0 {
+		t.Errorf("victim reports 0 resident entries after warm restart; output:\n%s", out.String())
+	}
+	if rep.WarmStats.Probes == 0 || rep.WarmStats.Hits == 0 {
+		t.Errorf("victim's restored stats carry no history (probes %d, hits %d); warm hit rate must be nonzero",
+			rep.WarmStats.Probes, rep.WarmStats.Hits)
+	}
+	if len(rep.NodeStats) != 3 {
+		t.Errorf("NodeStats for %d nodes, want 3", len(rep.NodeStats))
+	}
+}

@@ -19,6 +19,11 @@
 //	crcbench serve -exp fig5 -scale 4   # run experiments, then serve
 //	                                    # /metrics, /decisions, /debug/pprof
 //
+//	crcbench fleet -nodes 3 -dur 3s     # distributed-tier demo: boot an
+//	                                    # in-process crcserve ring, kill a
+//	                                    # node mid-load, restart it warm
+//	                                    # from its snapshot
+//
 //	crcbench perfjson -o BENCH_6.json            # snapshot the perf trajectory
 //	crcbench perfjson -compare BENCH_6.json      # diff a fresh run against it
 //	                                             # (allocs/op regressions fail)
@@ -39,6 +44,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		if err := serveMain(os.Args[2:]); err != nil {
 			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "fleet" {
+		if _, err := fleetMain(os.Args[2:], os.Stdout, os.Stderr); err != nil && err != flag.ErrHelp {
+			fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
 			os.Exit(1)
 		}
 		return

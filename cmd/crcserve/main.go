@@ -93,6 +93,10 @@ func run(args []string, logw io.Writer, ready func(net.Addr)) error {
 		"bypassed requests before a segment is readmitted")
 	drain := fs.Duration("drain", reused.DefaultDrainGrace,
 		"how long to keep serving connected clients after SIGINT/SIGTERM")
+	snapshot := fs.String("snapshot", "",
+		"warm-snapshot file: restored at startup, rewritten periodically and at drain; empty disables")
+	snapshotEvery := fs.Duration("snapshot-every", reused.DefaultSnapshotEvery,
+		"interval between periodic snapshots (with -snapshot)")
 	quiet := fs.Bool("q", false, "suppress governor-decision logging")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,11 +104,13 @@ func run(args []string, logw io.Writer, ready func(net.Addr)) error {
 
 	obs.Enable()
 	srv := reused.New(reused.Config{
-		MaxConns:    *maxConns,
-		MaxInflight: *maxInflight,
-		MemBudget:   *memBudget,
-		Shards:      *shards,
-		DrainGrace:  *drain,
+		MaxConns:      *maxConns,
+		MaxInflight:   *maxInflight,
+		MemBudget:     *memBudget,
+		Shards:        *shards,
+		DrainGrace:    *drain,
+		SnapshotPath:  *snapshot,
+		SnapshotEvery: *snapshotEvery,
 		Governor: reused.GovernorConfig{
 			Window:    *govWindow,
 			Probation: *govProbation,
@@ -118,6 +124,19 @@ func run(args []string, logw io.Writer, ready func(net.Addr)) error {
 			},
 		},
 	})
+
+	// Warm restore before the listener opens: the very first GET already
+	// probes the tables and governor state the previous process learned.
+	if *snapshot != "" {
+		segs, entries, err := srv.RestoreFile(*snapshot)
+		if err != nil {
+			return fmt.Errorf("restore %s: %w", *snapshot, err)
+		}
+		if segs > 0 {
+			fmt.Fprintf(logw, "crcserve: warm start, %d segments / %d entries from %s\n",
+				segs, entries, *snapshot)
+		}
+	}
 
 	// A unix:// address serves co-located clients over a unix-domain
 	// socket — same wire protocol, no loopback TCP stack in the

@@ -342,10 +342,18 @@ func (s *Server) processMPut(f *wire.Frame) {
 }
 
 func (s *Server) processStats(f *wire.Frame, seg *segment) {
+	respond(f, 0)
+	f.Vals = statsVals(seg, f.Vals[:0])
+}
+
+// statsVals fills one segment's live STATS vector into dst. The same
+// vector is the response payload of OpStats and the per-segment state
+// record of a warm snapshot, so a restored node's Stats are, by
+// construction, what the dump saw.
+func statsVals(seg *segment, dst []uint64) []uint64 {
 	st := seg.tab.TotalStats()
 	g := seg.gov
-	respond(f, 0)
-	vals := append(f.Vals[:0], make([]uint64, wire.StatsLen)...)
+	vals := append(dst, make([]uint64, wire.StatsLen)...)
 	vals[wire.StatsProbes] = uint64(st.Probes)
 	vals[wire.StatsHits] = uint64(st.Hits)
 	vals[wire.StatsMisses] = uint64(st.Misses)
@@ -357,7 +365,7 @@ func (s *Server) processStats(f *wire.Frame, seg *segment) {
 	vals[wire.StatsR] = uint64(g.rPPM.Load())
 	vals[wire.StatsC] = uint64(g.cEWMA.Load())
 	vals[wire.StatsO] = uint64(g.oEWMA.Load())
-	f.Vals = vals
+	return vals
 }
 
 // bypassOrReadmit reports whether this request should be answered with

@@ -238,6 +238,27 @@ func (g *governor) resetWindowLocked() {
 	g.cCnt.Store(0)
 }
 
+// restoreState rehydrates the smoothed estimates and admission state
+// from a snapshot, so a restarted node resumes governing with the C, O
+// and R it had learned instead of re-measuring from zero. The window
+// accumulators and the probation progress restart empty — they describe
+// in-flight traffic, which a restart by definition has none of.
+func (g *governor) restoreState(bypassed bool, rPPM, cNS, oNS, bypassTotal int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.resetWindowLocked()
+	st := govAdmitted
+	if bypassed {
+		st = govBypassed
+	}
+	g.state.Store(st)
+	g.bypassSince.Store(0)
+	g.bypassTotal.Store(bypassTotal)
+	g.cEWMA.Store(cNS)
+	g.oEWMA.Store(oNS)
+	g.rPPM.Store(rPPM)
+}
+
 // reset returns the governor to its initial admitted state (FLUSH op).
 func (g *governor) reset() {
 	g.mu.Lock()

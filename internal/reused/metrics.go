@@ -28,6 +28,12 @@ var (
 	mClientRTT = obs.NewHistogram("crcserve_client_rtt_ns",
 		"client-reported round-trip estimates carried on GET frames, ns",
 		obs.LatencyBuckets)
+	mSnapshots = obs.NewCounter("crcserve_snapshots_total",
+		"warm snapshots written (periodic and drain-time)")
+	mSnapshotErrors = obs.NewCounter("crcserve_snapshot_errors_total",
+		"snapshot writes that failed")
+	mSnapshotEntries = obs.NewGauge("crcserve_snapshot_entries",
+		"entries carried by the most recent snapshot")
 
 	mOpRequests = [...]*obs.Counter{
 		wire.OpHello: obs.NewCounter(`crcserve_requests_total{op="hello"}`, opHelp),

@@ -50,13 +50,22 @@ type Config struct {
 	DrainGrace time.Duration
 	// Governor tunes the online admission policy.
 	Governor GovernorConfig
+	// SnapshotPath, when set, enables warm snapshots: the tables and
+	// governor state are dumped there every SnapshotEvery while serving
+	// and once more at drain time (see snapshot.go). Restoring at boot
+	// is the caller's move: RestoreFile before Serve.
+	SnapshotPath string
+	// SnapshotEvery is the periodic snapshot interval.
+	// 0 means DefaultSnapshotEvery.
+	SnapshotEvery time.Duration
 }
 
 // Config defaults.
 const (
-	DefaultMaxConns    = 1024
-	DefaultMaxInflight = 256
-	DefaultDrainGrace  = 2 * time.Second
+	DefaultMaxConns      = 1024
+	DefaultMaxInflight   = 256
+	DefaultDrainGrace    = 2 * time.Second
+	DefaultSnapshotEvery = 30 * time.Second
 )
 
 func (c Config) maxConns() int {
@@ -119,6 +128,14 @@ type Server struct {
 	draining   chan struct{} // closed when Shutdown begins
 	recordTick atomic.Int64  // budget-check pacing
 	connGroup  sync.WaitGroup
+
+	// Snapshot machinery: the periodic loop starts with the first Serve
+	// and exits when draining closes; the drain-time final snapshot runs
+	// once, after the loop has stopped (so the two never race on the
+	// same temp file).
+	snapStart sync.Once
+	snapFinal sync.Once
+	snapGroup sync.WaitGroup
 }
 
 // New builds a server from cfg.
@@ -146,6 +163,12 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	s.listeners[ln] = struct{}{}
 	s.mu.Unlock()
+	if s.cfg.SnapshotPath != "" {
+		s.snapStart.Do(func() {
+			s.snapGroup.Add(1)
+			go s.snapshotLoop()
+		})
+	}
 	defer func() {
 		s.mu.Lock()
 		delete(s.listeners, ln)
@@ -225,6 +248,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.finalSnapshot()
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -233,8 +257,25 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-done
+		s.finalSnapshot()
 		return ctx.Err()
 	}
+}
+
+// finalSnapshot writes the drain-time snapshot, once, after every
+// connection has finished — so the dump carries the very last PUTs a
+// draining client got acknowledged — and after the periodic loop has
+// exited (draining is closed before connGroup can finish draining).
+func (s *Server) finalSnapshot() {
+	if s.cfg.SnapshotPath == "" {
+		return
+	}
+	s.snapFinal.Do(func() {
+		s.snapGroup.Wait()
+		if err := s.SnapshotFile(s.cfg.SnapshotPath); err != nil {
+			mSnapshotErrors.Inc()
+		}
+	})
 }
 
 // Close shuts the server down without draining.

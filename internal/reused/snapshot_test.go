@@ -1,0 +1,206 @@
+package reused
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"compreuse/internal/wire"
+)
+
+// populate fills a server with two segments of live-looking state:
+// recorded entries, probe traffic behind the counters, and non-trivial
+// governor estimates.
+func populate(t *testing.T, s *Server) {
+	t.Helper()
+	alpha, err := s.segmentFor("alpha", 0, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta, err := s.segmentFor("beta", 64, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		k := []byte(fmt.Sprintf("alpha-%04d", i))
+		alpha.tab.Record(0, k, []uint64{uint64(i), uint64(i * i)})
+		alpha.tab.Probe(0, k)                                 // hit
+		alpha.tab.Probe(0, []byte(fmt.Sprintf("miss-%d", i))) // miss
+	}
+	for i := 0; i < 32; i++ {
+		beta.tab.Record(0, []byte(fmt.Sprintf("beta-%04d", i)), []uint64{uint64(i)})
+	}
+	alpha.gov.restoreState(false, 512_000, 80_000, 3_000, 7)
+	beta.gov.restoreState(true, 10_000, 1_000, 50_000, 123)
+}
+
+// TestSnapshotRoundTrip dumps a populated server and restores it into a
+// fresh one: the per-segment STATS vectors — the very bytes Stats()
+// answers from — must come back identical, and every dumped entry must
+// probe as a hit with its original outputs.
+func TestSnapshotRoundTrip(t *testing.T) {
+	s1 := New(Config{})
+	populate(t, s1)
+
+	var buf bytes.Buffer
+	if err := s1.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New(Config{})
+	segs, entries, err := s2.ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segs != 2 || entries != 132 {
+		t.Fatalf("restored %d segments / %d entries, want 2 / 132", segs, entries)
+	}
+
+	for _, name := range []string{"alpha", "beta"} {
+		a, b := s1.segsByName[name], s2.segsByName[name]
+		if b == nil {
+			t.Fatalf("segment %q missing after restore", name)
+		}
+		if b.outWords != a.outWords {
+			t.Errorf("%s: outWords %d, want %d", name, b.outWords, a.outWords)
+		}
+		if got, want := b.tab.Config(), a.tab.Config(); got.Entries != want.Entries || got.LRU != want.LRU {
+			t.Errorf("%s: geometry %+v, want %+v", name, got, want)
+		}
+		got, want := statsVals(b, nil), statsVals(a, nil)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: stats[%d] = %d, want %d (vector %v vs %v)",
+					name, i, got[i], want[i], got, want)
+				break
+			}
+		}
+	}
+
+	alpha := s2.segsByName["alpha"]
+	for i := 0; i < 100; i++ {
+		outs, hit := alpha.tab.Probe(0, []byte(fmt.Sprintf("alpha-%04d", i)))
+		if !hit || len(outs) != 2 || outs[1] != uint64(i*i) {
+			t.Fatalf("alpha-%04d after restore: hit=%v outs=%v", i, hit, outs)
+		}
+	}
+
+	// Governor state survived: beta restored bypassed, alpha admitted.
+	if !s2.segsByName["beta"].gov.bypassed() {
+		t.Error("beta restored admitted, want bypassed")
+	}
+	if s2.segsByName["alpha"].gov.bypassed() {
+		t.Error("alpha restored bypassed, want admitted")
+	}
+}
+
+func TestSnapshotFileRoundTripAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "node.snap")
+
+	cold := New(Config{})
+	if segs, entries, err := cold.RestoreFile(path); err != nil || segs != 0 || entries != 0 {
+		t.Fatalf("RestoreFile(missing) = (%d, %d, %v), want (0, 0, nil)", segs, entries, err)
+	}
+
+	s1 := New(Config{})
+	populate(t, s1)
+	if err := s1.SnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("temp file left behind after rename: %v", err)
+	}
+
+	s2 := New(Config{})
+	segs, entries, err := s2.RestoreFile(path)
+	if err != nil || segs != 2 || entries != 132 {
+		t.Fatalf("RestoreFile = (%d, %d, %v), want (2, 132, nil)", segs, entries, err)
+	}
+}
+
+func TestSnapshotRejects(t *testing.T) {
+	s := New(Config{})
+	if _, _, err := s.ReadSnapshot(bytes.NewReader([]byte("not a snapshot at all"))); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("garbage: err = %v, want ErrBadSnapshot", err)
+	}
+
+	populated := New(Config{})
+	populate(t, populated)
+	var buf bytes.Buffer
+	if err := populated.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := populated.ReadSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("restore into a non-empty server succeeded, want refusal")
+	}
+
+	// A truncated dump must error, not silently restore a prefix.
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, _, err := New(Config{}).ReadSnapshot(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated snapshot restored cleanly, want error")
+	}
+}
+
+// TestShutdownWritesFinalSnapshot drives a server with SnapshotPath
+// over a real connection and checks the drain-time dump: Shutdown must
+// leave a snapshot carrying the acknowledged PUTs.
+func TestShutdownWritesFinalSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "drain.snap")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{SnapshotPath: path, SnapshotEvery: time.Hour})
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := wire.NewWriter(nc)
+	r := wire.NewReader(nc)
+	var f wire.Frame
+	if err := w.Write(&wire.Frame{Op: wire.OpHello, Name: "drainseg", Vals: []uint64{0, 0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Next(&f); err != nil || f.Flags&wire.FlagErr != 0 {
+		t.Fatalf("hello: %v %v", err, f.Name)
+	}
+	segID := f.Seg
+	for i := 0; i < 10; i++ {
+		if err := w.Write(&wire.Frame{Op: wire.OpPut, Seg: segID, Seq: uint64(i),
+			Key: []byte(fmt.Sprintf("k%d", i)), Vals: []uint64{uint64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Next(&f); err != nil || f.Flags&wire.FlagErr != 0 {
+			t.Fatalf("put %d: %v %v", i, err, f.Name)
+		}
+	}
+	nc.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveDone; err != ErrServerClosed {
+		t.Fatalf("Serve = %v, want ErrServerClosed", err)
+	}
+
+	s2 := New(Config{})
+	segs, entries, err := s2.RestoreFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segs != 1 || entries != 10 {
+		t.Fatalf("drain snapshot restored (%d, %d), want (1, 10)", segs, entries)
+	}
+}

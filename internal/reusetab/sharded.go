@@ -278,6 +278,52 @@ func (s *Sharded) Reset() {
 	}
 }
 
+// Range calls fn with every resident entry valid for segment seg, one
+// shard at a time, until fn returns false. The entries are copied out
+// under each shard's lock and fn runs without it, so fn may take as
+// long as it likes (serialize to disk, hold other locks) without
+// stalling probes for more than one shard's copy-out. The key and
+// output slices are fn's to keep. Entries recorded or evicted while
+// the walk is in flight may or may not be seen — Range is a
+// shard-consistent snapshot, not a global one, which is all the warm
+// restart needs.
+func (s *Sharded) Range(seg int, fn func(key []byte, outs []uint64) bool) {
+	var keys [][]byte
+	var vals [][]uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		keys, vals = sh.tab.AppendEntries(seg, keys[:0], vals[:0])
+		sh.mu.Unlock()
+		for j := range keys {
+			if !fn(keys[j], vals[j]) {
+				return
+			}
+		}
+	}
+}
+
+// RestoreStats overwrites segment seg's outcome counters and the
+// table-wide distinct-key census with snapshot-recorded values. It
+// exists for warm restarts only: a restore replays the dumped entries
+// through Record (rebuilding storage and the resident count), then
+// calls RestoreStats so the probe/hit/miss/record counters and N_ds
+// report the pre-crash history instead of the replay's. Collision and
+// eviction counters are left at their replay values — the snapshot
+// format does not carry them, and nothing downstream reads them for
+// admission. Keys first seen before the snapshot re-enter the distinct
+// census on their first post-restore probe, so Distinct can overcount
+// by at most the restored population; the governor's R window is
+// recomputed live either way.
+func (s *Sharded) RestoreStats(seg int, st SegStats, distinct int64) {
+	cur := &s.stats[seg]
+	cur.probes.Store(st.Probes)
+	cur.hits.Store(st.Hits)
+	cur.misses.Store(st.Misses)
+	cur.records.Store(st.Records)
+	s.distinct.Store(distinct)
+}
+
 // Resident returns the number of entries currently stored across all
 // shards (maintained from atomic per-record deltas; never blocks probes).
 func (s *Sharded) Resident() int { return int(s.resident.Load()) }

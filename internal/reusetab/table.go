@@ -466,6 +466,35 @@ func (t *Table) record(seg int, key []byte, outs []uint64) {
 	}
 }
 
+// AppendEntries appends a copy of every entry valid for segment seg —
+// key bytes and output words both copied out of table-owned storage —
+// to keys and vals, returning the extended slices. It is the snapshot
+// walk: the copies stay valid after the table mutates, so a caller
+// (Sharded.Range) can release the table's lock before serializing them.
+// ModeProfile tables have no stored entries and append nothing.
+func (t *Table) AppendEntries(seg int, keys [][]byte, vals [][]uint64) ([][]byte, [][]uint64) {
+	bit := uint64(1) << uint(seg)
+	add := func(e *entry) {
+		keys = append(keys, append([]byte(nil), e.key...))
+		vals = append(vals, append([]uint64(nil), e.outs[seg]...))
+	}
+	switch {
+	case t.byKey != nil:
+		for _, e := range t.byKey {
+			if e.valid&bit != 0 {
+				add(e)
+			}
+		}
+	default:
+		for i := range t.slots {
+			if e := &t.slots[i]; e.used && e.valid&bit != 0 {
+				add(e)
+			}
+		}
+	}
+	return keys, vals
+}
+
 // Reset empties the table and zeroes its statistics without
 // reallocating storage: slots are cleared in place, maps are cleared
 // with their buckets retained, and the LRU recency list is unlinked.

@@ -1,0 +1,51 @@
+package compreuse
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// TestRingBalance is the regression for a real routing collapse: raw
+// FNV-1a over short, similar strings (sequential keys; a node's vnode
+// counter) leaves the high bits nearly constant, so every hash landed
+// inside one ring arc and a single node owned the whole key space. The
+// mix64 finalizer must keep both the primary and the first-replica
+// assignment roughly uniform for adversarially-similar inputs.
+func TestRingBalance(t *testing.T) {
+	p := &Pool{cfg: PoolConfig{VirtualNodes: DefaultVirtualNodes}}
+	// Realistic worst case: same host, nearby ports — the exact address
+	// shape an in-process fleet or a single-box deployment produces.
+	addrs := []string{"127.0.0.1:40001", "127.0.0.1:40002", "127.0.0.1:40003"}
+	for i, a := range addrs {
+		p.node = append(p.node, &poolNode{addr: a})
+		for v := 0; v < DefaultVirtualNodes; v++ {
+			p.ring = append(p.ring, ringPoint{hash: ringHash(a, v), node: i})
+		}
+	}
+	sort.Slice(p.ring, func(i, j int) bool { return p.ring[i].hash < p.ring[j].hash })
+
+	const keys = 3000
+	var primary, replica [3]int
+	var scratch [8]int
+	for i := 0; i < keys; i++ {
+		nodes := p.route(keyHash("seg", []byte(fmt.Sprintf("key-%08d", i))), 2, scratch[:0])
+		if len(nodes) != 2 || nodes[0] == nodes[1] {
+			t.Fatalf("route returned %v, want 2 distinct nodes", nodes)
+		}
+		primary[nodes[0]]++
+		replica[nodes[1]]++
+	}
+	// Uniform would be 1000 per node; demand every node carries at least
+	// a third of its fair share in both roles. The broken hash gave 0.
+	for i := range addrs {
+		if primary[i] < keys/9 {
+			t.Errorf("node %d owns %d/%d primaries (distribution %v): ring collapsed",
+				i, primary[i], keys, primary)
+		}
+		if replica[i] < keys/9 {
+			t.Errorf("node %d holds %d/%d replicas (distribution %v): ring collapsed",
+				i, replica[i], keys, replica)
+		}
+	}
+}

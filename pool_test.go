@@ -1,0 +1,167 @@
+package compreuse_test
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"compreuse"
+	"compreuse/internal/reused"
+)
+
+// startNode runs one in-process crcserve on a loopback listener.
+func startNode(t *testing.T, cfg reused.Config) (*reused.Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := reused.New(cfg)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() { srv.Close(); <-done })
+	return srv, ln.Addr().String()
+}
+
+func fleetKey(i int) []byte { return []byte(fmt.Sprintf("pool-key-%05d", i)) }
+
+// TestPoolFailover is the fleet acceptance scenario: a 3-node ring with
+// 2-way replication loses a node under traffic. Reads for keys whose
+// primary died must fail over along the ring (served from the replica,
+// no error), writes must re-route, and the pool must report the node
+// down and count the failovers.
+func TestPoolFailover(t *testing.T) {
+	// Governor off: this test is about routing, and a mid-test BYPASS
+	// verdict would turn hits into governor answers.
+	cfg := reused.Config{Governor: reused.GovernorConfig{Window: -1}}
+	srvs := make([]*reused.Server, 3)
+	addrs := make([]string, 3)
+	for i := range srvs {
+		srvs[i], addrs[i] = startNode(t, cfg)
+	}
+
+	pool, err := compreuse.DialPool(compreuse.PoolConfig{
+		Addrs:    addrs,
+		Replicas: 2,
+		// Keep the dead node dead for the whole test: no background
+		// redial resurrecting it into the ring between assertions.
+		RedialEvery: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	seg, err := pool.Segment("failover", compreuse.SegmentConfig{OutWords: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := seg.Put(fleetKey(i), []uint64{uint64(i)}, time.Millisecond); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	// Replica writes are fire-and-forget; wait for the queue to drain so
+	// the fallback copies exist before the primary dies.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		total := int64(0)
+		for _, ns := range seg.NodeStats() {
+			total += ns.Stats.Resident
+		}
+		if total >= 2*n || time.Now().After(deadline) {
+			if total < 2*n {
+				t.Fatalf("replicas never landed: %d resident fleet-wide, want %d", total, 2*n)
+			}
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if drops := seg.ReplicaDrops(); drops != 0 {
+		t.Fatalf("%d replica writes dropped with an idle queue", drops)
+	}
+
+	// Baseline: everything hits, nothing fails over.
+	for i := 0; i < n; i++ {
+		vals, status, err := seg.Get(fleetKey(i))
+		if err != nil || status != compreuse.Hit || vals[0] != uint64(i) {
+			t.Fatalf("pre-kill get %d: vals=%v status=%v err=%v", i, vals, status, err)
+		}
+	}
+
+	// Kill one node. With 3 nodes, roughly a third of the keys lose
+	// their primary and every one of them must be answered by a replica.
+	srvs[2].Close()
+
+	for i := 0; i < n; i++ {
+		vals, status, err := seg.Get(fleetKey(i))
+		if err != nil {
+			t.Fatalf("post-kill get %d: %v (reads must fail over, not fail)", i, err)
+		}
+		if status != compreuse.Hit || vals[0] != uint64(i) {
+			t.Fatalf("post-kill get %d: status=%v vals=%v, want replica hit", i, status, vals)
+		}
+	}
+
+	// The pool noticed: the dead node is marked down and the reads that
+	// skipped it were counted.
+	downs := pool.DownNodes()
+	if len(downs) != 1 || downs[0] != addrs[2] {
+		t.Errorf("DownNodes = %v, want [%s]", downs, addrs[2])
+	}
+	var failovers int64
+	for _, ns := range seg.NodeStats() {
+		if ns.Addr == addrs[2] {
+			if !ns.Down {
+				t.Errorf("node %s not reported down", ns.Addr)
+			}
+			failovers += ns.Failovers
+		}
+	}
+	if failovers == 0 {
+		t.Error("no failovers counted against the dead node")
+	}
+
+	// Writes re-route: new keys whose primary died land on the next ring
+	// node and read back as hits.
+	for i := n; i < n+100; i++ {
+		if err := seg.Put(fleetKey(i), []uint64{uint64(i)}, time.Millisecond); err != nil {
+			t.Fatalf("post-kill put %d: %v (writes must re-route)", i, err)
+		}
+	}
+	for i := n; i < n+100; i++ {
+		vals, status, err := seg.Get(fleetKey(i))
+		if err != nil || status != compreuse.Hit || vals[0] != uint64(i) {
+			t.Fatalf("re-routed get %d: vals=%v status=%v err=%v", i, vals, status, err)
+		}
+	}
+}
+
+// TestPoolSingleNodeDegeneratesToClient checks the ring with one node:
+// no replication partners, no fallbacks, but the same surface.
+func TestPoolSingleNodeDegeneratesToClient(t *testing.T) {
+	_, addr := startNode(t, reused.Config{Governor: reused.GovernorConfig{Window: -1}})
+	pool, err := compreuse.DialPool(compreuse.PoolConfig{Addrs: []string{addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	seg, err := pool.Segment("solo", compreuse.SegmentConfig{OutWords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.Put([]byte("k"), []uint64{3, 9}, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	vals, status, err := seg.Get([]byte("k"))
+	if err != nil || status != compreuse.Hit || len(vals) != 2 || vals[1] != 9 {
+		t.Fatalf("get = %v %v %v", vals, status, err)
+	}
+	st, err := seg.Stats()
+	if err != nil || st.Hits != 1 {
+		t.Fatalf("stats = %+v, %v", st, err)
+	}
+}

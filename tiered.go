@@ -51,7 +51,7 @@ type TieredStats struct {
 // simply computes locally.
 type TieredMemo struct {
 	l1    *MemoTable
-	seg   *RemoteSegment
+	seg   remoteCache
 	stats [6]atomic.Int64 // mirrors TieredStats field order
 
 	// sf deduplicates concurrent misses on one key: the first caller
@@ -62,11 +62,25 @@ type TieredMemo struct {
 	sf   map[string]*tieredCall
 }
 
+// remoteCache is the L2 surface TieredMemo drives: a single crcserve
+// segment (RemoteSegment) or a consistent-hash fleet of them
+// (PoolSegment). Both degrade to errors rather than blocking, which is
+// all Do's never-fails contract needs.
+type remoteCache interface {
+	Get(key []byte) ([]uint64, GetStatus, error)
+	Put(key []byte, vals []uint64, cost time.Duration) error
+	Stats() (RemoteStats, error)
+	Flush() error
+}
+
 // tieredCall is one in-flight Do: the leader closes done after storing
-// val, and every follower reads val afterwards.
+// val, and every follower reads val afterwards. ok is set only on
+// normal completion — a follower that wakes to !ok knows the leader
+// panicked and retries instead of returning the zero value.
 type tieredCall struct {
 	done chan struct{}
 	val  uint64
+	ok   bool
 }
 
 const (
@@ -87,6 +101,25 @@ func NewTieredMemo(c *Client, cfg TieredMemoConfig) (*TieredMemo, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newTieredMemo(seg, cfg), nil
+}
+
+// NewTieredMemoFleet builds a TieredMemo whose L2 is a sharded crcserve
+// fleet instead of a single node: keys route by consistent hash, PUTs
+// replicate, and reads fail over to the next ring node when the primary
+// errors. The Do/Stats/Reset surface is identical to the single-node
+// TieredMemo.
+func NewTieredMemoFleet(p *Pool, cfg TieredMemoConfig) (*TieredMemo, error) {
+	remote := cfg.Remote
+	remote.OutWords = 1
+	seg, err := p.Segment(cfg.Name, remote)
+	if err != nil {
+		return nil, err
+	}
+	return newTieredMemo(seg, cfg), nil
+}
+
+func newTieredMemo(seg remoteCache, cfg TieredMemoConfig) *TieredMemo {
 	return &TieredMemo{
 		l1: NewMemoTable(MemoTableConfig{
 			Name:    cfg.Name + "/l1",
@@ -95,7 +128,7 @@ func NewTieredMemo(c *Client, cfg TieredMemoConfig) (*TieredMemo, error) {
 			Shards:  cfg.L1Shards,
 		}),
 		seg: seg,
-	}, nil
+	}
 }
 
 // Do returns the value for key, from L1, then L2, then by running
@@ -114,26 +147,44 @@ func (t *TieredMemo) Do(key []byte, compute func() uint64) uint64 {
 	}
 
 	ks := string(key)
-	t.sfMu.Lock()
-	if c, ok := t.sf[ks]; ok {
+	for {
+		t.sfMu.Lock()
+		if c, ok := t.sf[ks]; ok {
+			t.sfMu.Unlock()
+			<-c.done
+			if !c.ok {
+				// The leader's compute panicked; its val is garbage.
+				// Retry — this follower likely becomes the next leader
+				// and runs (or panics out of) its own compute.
+				continue
+			}
+			t.stats[tsL1Hits].Add(1)
+			return c.val
+		}
+		c := &tieredCall{done: make(chan struct{})}
+		if t.sf == nil {
+			t.sf = map[string]*tieredCall{}
+		}
+		t.sf[ks] = c
 		t.sfMu.Unlock()
-		<-c.done
-		t.stats[tsL1Hits].Add(1)
+
+		// Delete-and-close runs in a defer: compute is user code and may
+		// panic, and a leaked map entry with an unclosed done would park
+		// every follower (and every future caller of this key) forever.
+		// The panic is not recovered — it propagates to the leader's
+		// caller, exactly as an un-memoized compute() would.
+		func() {
+			defer func() {
+				t.sfMu.Lock()
+				delete(t.sf, ks)
+				t.sfMu.Unlock()
+				close(c.done)
+			}()
+			c.val = t.doMiss(key, compute)
+			c.ok = true
+		}()
 		return c.val
 	}
-	c := &tieredCall{done: make(chan struct{})}
-	if t.sf == nil {
-		t.sf = map[string]*tieredCall{}
-	}
-	t.sf[ks] = c
-	t.sfMu.Unlock()
-
-	c.val = t.doMiss(key, compute)
-	t.sfMu.Lock()
-	delete(t.sf, ks)
-	t.sfMu.Unlock()
-	close(c.done)
-	return c.val
 }
 
 // doMiss is the leader's slow path: L2 probe, then compute, recording
