@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race check bench bench-json bench-gate eval serve eval-serve eval-json fuzz loadgen smoke fleet fleet-smoke
+.PHONY: build vet test race check bench bench-json bench-gate eval serve eval-serve eval-json fuzz loadgen smoke fleet fleet-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -28,13 +28,13 @@ bench:
 # loadgen throughput, GET RTT p50/p99 over TCP loopback vs a unix
 # socket) into the committed baseline; schema crcbench-perf/1.
 bench-json:
-	$(GO) run ./cmd/crcbench perfjson -o BENCH_6.json
+	$(GO) run ./cmd/crcbench perfjson -o BENCH_8.json
 
 # bench-gate re-measures and diffs against the committed baseline:
 # allocs/op regressions fail hard, timing regressions warn (CI runs
 # this).
 bench-gate:
-	$(GO) run ./cmd/crcbench perfjson -o bench-perf.json -compare BENCH_6.json
+	$(GO) run ./cmd/crcbench perfjson -o bench-perf.json -compare BENCH_8.json
 
 # eval regenerates every table and figure of the paper plus the ablations
 # and the concurrent-runtime sweep.
@@ -70,6 +70,13 @@ fuzz:
 # under the race detector.
 smoke:
 	$(GO) test -race -count=1 -run 'TestLoadgenSmoke|TestCrcserve' -v ./cmd/crcserve/
+
+# trace-smoke is the CI tracing smoke: loadgen with -trace 1 against an
+# in-process server must stitch client roots to server spans, serve them
+# at /traces, and the integration test must see every tier's span — all
+# under the race detector.
+trace-smoke:
+	$(GO) test -race -count=1 -run 'TestTraceSmoke|TestTraceStitchesAcrossTiers' -v . ./cmd/crcserve/
 
 # fleet runs the distributed-tier demo: a 3-node in-process crcserve
 # ring, replicated PUTs, a mid-run node kill, and a warm restart from

@@ -162,15 +162,17 @@ func isTransportErr(err error) bool {
 // RTT returns the smoothed round-trip estimate to the server.
 func (c *Client) RTT() time.Duration { return time.Duration(c.rttNS.Load()) }
 
-// observeRTT folds one measured round-trip into the estimate. The
+// observeRTT folds one measured round-trip into the estimate, tagging
+// the RTT histogram's exemplar with the request's trace id (0 =
+// untraced) so a p99 spike points at a concrete trace. The
 // load/compute/store is a CAS loop: a plain store would silently drop
 // concurrent observations, and this estimate is what the server charges
 // as the network half of overhead O — a lossy EWMA would bias the
 // governor's formula-3 arithmetic under parallel callers.
-func (c *Client) observeRTT(d time.Duration) {
+func (c *Client) observeRTT(d time.Duration, tid uint64) {
 	ns := d.Nanoseconds()
 	if obs.On() {
-		mRemoteRTT.Observe(ns)
+		mRemoteRTT.ObserveTraced(ns, tid)
 	}
 	for {
 		old := c.rttNS.Load()
@@ -202,7 +204,7 @@ func (c *Client) call(req *wire.Frame) (wire.Frame, error) {
 		}
 		return wire.Frame{}, &transportError{err}
 	}
-	c.observeRTT(time.Since(start))
+	c.observeRTT(time.Since(start), req.TraceID)
 	if e := resp.Err(); e != nil {
 		return wire.Frame{}, e
 	}
@@ -251,6 +253,7 @@ type RemoteSegment struct {
 // batchGet is one queued probe awaiting its (possibly shared) flight.
 type batchGet struct {
 	key    []byte
+	tid    uint64 // trace id to stamp on the flight's frame (0 = untraced)
 	done   chan struct{}
 	vals   []uint64
 	status GetStatus
@@ -260,10 +263,33 @@ type batchGet struct {
 // batchPut is one queued record awaiting its flight.
 type batchPut struct {
 	key  []byte
+	tid  uint64
 	vals []uint64
 	cost time.Duration
 	done chan struct{}
 	err  error
+}
+
+// batchTrace picks the trace id a coalesced flight's frame carries: the
+// first traced member wins (one frame can only carry one id; the
+// others' spans still record client-side, they just aren't stitched to
+// this server execution).
+func batchTraceGet(batch []*batchGet) uint64 {
+	for _, bg := range batch {
+		if bg.tid != 0 {
+			return bg.tid
+		}
+	}
+	return 0
+}
+
+func batchTracePut(batch []*batchPut) uint64 {
+	for _, bp := range batch {
+		if bp.tid != 0 {
+			return bp.tid
+		}
+	}
+	return 0
 }
 
 // bypassRecheck is how many locally short-circuited calls a bypassed
@@ -333,6 +359,33 @@ func (s GetStatus) String() string {
 // coalesced into one round trip; every caller receives the same
 // result. The returned slice is owned by the caller.
 func (s *RemoteSegment) Get(key []byte) ([]uint64, GetStatus, error) {
+	return s.GetTraced(key, obs.TraceCtx{})
+}
+
+// GetTraced is Get with a parent trace context: when the parent is
+// sampled, the probe records an "rpc.get" span and stamps the trace id
+// onto the wire frame (wire.FlagTraced), so the serving node's span
+// stitches into the same trace. An unsampled context costs two
+// branches over plain Get.
+func (s *RemoteSegment) GetTraced(key []byte, tr obs.TraceCtx) ([]uint64, GetStatus, error) {
+	sp := obs.StartSpan(tr, "rpc.get")
+	vals, status, err := s.doGet(key, sp.TraceID())
+	switch {
+	case err != nil:
+		sp.Outcome("err")
+	case status == Hit:
+		sp.Outcome("hit")
+	case status == Bypass:
+		sp.Outcome("bypass")
+	default:
+		sp.Outcome("miss")
+	}
+	sp.End()
+	return vals, status, err
+}
+
+// doGet is the trace-id-carrying body of Get.
+func (s *RemoteSegment) doGet(key []byte, tid uint64) ([]uint64, GetStatus, error) {
 	// Short-circuit a known-bypassed segment, revalidating every
 	// bypassRecheck calls so readmission is noticed.
 	if s.bypassed.Load() && s.sinceByp.Add(1)%bypassRecheck != 0 {
@@ -371,7 +424,7 @@ func (s *RemoteSegment) Get(key []byte) ([]uint64, GetStatus, error) {
 				c.sfMu.Unlock()
 				close(call.done)
 			}()
-			call.vals, call.status, call.err = s.get(key)
+			call.vals, call.status, call.err = s.get(key, tid)
 			call.ok = true
 		}()
 		return call.vals, call.status, call.err
@@ -382,8 +435,8 @@ func (s *RemoteSegment) Get(key []byte) ([]uint64, GetStatus, error) {
 // The caller blocks for the flight's round trip either way; what the
 // queue buys is that every probe queued during an in-flight RTT leaves
 // in a single MGET frame when it returns.
-func (s *RemoteSegment) get(key []byte) ([]uint64, GetStatus, error) {
-	bg := &batchGet{key: key, done: make(chan struct{})}
+func (s *RemoteSegment) get(key []byte, tid uint64) ([]uint64, GetStatus, error) {
+	bg := &batchGet{key: key, tid: tid, done: make(chan struct{})}
 	s.batchMu.Lock()
 	s.getQ = append(s.getQ, bg)
 	if !s.getFlying {
@@ -421,11 +474,12 @@ func (s *RemoteSegment) flyGets(batch []*batchGet) {
 	}()
 	if len(batch) == 1 {
 		bg := batch[0]
-		bg.vals, bg.status, bg.err = s.getOne(bg.key)
+		bg.vals, bg.status, bg.err = s.getOne(bg.key, bg.tid)
 		return
 	}
 	req := &wire.Frame{Op: wire.OpMGet, Seg: s.id,
 		Cost: uint64(s.c.rttNS.Load()), Items: make([]wire.Item, len(batch))}
+	req.SetTrace(batchTraceGet(batch))
 	for i, bg := range batch {
 		req.Items[i].Key = bg.key
 	}
@@ -465,9 +519,10 @@ func (s *RemoteSegment) flyGets(batch []*batchGet) {
 }
 
 // getOne is the single-probe wire exchange.
-func (s *RemoteSegment) getOne(key []byte) ([]uint64, GetStatus, error) {
+func (s *RemoteSegment) getOne(key []byte, tid uint64) ([]uint64, GetStatus, error) {
 	req := &wire.Frame{Op: wire.OpGet, Seg: s.id, Key: key,
 		Cost: uint64(s.c.rttNS.Load())}
+	req.SetTrace(tid)
 	resp, err := s.c.call(req)
 	if err != nil {
 		return nil, Miss, err
@@ -494,6 +549,24 @@ func (s *RemoteSegment) getOne(key []byte) ([]uint64, GetStatus, error) {
 // Concurrent Puts queued while one is in flight leave as a single MPUT
 // frame, each carrying its own cost.
 func (s *RemoteSegment) Put(key []byte, vals []uint64, cost time.Duration) error {
+	return s.PutTraced(key, vals, cost, obs.TraceCtx{})
+}
+
+// PutTraced is Put with a parent trace context; when sampled it records
+// an "rpc.put" span and the frame carries the trace id (see GetTraced).
+func (s *RemoteSegment) PutTraced(key []byte, vals []uint64, cost time.Duration, tr obs.TraceCtx) error {
+	sp := obs.StartSpan(tr, "rpc.put")
+	err := s.doPut(key, vals, cost, sp.TraceID())
+	if err != nil {
+		sp.Outcome("err")
+	} else {
+		sp.Outcome("ok")
+	}
+	sp.End()
+	return err
+}
+
+func (s *RemoteSegment) doPut(key []byte, vals []uint64, cost time.Duration, tid uint64) error {
 	// Short-circuit a known-bypassed segment with the same periodic
 	// revalidation as Get: every bypassRecheck-th Put goes to the server
 	// anyway. Without the probe, a segment whose traffic is Put-heavy
@@ -502,7 +575,7 @@ func (s *RemoteSegment) Put(key []byte, vals []uint64, cost time.Duration) error
 	if s.bypassed.Load() && s.sinceByp.Add(1)%bypassRecheck != 0 {
 		return nil // the governor said stop; don't pay the round trip
 	}
-	bp := &batchPut{key: key, vals: vals, cost: cost, done: make(chan struct{})}
+	bp := &batchPut{key: key, tid: tid, vals: vals, cost: cost, done: make(chan struct{})}
 	s.batchMu.Lock()
 	s.putQ = append(s.putQ, bp)
 	if !s.putFlying {
@@ -540,11 +613,14 @@ func (s *RemoteSegment) flyPuts(batch []*batchPut) {
 	var err error
 	if len(batch) == 1 {
 		bp := batch[0]
-		resp, err = s.c.call(&wire.Frame{Op: wire.OpPut, Seg: s.id,
-			Key: bp.key, Vals: bp.vals, Cost: uint64(bp.cost.Nanoseconds())})
+		req := &wire.Frame{Op: wire.OpPut, Seg: s.id,
+			Key: bp.key, Vals: bp.vals, Cost: uint64(bp.cost.Nanoseconds())}
+		req.SetTrace(bp.tid)
+		resp, err = s.c.call(req)
 	} else {
 		req := &wire.Frame{Op: wire.OpMPut, Seg: s.id,
 			Items: make([]wire.Item, len(batch))}
+		req.SetTrace(batchTracePut(batch))
 		for i, bp := range batch {
 			req.Items[i] = wire.Item{Key: bp.key, Vals: bp.vals,
 				Cost: uint64(bp.cost.Nanoseconds())}

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"compreuse/internal/obs"
 	"compreuse/internal/reused"
 )
 
@@ -90,9 +91,15 @@ func TestTeardownNoDeadlock(t *testing.T) {
 type fakeRemote struct{ puts atomic.Int64 }
 
 func (f *fakeRemote) Get(key []byte) ([]uint64, GetStatus, error) { return nil, Miss, nil }
+func (f *fakeRemote) GetTraced(key []byte, _ obs.TraceCtx) ([]uint64, GetStatus, error) {
+	return f.Get(key)
+}
 func (f *fakeRemote) Put(key []byte, vals []uint64, cost time.Duration) error {
 	f.puts.Add(1)
 	return nil
+}
+func (f *fakeRemote) PutTraced(key []byte, vals []uint64, cost time.Duration, _ obs.TraceCtx) error {
+	return f.Put(key, vals, cost)
 }
 func (f *fakeRemote) Stats() (RemoteStats, error) { return RemoteStats{}, nil }
 func (f *fakeRemote) Flush() error                { return nil }
@@ -171,7 +178,7 @@ func TestObserveRTTConcurrent(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 1; i <= 1000; i++ {
-				c.observeRTT(time.Duration(g*1000+i) * time.Nanosecond)
+				c.observeRTT(time.Duration(g*1000+i)*time.Nanosecond, 0)
 			}
 		}(g)
 	}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"compreuse"
+	"compreuse/internal/obs"
 	"compreuse/internal/reused"
 )
 
@@ -86,6 +87,13 @@ type fleetReport struct {
 	WarmStats    compreuse.RemoteStats
 	WarmSegments int
 	WarmEntries  int
+	// Stitched counts traces whose spans cross the wire (a tiered.do
+	// root plus at least one srv.* span); FailoverStitched is the subset
+	// whose pool.get hopped past a down node mid-trace.
+	Stitched         int
+	FailoverStitched int
+	// breakdown is the per-span-name latency table behind Stitched.
+	breakdown *obs.Breakdown
 }
 
 func (r fleetReport) print(w io.Writer) {
@@ -112,6 +120,11 @@ func (r fleetReport) print(w io.Writer) {
 			"hit-rate %.1f%% and %d resident before its first new PUT\n",
 			r.VictimAddr, r.WarmSegments, r.WarmEntries, warmRate, r.WarmStats.Resident)
 	}
+	if r.breakdown != nil {
+		fmt.Fprintf(w, "traces: %d total, %d stitched across the wire, %d through a failover\n",
+			len(r.breakdown.Traces), r.Stitched, r.FailoverStitched)
+		r.breakdown.Format(w, 1)
+	}
 }
 
 // fleetMain runs the demo: boot, load, kill, restart warm, report.
@@ -132,11 +145,20 @@ func fleetMain(args []string, out, logw io.Writer) (fleetReport, error) {
 			"the warm-restart report reads)")
 	snapDir := fs.String("snap-dir", "", "snapshot directory (default: a fresh temp dir)")
 	seed := fs.Int64("seed", 1, "key-stream seed")
+	trace := fs.Int("trace", 16,
+		"trace every Nth Do end to end (1 = all, 0 disables); prints the latency breakdown")
 	if err := fs.Parse(args); err != nil {
 		return fleetReport{}, err
 	}
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
+	}
+	if *trace > 0 {
+		// A deep ring: the demo wants traces from before the kill to
+		// survive until the report, alongside everything after.
+		obs.ResetTraces()
+		obs.EnableTrace(*trace, 1<<16)
+		defer obs.DisableTrace()
 	}
 	if *nodes < 1 {
 		return fleetReport{}, fmt.Errorf("-nodes must be >= 1")
@@ -219,6 +241,10 @@ func fleetMain(args []string, out, logw io.Writer) (fleetReport, error) {
 	}
 
 	rep := fleetReport{Nodes: *nodes, Replicas: *replicas, Workers: *workers}
+	// preSpans snapshots the ring while the victim is still down, so the
+	// failover-era traces survive even if later traffic overwrites them;
+	// Summarize dedups the overlap with the final snapshot.
+	var preSpans []obs.SpanRecord
 	if *kill && *nodes > 1 {
 		// Kill the victim at 40% of the run — gracefully, so its final
 		// snapshot carries everything it acknowledged — and restart it at
@@ -235,6 +261,9 @@ func fleetMain(args []string, out, logw io.Writer) (fleetReport, error) {
 		fmt.Fprintf(logw, "fleet: killed %s (snapshot at %s)\n", victim.addr, victim.snap)
 
 		time.Sleep(time.Until(start.Add(*dur * 7 / 10)))
+		if *trace > 0 {
+			preSpans = obs.TraceSpans()
+		}
 		reborn, err := startFleetNode(victim.addr, victim.snap, 200*time.Millisecond, govWindow)
 		if err != nil {
 			stop.Store(true)
@@ -267,8 +296,38 @@ func fleetMain(args []string, out, logw io.Writer) (fleetReport, error) {
 	rep.Tiered = tm.Stats()
 	rep.NodeStats = pseg.NodeStats()
 	rep.ReplicaDrops = pseg.ReplicaDrops()
+	if *trace > 0 {
+		bd := obs.Summarize(append(preSpans, obs.TraceSpans()...))
+		rep.breakdown = &bd
+		rep.Stitched = bd.Stitched
+		rep.FailoverStitched = countFailoverStitched(&bd)
+	}
 	rep.print(out)
 	return rep, nil
+}
+
+// countFailoverStitched counts the stitched traces that rode through a
+// read failover: a pool.get span whose hops annotation is nonzero means
+// that call skipped at least one down node before being served.
+func countFailoverStitched(b *obs.Breakdown) int {
+	n := 0
+	for i := range b.Traces {
+		tr := &b.Traces[i]
+		if !tr.Stitched() {
+			continue
+		}
+		for j := range tr.Spans {
+			sp := &tr.Spans[j]
+			if sp.Name != "pool.get" {
+				continue
+			}
+			if hops, ok := sp.Annotation("hops"); ok && hops > 0 {
+				n++
+				break
+			}
+		}
+	}
+	return n
 }
 
 // spinFor busy-loops for d, modeling a computation whose cost C the

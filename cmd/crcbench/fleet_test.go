@@ -19,7 +19,7 @@ func TestFleetDemo(t *testing.T) {
 	var out strings.Builder
 	rep, err := fleetMain([]string{
 		"-nodes", "3", "-workers", "2", "-dur", "1500ms",
-		"-keys", "512", "-cost", "5us",
+		"-keys", "512", "-cost", "5us", "-trace", "1",
 	}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
@@ -47,5 +47,14 @@ func TestFleetDemo(t *testing.T) {
 	}
 	if len(rep.NodeStats) != 3 {
 		t.Errorf("NodeStats for %d nodes, want 3", len(rep.NodeStats))
+	}
+	// Tracing at -trace 1: every Do that crossed the wire must have
+	// stitched into a client-root + server-span trace, and the kill
+	// window must have produced at least one trace that rode a failover.
+	if rep.Stitched == 0 {
+		t.Errorf("no stitched traces recorded; output:\n%s", out.String())
+	}
+	if rep.FailoverStitched == 0 {
+		t.Errorf("no trace spans a failover (pool.get hops > 0); output:\n%s", out.String())
 	}
 }

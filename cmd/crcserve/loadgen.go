@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"compreuse"
+	"compreuse/internal/obs"
 )
 
 // loadgenReport is what a loadgen run measured; the CI smoke test
@@ -24,6 +25,12 @@ type loadgenReport struct {
 	P50, P99, SmoothedRTT       time.Duration
 	Server                      compreuse.RemoteStats
 	Decisions                   []string
+	// Stitched counts traces whose spans cross the wire (a client root
+	// plus at least one server span). Zero unless -trace is set.
+	Stitched int
+	// breakdown is the per-span-name latency table behind Stitched,
+	// printed after the standard report when tracing was on.
+	breakdown *obs.Breakdown
 }
 
 func (r loadgenReport) print(w io.Writer) {
@@ -50,6 +57,11 @@ func (r loadgenReport) print(w io.Writer) {
 	if r.Errors > 0 {
 		fmt.Fprintf(w, "errors: %d\n", r.Errors)
 	}
+	if r.breakdown != nil {
+		fmt.Fprintf(w, "traces: %d total, %d stitched across the wire\n",
+			len(r.breakdown.Traces), r.Stitched)
+		r.breakdown.Format(w, 1)
+	}
 }
 
 // loadgenRun models a fleet: `-fleet` independent processes (each its
@@ -74,11 +86,17 @@ func loadgenRun(args []string, logw io.Writer) (loadgenReport, error) {
 	segName := fs.String("seg", "loadgen", "segment name")
 	entries := fs.Int("entries", 0, "server-side table bound (0 = unbounded)")
 	seed := fs.Int64("seed", 1, "key-stream seed")
+	trace := fs.Int("trace", 0,
+		"trace every Nth request end to end (1 = all, 0 disables); prints the latency breakdown")
 	if err := fs.Parse(args); err != nil {
 		return loadgenReport{}, err
 	}
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
+	}
+	if *trace > 0 {
+		obs.ResetTraces()
+		obs.EnableTrace(*trace, 0)
 	}
 
 	type member struct {
@@ -120,27 +138,44 @@ func loadgenRun(args []string, logw io.Writer) (loadgenReport, error) {
 				local := make([]int64, 0, 4096)
 				for time.Now().Before(deadline) {
 					k := keyBuf[rng.Intn(len(keyBuf))]
+					// Each iteration is one traced unit of work: the root
+					// span covers probe + compute + record, mirroring what
+					// TieredMemo.Do would stitch together.
+					root := obs.StartRoot("loadgen.do")
 					start := time.Now()
-					_, status, err := m.seg.Get(k)
+					_, status, err := m.seg.GetTraced(k, root.Context())
 					rtt := time.Since(start)
 					ops.Add(1)
 					if err != nil {
 						errs.Add(1)
+						root.Outcome("err")
+						root.End()
 						continue
 					}
 					if status != compreuse.Bypass {
 						local = append(local, rtt.Nanoseconds())
 					}
+					switch status {
+					case compreuse.Hit:
+						root.Outcome("hit")
+					case compreuse.Bypass:
+						root.Outcome("bypass")
+					default:
+						root.Outcome("miss")
+					}
 					if status != compreuse.Hit {
 						// Miss or bypass: pay the modeled computation.
+						csp := obs.StartSpan(root.Context(), "compute")
 						cstart := time.Now()
 						v := spin(*cost)
+						csp.End()
 						if status == compreuse.Miss {
-							if perr := m.seg.Put(k, []uint64{v}, time.Since(cstart)); perr != nil {
+							if perr := m.seg.PutTraced(k, []uint64{v}, time.Since(cstart), root.Context()); perr != nil {
 								errs.Add(1)
 							}
 						}
 					}
+					root.End()
 				}
 				sampleMu.Lock()
 				samples = append(samples, local...)
@@ -196,6 +231,15 @@ func loadgenRun(args []string, logw io.Writer) (loadgenReport, error) {
 		return rep, err
 	}
 	rep.Server = st
+	if *trace > 0 {
+		// Summarize the local span ring. When the server runs in this
+		// process (the smoke test, crcbench fleet) its srv.* spans share
+		// the ring and traces stitch; against a remote server the server
+		// halves live in its own /traces endpoint instead.
+		bd := obs.Summarize(obs.TraceSpans())
+		rep.breakdown = &bd
+		rep.Stitched = bd.Stitched
+	}
 	return rep, nil
 }
 

@@ -29,6 +29,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"compreuse"
@@ -97,12 +98,19 @@ func run(args []string, logw io.Writer, ready func(net.Addr)) error {
 		"warm-snapshot file: restored at startup, rewritten periodically and at drain; empty disables")
 	snapshotEvery := fs.Duration("snapshot-every", reused.DefaultSnapshotEvery,
 		"interval between periodic snapshots (with -snapshot)")
+	traceEvery := fs.Int("trace-every", 0,
+		"record a server span for every Nth traced request into /traces (1 = all, 0 disables)")
+	peers := fs.String("peers", "",
+		"comma-separated metric addresses (host:port) of peer crcserve nodes, merged into /fleet.json")
 	quiet := fs.Bool("q", false, "suppress governor-decision logging")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	obs.Enable()
+	if *traceEvery > 0 {
+		obs.EnableTrace(*traceEvery, 0)
+	}
 	srv := reused.New(reused.Config{
 		MaxConns:      *maxConns,
 		MaxInflight:   *maxInflight,
@@ -175,6 +183,19 @@ func run(args []string, logw io.Writer, ready func(net.Addr)) error {
 			enc.SetIndent("", "  ")
 			_ = enc.Encode(srv.Decisions())
 		})
+		// /fleet.json scrapes the peers' /metrics.json on every request
+		// and serves the merged fleet view; with no peers it is this
+		// node's own snapshot in fleet shape.
+		var peerAddrs []string
+		if *peers != "" {
+			for _, a := range strings.Split(*peers, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					peerAddrs = append(peerAddrs, a)
+				}
+			}
+		}
+		mux.Handle("/fleet.json",
+			obs.FleetHandler(hln.Addr().String(), obs.Default(), peerAddrs, 2*time.Second))
 		fmt.Fprintf(logw, "metrics on http://%s/metrics and /decisions\n", hln.Addr())
 		go func() {
 			httpDone <- sigctx.ServeHTTP(ctx, &http.Server{Handler: mux}, hln, *drain)

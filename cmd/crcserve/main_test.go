@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"compreuse"
+	"compreuse/internal/obs"
 )
 
 // syncBuf collects the server's log lines from concurrent writers.
@@ -248,6 +250,135 @@ func TestLoadgenSmoke(t *testing.T) {
 	}
 	if rep.Errors != 0 {
 		t.Fatalf("smoke traffic saw %d errors", rep.Errors)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("drain failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+}
+
+// TestTraceSmoke is the CI tracing smoke test: loadgen with -trace 1
+// against an in-process server must produce at least one stitched
+// multi-hop trace — a client root span plus a server span sharing the
+// trace id — both in the report and at the /traces endpoint, and the
+// node's /fleet.json must serve a merged snapshot.
+func TestTraceSmoke(t *testing.T) {
+	defer obs.DisableTrace()
+	logs := &syncBuf{}
+	addrCh := make(chan net.Addr, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{"-addr", "127.0.0.1:0", "-http", "127.0.0.1:0", "-q"},
+			logs, func(a net.Addr) { addrCh <- a })
+	}()
+	var addr string
+	select {
+	case a := <-addrCh:
+		addr = a.String()
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	dur := "500ms"
+	if testing.Short() {
+		dur = "200ms"
+	}
+	rep, err := loadgenRun([]string{
+		"-addr", addr, "-dur", dur, "-keys", "128", "-cost", "50us",
+		"-fleet", "2", "-workers", "2", "-trace", "1",
+	}, io.Discard)
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	rep.print(&testWriter{t})
+	if rep.Errors != 0 {
+		t.Fatalf("traced traffic saw %d errors", rep.Errors)
+	}
+	// The server runs in this process, so its srv.* spans share the ring
+	// with the client roots: the traces must stitch.
+	if rep.Stitched == 0 {
+		t.Fatalf("no stitched traces: report %+v", rep)
+	}
+
+	m := regexp.MustCompile(`metrics on http://([^/\s]+)`).FindStringSubmatch(logs.String())
+	if m == nil {
+		t.Fatalf("no metrics address in logs:\n%s", logs.String())
+	}
+
+	// /traces serves the span ring as JSON; re-check stitching from the
+	// scraped payload, exactly as an operator would.
+	resp, err := http.Get("http://" + m[1] + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page struct {
+		Enabled bool `json:"enabled"`
+		Spans   []struct {
+			Trace string `json:"trace"`
+			Kind  string `json:"kind"`
+			Name  string `json:"name"`
+			DurNS int64  `json:"dur_ns"`
+		} `json:"spans"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&page)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decode /traces: %v", err)
+	}
+	if !page.Enabled || len(page.Spans) == 0 {
+		t.Fatalf("/traces: enabled=%v spans=%d, want enabled with spans",
+			page.Enabled, len(page.Spans))
+	}
+	kinds := map[string]map[string]bool{} // trace id -> kinds present
+	for _, s := range page.Spans {
+		if s.DurNS < 0 {
+			t.Errorf("span %s %s has negative duration %d", s.Trace, s.Name, s.DurNS)
+		}
+		if kinds[s.Trace] == nil {
+			kinds[s.Trace] = map[string]bool{}
+		}
+		kinds[s.Trace][s.Kind] = true
+	}
+	stitched := 0
+	for _, k := range kinds {
+		if k["root"] && k["server"] {
+			stitched++
+		}
+	}
+	if stitched == 0 {
+		t.Fatalf("/traces has %d spans but no trace with both root and server kinds", len(page.Spans))
+	}
+	t.Logf("/traces: %d spans, %d stitched traces", len(page.Spans), stitched)
+
+	// /fleet.json with no -peers is this node's own merged snapshot.
+	resp, err = http.Get("http://" + m[1] + "/fleet.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fleet struct {
+		Self   string `json:"self"`
+		Merged struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"merged"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&fleet)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decode /fleet.json: %v", err)
+	}
+	if fleet.Self == "" {
+		t.Error("/fleet.json missing self address")
+	}
+	if len(fleet.Merged.Counters) == 0 {
+		t.Error("/fleet.json merged snapshot has no counters")
 	}
 
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {

@@ -146,6 +146,20 @@ func DisableMetrics() { obs.Disable() }
 func MetricsEnabled() bool { return obs.On() }
 
 // MetricsHandler serves the collected metrics: /metrics (Prometheus text
-// format), /metrics.json, /debug/vars (expvar) and /debug/pprof. The
-// crcbench serve subcommand mounts this same handler.
+// format), /metrics.json, /traces, /debug/vars (expvar) and /debug/pprof.
+// The crcbench serve subcommand mounts this same handler.
 func MetricsHandler() http.Handler { return obs.Handler() }
+
+// EnableTracing turns on the request-tracing layer: every sampleEvery-th
+// TieredMemo.Do (1 = all) records a trace — spans for the L1/L2/pool
+// levels it traverses, stitched across the wire to the serving crcserve
+// node — into a fixed ring of capacity spans (0 = a reasonable default),
+// readable at the /traces endpoint of MetricsHandler. When disabled (the
+// default), the traced hot paths pay a single atomic load.
+func EnableTracing(sampleEvery, capacity int) { obs.EnableTrace(sampleEvery, capacity) }
+
+// DisableTracing stops recording spans; the ring remains readable.
+func DisableTracing() { obs.DisableTrace() }
+
+// TracingEnabled reports whether the span recorder is live.
+func TracingEnabled() bool { return obs.TraceOn() }

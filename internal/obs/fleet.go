@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// This file is the fleet-aggregation half of the observability layer.
+// Every crcserve node already exports its registry at /metrics.json;
+// ScrapeFleet polls a peer list, merges the per-node snapshots with the
+// local registry into one fleet view, and FleetHandler serves the
+// result as /fleet.json — so one curl against any node answers "what is
+// the fleet's aggregate hit rate per segment" without external
+// scrape infrastructure.
+
+// FleetPeer is one scraped peer's outcome.
+type FleetPeer struct {
+	Addr  string `json:"addr"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+// FleetView is the /fleet.json document: per-peer scrape status plus
+// the merged registry snapshot (self included).
+type FleetView struct {
+	Self   string           `json:"self,omitempty"`
+	Peers  []FleetPeer      `json:"peers"`
+	Merged RegistrySnapshot `json:"merged"`
+}
+
+// MergeSnapshots folds src into dst: counters and gauges sum by name,
+// histograms sum bucket-wise when the bounds agree (mismatched bounds
+// keep dst's series untouched — a version-skewed peer cannot corrupt
+// the view), and the larger exemplar wins so the fleet's worst traced
+// outlier survives the merge.
+func MergeSnapshots(dst *RegistrySnapshot, src *RegistrySnapshot) {
+	if dst.Counters == nil {
+		dst.Counters = map[string]int64{}
+	}
+	if dst.Gauges == nil {
+		dst.Gauges = map[string]int64{}
+	}
+	if dst.Histograms == nil {
+		dst.Histograms = map[string]HistogramSnapshot{}
+	}
+	for name, v := range src.Counters {
+		dst.Counters[name] += v
+	}
+	for name, v := range src.Gauges {
+		dst.Gauges[name] += v
+	}
+	for name, sh := range src.Histograms {
+		dh, ok := dst.Histograms[name]
+		if !ok {
+			// Copy so later merges never alias the source's slices.
+			nh := HistogramSnapshot{
+				Bounds:        append([]int64(nil), sh.Bounds...),
+				Buckets:       append([]int64(nil), sh.Buckets...),
+				Sum:           sh.Sum,
+				Count:         sh.Count,
+				ExemplarVal:   sh.ExemplarVal,
+				ExemplarTrace: sh.ExemplarTrace,
+			}
+			dst.Histograms[name] = nh
+			continue
+		}
+		if len(dh.Bounds) != len(sh.Bounds) || len(dh.Buckets) != len(sh.Buckets) {
+			continue
+		}
+		same := true
+		for i := range dh.Bounds {
+			if dh.Bounds[i] != sh.Bounds[i] {
+				same = false
+				break
+			}
+		}
+		if !same {
+			continue
+		}
+		for i := range dh.Buckets {
+			dh.Buckets[i] += sh.Buckets[i]
+		}
+		dh.Sum += sh.Sum
+		dh.Count += sh.Count
+		if sh.ExemplarVal > dh.ExemplarVal {
+			dh.ExemplarVal = sh.ExemplarVal
+			dh.ExemplarTrace = sh.ExemplarTrace
+		}
+		dst.Histograms[name] = dh
+	}
+}
+
+// ScrapeFleet polls each peer's /metrics.json concurrently (bounded by
+// timeout per request) and returns the local registry's snapshot merged
+// with every reachable peer. Unreachable or malformed peers are
+// reported in Peers and excluded from the merge; a scrape never fails
+// as a whole.
+func ScrapeFleet(self *Registry, peers []string, timeout time.Duration) FleetView {
+	view := FleetView{Peers: make([]FleetPeer, len(peers))}
+	local := self.Snapshot()
+	view.Merged = RegistrySnapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	MergeSnapshots(&view.Merged, &local)
+
+	client := &http.Client{Timeout: timeout}
+	snaps := make([]*RegistrySnapshot, len(peers))
+	var wg sync.WaitGroup
+	for i, addr := range peers {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			view.Peers[i].Addr = addr
+			resp, err := client.Get("http://" + addr + "/metrics.json")
+			if err != nil {
+				view.Peers[i].Error = err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				view.Peers[i].Error = fmt.Sprintf("status %d", resp.StatusCode)
+				return
+			}
+			var s RegistrySnapshot
+			if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+				view.Peers[i].Error = "decode: " + err.Error()
+				return
+			}
+			view.Peers[i].OK = true
+			snaps[i] = &s
+		}(i, addr)
+	}
+	wg.Wait()
+	// Merge serially in peer order for determinism.
+	for _, s := range snaps {
+		if s != nil {
+			MergeSnapshots(&view.Merged, s)
+		}
+	}
+	return view
+}
+
+// FleetHandler serves /fleet.json: every request re-scrapes the peers'
+// /metrics.json endpoints and returns the merged fleet view. self
+// identifies this node in the document; peers are host:port metric
+// addresses of the other nodes.
+func FleetHandler(self string, reg *Registry, peers []string, timeout time.Duration) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		view := ScrapeFleet(reg, peers, timeout)
+		view.Self = self
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(view)
+	}
+}

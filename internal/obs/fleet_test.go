@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMergeSnapshots(t *testing.T) {
+	dst := RegistrySnapshot{
+		Counters: map[string]int64{"a": 1, "b": 2},
+		Gauges:   map[string]int64{"g": 10},
+		Histograms: map[string]HistogramSnapshot{
+			"h": {Bounds: []int64{10, 100}, Buckets: []int64{1, 2, 3}, Sum: 300, Count: 6,
+				ExemplarVal: 50, ExemplarTrace: 0xA},
+		},
+	}
+	src := RegistrySnapshot{
+		Counters: map[string]int64{"b": 3, "c": 4},
+		Gauges:   map[string]int64{"g": -2, "g2": 5},
+		Histograms: map[string]HistogramSnapshot{
+			"h": {Bounds: []int64{10, 100}, Buckets: []int64{4, 5, 6}, Sum: 700, Count: 15,
+				ExemplarVal: 90, ExemplarTrace: 0xB},
+			"skewed": {Bounds: []int64{1}, Buckets: []int64{1, 1}, Sum: 2, Count: 2},
+		},
+	}
+	MergeSnapshots(&dst, &src)
+
+	if dst.Counters["a"] != 1 || dst.Counters["b"] != 5 || dst.Counters["c"] != 4 {
+		t.Errorf("counters = %v", dst.Counters)
+	}
+	if dst.Gauges["g"] != 8 || dst.Gauges["g2"] != 5 {
+		t.Errorf("gauges = %v", dst.Gauges)
+	}
+	h := dst.Histograms["h"]
+	if h.Sum != 1000 || h.Count != 21 {
+		t.Errorf("histogram sum/count = %d/%d, want 1000/21", h.Sum, h.Count)
+	}
+	for i, want := range []int64{5, 7, 9} {
+		if h.Buckets[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, h.Buckets[i], want)
+		}
+	}
+	if h.ExemplarVal != 90 || h.ExemplarTrace != 0xB {
+		t.Errorf("exemplar = %d/%x, want the larger peer's 90/b", h.ExemplarVal, h.ExemplarTrace)
+	}
+	// The skewed histogram arrives as a new series, copied not aliased.
+	sk := dst.Histograms["skewed"]
+	sk.Buckets[0] = 999
+	if src.Histograms["skewed"].Buckets[0] == 999 {
+		t.Error("merge aliased the source's bucket slice")
+	}
+
+	// A second source with mismatched bounds must leave "h" untouched.
+	MergeSnapshots(&dst, &RegistrySnapshot{Histograms: map[string]HistogramSnapshot{
+		"h": {Bounds: []int64{1, 2}, Buckets: []int64{9, 9, 9}, Sum: 1, Count: 1},
+	}})
+	if h2 := dst.Histograms["h"]; h2.Sum != 1000 || h2.Count != 21 {
+		t.Errorf("version-skewed merge corrupted h: %+v", h2)
+	}
+}
+
+// snapshotHandler serves a fixed snapshot at /metrics.json, standing in
+// for a peer crcserve's metrics sidecar.
+func snapshotHandler(s RegistrySnapshot) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(s)
+	})
+	return mux
+}
+
+func TestScrapeFleet(t *testing.T) {
+	self := NewRegistry()
+	self.Counter("crc_probes_total", "probes").Add(10)
+
+	peerSnap := RegistrySnapshot{Counters: map[string]int64{"crc_probes_total": 32}}
+	peer := httptest.NewServer(snapshotHandler(peerSnap))
+	defer peer.Close()
+	peerAddr := strings.TrimPrefix(peer.URL, "http://")
+
+	// One healthy peer, one that does not exist: the scrape reports the
+	// failure and still merges the rest.
+	view := ScrapeFleet(self, []string{peerAddr, "127.0.0.1:1"}, 2*time.Second)
+	if len(view.Peers) != 2 {
+		t.Fatalf("peers = %+v", view.Peers)
+	}
+	if !view.Peers[0].OK || view.Peers[0].Error != "" {
+		t.Errorf("healthy peer reported %+v", view.Peers[0])
+	}
+	if view.Peers[1].OK || view.Peers[1].Error == "" {
+		t.Errorf("dead peer reported %+v", view.Peers[1])
+	}
+	if got := view.Merged.Counters["crc_probes_total"]; got != 42 {
+		t.Errorf("merged counter = %d, want 42 (10 local + 32 peer)", got)
+	}
+}
+
+func TestFleetHandler(t *testing.T) {
+	self := NewRegistry()
+	self.Counter("crc_probes_total", "probes").Add(7)
+
+	peer := httptest.NewServer(snapshotHandler(RegistrySnapshot{
+		Counters: map[string]int64{"crc_probes_total": 5},
+	}))
+	defer peer.Close()
+	peerAddr := strings.TrimPrefix(peer.URL, "http://")
+
+	node := httptest.NewServer(FleetHandler("node-0:8346", self, []string{peerAddr}, 2*time.Second))
+	defer node.Close()
+
+	resp, err := node.Client().Get(node.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var view FleetView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatalf("/fleet.json is not valid JSON: %v", err)
+	}
+	if view.Self != "node-0:8346" {
+		t.Errorf("self = %q", view.Self)
+	}
+	if len(view.Peers) != 1 || !view.Peers[0].OK {
+		t.Errorf("peers = %+v", view.Peers)
+	}
+	if got := view.Merged.Counters["crc_probes_total"]; got != 12 {
+		t.Errorf("merged counter = %d, want 12", got)
+	}
+}

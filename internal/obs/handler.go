@@ -11,6 +11,7 @@ import (
 //
 //	/metrics       Prometheus text exposition format
 //	/metrics.json  JSON snapshot of every counter, gauge and histogram
+//	/traces        JSON dump of the span ring (see EnableTrace)
 //	/debug/vars    standard expvar page (includes the crc_metrics snapshot)
 //	/debug/pprof/  the standard Go profiling endpoints
 //
@@ -27,6 +28,10 @@ func Handler() *http.ServeMux {
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = WriteJSON(w, Default())
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteTraces(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -89,6 +89,13 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last is +Inf
 	sum    atomic.Int64
 	count  atomic.Int64
+	// Exemplar: the largest traced observation, so outliers in the
+	// histogram are clickable in /traces. exVal is monotonic via CAS;
+	// exTrace is stored after a successful raise and may briefly pair
+	// with a newer value under a racing raise — acceptable for a
+	// diagnostic pointer, and it always names a real traced sample.
+	exVal   atomic.Int64
+	exTrace atomic.Uint64
 }
 
 // Observe records one sample.
@@ -102,6 +109,33 @@ func (h *Histogram) Observe(v int64) {
 	h.count.Add(1)
 }
 
+// ObserveTraced records one sample and, when trace is nonzero and v is
+// the largest traced value seen so far, remembers trace as the
+// histogram's exemplar. Cost on the untraced path (trace == 0) is
+// identical to Observe plus one predictable branch.
+func (h *Histogram) ObserveTraced(v int64, trace uint64) {
+	h.Observe(v)
+	if trace == 0 {
+		return
+	}
+	for {
+		cur := h.exVal.Load()
+		if v < cur {
+			return
+		}
+		if h.exVal.CompareAndSwap(cur, v) {
+			h.exTrace.Store(trace)
+			return
+		}
+	}
+}
+
+// Exemplar returns the largest traced observation and its trace id
+// (both zero when no traced sample has been recorded).
+func (h *Histogram) Exemplar() (val int64, trace uint64) {
+	return h.exVal.Load(), h.exTrace.Load()
+}
+
 // Name returns the registered metric name.
 func (h *Histogram) Name() string { return h.name }
 
@@ -111,11 +145,14 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
-// HistogramSnapshot is a consistent-enough copy of a histogram for export:
-// each field is loaded atomically (buckets first, then sum/count, so a
-// concurrent Observe can at worst appear in sum/count but not yet in a
-// bucket — the exporters tolerate that, and the values agree once the
-// writers are quiescent).
+// HistogramSnapshot is a consistent-enough copy of a histogram for export.
+// Each field is loaded atomically in the reverse of Observe's write order
+// (count, then sum, then buckets, against Observe's bucket→sum→count), so
+// for every observation included in Count, Sum and the buckets already
+// include it too: Count ≤ Σ Buckets always holds, and Sum covers at least
+// the counted observations. A concurrent Observe can at worst appear in a
+// bucket but not yet in sum/count; the values agree exactly once the
+// writers are quiescent.
 type HistogramSnapshot struct {
 	// Bounds are the inclusive upper bounds; the final +Inf bucket is
 	// implicit (Buckets has one more element than Bounds).
@@ -124,19 +161,25 @@ type HistogramSnapshot struct {
 	Buckets []int64 `json:"buckets"`
 	Sum     int64   `json:"sum"`
 	Count   int64   `json:"count"`
+	// ExemplarVal/ExemplarTrace are the largest traced observation and
+	// its trace id (see Histogram.ObserveTraced); zero when untraced.
+	ExemplarVal   int64  `json:"exemplar_val,omitempty"`
+	ExemplarTrace uint64 `json:"exemplar_trace,omitempty"`
 }
 
-// Snapshot copies the histogram's current state.
+// Snapshot copies the histogram's current state. Read order is the
+// reverse of Observe's write order — see HistogramSnapshot.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
 		Bounds:  h.bounds,
 		Buckets: make([]int64, len(h.counts)),
 	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
 	for i := range h.counts {
 		s.Buckets[i] = h.counts[i].Load()
 	}
-	s.Sum = h.sum.Load()
-	s.Count = h.count.Load()
+	s.ExemplarVal, s.ExemplarTrace = h.Exemplar()
 	return s
 }
 

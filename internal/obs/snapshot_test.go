@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHistogramSnapshotNotTorn hammers Observe while snapshotting.
+// Snapshot reads count, then sum, then buckets — the reverse of
+// Observe's write order — so under sequentially consistent atomics a
+// concurrent snapshot can over-read buckets but never under-read them:
+// Count <= sum(Buckets) must hold in every observation, and everything
+// must be exact once the writers quiesce. Before the read-order fix,
+// Snapshot read buckets first and could publish Count > sum(Buckets) —
+// a hit-rate denominator larger than its numerator breakdown.
+func TestHistogramSnapshotNotTorn(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("torn_ns", "torn-read hammer", []int64{8, 64, 512})
+
+	const writers = 4
+	const perWriter = 20000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.ObserveTraced(int64(i%1024), uint64(w+1))
+			}
+		}(w)
+	}
+
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for i := 0; i < 2000; i++ {
+			s := h.Snapshot()
+			var inBuckets int64
+			for _, b := range s.Buckets {
+				inBuckets += b
+			}
+			if s.Count > inBuckets {
+				t.Errorf("torn snapshot: count %d > bucketed %d", s.Count, inBuckets)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-readerDone
+
+	s := h.Snapshot()
+	if want := int64(writers * perWriter); s.Count != want {
+		t.Fatalf("quiesced count = %d, want %d", s.Count, want)
+	}
+	var inBuckets int64
+	for _, b := range s.Buckets {
+		inBuckets += b
+	}
+	if inBuckets != s.Count {
+		t.Fatalf("quiesced buckets sum to %d, count %d", inBuckets, s.Count)
+	}
+	if s.ExemplarVal != 1023 || s.ExemplarTrace == 0 {
+		t.Errorf("exemplar = %d/trace %x, want max observation 1023 with a trace id",
+			s.ExemplarVal, s.ExemplarTrace)
+	}
+}

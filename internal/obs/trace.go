@@ -1,0 +1,592 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the request-tracing half of the observability layer: a
+// sampled, allocation-conscious span recorder. A root span is started
+// where a request enters the system (TieredMemo.Do, a loadgen worker),
+// child spans at each level it traverses (L1 probe, pool routing, the
+// wire round trip), and server spans where a traced frame is executed
+// on a crcserve node — stitched to the client side by the trace id the
+// frame carried (wire.FlagTraced). Ended spans land in one fixed-size
+// ring buffer, exported as JSON at /traces.
+//
+// Cost discipline mirrors the metrics core: with tracing disabled (the
+// default) StartRoot is a single atomic load returning the zero Span,
+// and every Span method no-ops on an unsampled span — the instrumented
+// hot paths stay zero-allocation, pinned by the existing AllocsPerRun
+// assertions. With tracing enabled, sampling keeps the recorder off
+// most requests: only every sampleEvery-th root is traced, and an
+// untraced request's cost is still just the atomic load plus a counter
+// increment. Span names and outcomes must be static strings, so even a
+// sampled span allocates nothing — End copies a fixed-size record into
+// the ring under a mutex.
+
+// traceOn is the tracing switch, independent of the metrics switch: a
+// process can serve metrics permanently while sampling traces only
+// when someone is looking.
+var (
+	traceOn    atomic.Bool
+	traceEvery atomic.Int64  // sample every Nth root; <=1 traces all
+	rootSeq    atomic.Uint64 // root counter driving the sampler
+	spanSeq    atomic.Uint64 // span-id source (unique per process)
+)
+
+// traceSeed perturbs trace ids so separately started processes emit
+// distinct id streams. Ids only need to group spans; they are not
+// secrets and need no cryptographic randomness.
+var traceSeed = uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<36
+
+// DefaultTraceCapacity is the span ring size EnableTrace(_, 0) uses.
+const DefaultTraceCapacity = 4096
+
+// maxSpanAnnotations bounds the typed key/value events a span carries;
+// the fixed array keeps Span and SpanRecord allocation-free.
+const maxSpanAnnotations = 4
+
+// SpanKind classifies where a span was recorded.
+type SpanKind uint8
+
+// Span kinds.
+const (
+	// KindChild is an intermediate client-side span (L1 probe, pool
+	// routing hop, wire round trip, compute).
+	KindChild SpanKind = iota
+	// KindRoot is a request's entry span; its duration is the request's
+	// end-to-end latency.
+	KindRoot
+	// KindServer is a span adopted from a traced wire frame on the
+	// serving node: same trace id as the client side, no parent link
+	// (the parent lives in another process).
+	KindServer
+)
+
+func (k SpanKind) String() string {
+	switch k {
+	case KindRoot:
+		return "root"
+	case KindServer:
+		return "server"
+	default:
+		return "child"
+	}
+}
+
+// Annotation is one typed event on a span: a static key and an int64
+// value (a count, a nanosecond duration, a flag).
+type Annotation struct {
+	Key string
+	Val int64
+}
+
+// SpanRecord is one ended span as stored in the ring.
+type SpanRecord struct {
+	Trace  uint64
+	Span   uint64
+	Parent uint64 // 0 for roots and server spans
+	Kind   SpanKind
+	Name   string
+	// Outcome classifies how the span ended: "l1_hit", "hit", "miss",
+	// "bypass", "compute", "failover", ... Empty when never set.
+	Outcome string
+	Start   int64 // unix nanoseconds
+	Dur     int64 // nanoseconds
+	Annots  [maxSpanAnnotations]Annotation
+	NAnnot  uint8
+}
+
+// Annotations returns the span's recorded events.
+func (r *SpanRecord) Annotations() []Annotation { return r.Annots[:r.NAnnot] }
+
+// Annotation returns the value recorded under key.
+func (r *SpanRecord) Annotation(key string) (int64, bool) {
+	for _, a := range r.Annotations() {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return 0, false
+}
+
+// The span ring: a fixed buffer overwritten oldest-first. The mutex is
+// uncontended in practice (sampled spans are rare by construction) and
+// keeps records torn-write-free for the exporters.
+var (
+	ringMu    sync.Mutex
+	ringBuf   []SpanRecord
+	ringTotal uint64 // spans ever recorded; total - len(buf) have been dropped
+)
+
+// EnableTrace turns the span recorder on: every sampleEvery-th root
+// span (1 traces every request) is recorded into a ring of capacity
+// spans (0 uses DefaultTraceCapacity). Re-enabling with a different
+// capacity re-allocates and clears the ring; with the same capacity the
+// recorded spans survive.
+func EnableTrace(sampleEvery, capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	ringMu.Lock()
+	if len(ringBuf) != capacity {
+		ringBuf = make([]SpanRecord, capacity)
+		ringTotal = 0
+	}
+	ringMu.Unlock()
+	traceEvery.Store(int64(sampleEvery))
+	traceOn.Store(true)
+}
+
+// DisableTrace stops recording; the ring remains readable.
+func DisableTrace() { traceOn.Store(false) }
+
+// TraceOn reports whether the span recorder is live. Hot paths call
+// this (or StartRoot, which embeds the same single atomic load) once.
+func TraceOn() bool { return traceOn.Load() }
+
+// ResetTraces empties the ring without changing its capacity.
+func ResetTraces() {
+	ringMu.Lock()
+	for i := range ringBuf {
+		ringBuf[i] = SpanRecord{}
+	}
+	ringTotal = 0
+	ringMu.Unlock()
+}
+
+// recordSpan stores one ended span, overwriting the oldest once the
+// ring is full. The ring can never exceed its capacity.
+func recordSpan(rec SpanRecord) {
+	ringMu.Lock()
+	if len(ringBuf) > 0 {
+		ringBuf[ringTotal%uint64(len(ringBuf))] = rec
+		ringTotal++
+	}
+	ringMu.Unlock()
+}
+
+// TraceSpans copies the recorded spans out, oldest first.
+func TraceSpans() []SpanRecord {
+	ringMu.Lock()
+	defer ringMu.Unlock()
+	n := ringTotal
+	capn := uint64(len(ringBuf))
+	if n > capn {
+		n = capn
+	}
+	out := make([]SpanRecord, 0, n)
+	start := ringTotal - n
+	for i := uint64(0); i < n; i++ {
+		out = append(out, ringBuf[(start+i)%capn])
+	}
+	return out
+}
+
+// TraceDropped returns how many spans have been overwritten since the
+// ring was last (re)enabled or reset.
+func TraceDropped() uint64 {
+	ringMu.Lock()
+	defer ringMu.Unlock()
+	if ringTotal > uint64(len(ringBuf)) {
+		return ringTotal - uint64(len(ringBuf))
+	}
+	return 0
+}
+
+// TraceCtx is the propagated half of a span: enough to parent children
+// locally and to stamp a wire frame (Trace travels; Span does not).
+// The zero TraceCtx means "not sampled" and makes every downstream
+// span operation a no-op.
+type TraceCtx struct {
+	Trace uint64
+	Span  uint64
+}
+
+// Sampled reports whether this context belongs to a recorded trace.
+func (c TraceCtx) Sampled() bool { return c.Trace != 0 }
+
+// Span is one in-flight span. It is a plain stack value — callers keep
+// it in a local and call End when the unit of work finishes. The zero
+// Span is valid and inert: every method no-ops, so unsampled requests
+// pay only the branches.
+type Span struct {
+	trace   uint64
+	id      uint64
+	parent  uint64
+	kind    SpanKind
+	name    string
+	outcome string
+	start   time.Time
+	annots  [maxSpanAnnotations]Annotation
+	nannot  uint8
+}
+
+// mix64 is the murmur3 finalizer (full 64-bit avalanche); it turns the
+// sequential root counter into well-spread trace ids.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// StartRoot begins a new trace at a request's entry point, subject to
+// sampling. With tracing disabled this is one atomic load returning
+// the zero Span; name must be a static string.
+func StartRoot(name string) Span {
+	if !traceOn.Load() {
+		return Span{}
+	}
+	n := rootSeq.Add(1)
+	if e := traceEvery.Load(); e > 1 && n%uint64(e) != 0 {
+		return Span{}
+	}
+	id := mix64(n ^ traceSeed)
+	if id == 0 {
+		id = 1
+	}
+	return Span{trace: id, id: spanSeq.Add(1), kind: KindRoot, name: name, start: time.Now()}
+}
+
+// StartSpan begins a child span under parent. An unsampled parent
+// yields the zero Span — no time is read, nothing records.
+func StartSpan(parent TraceCtx, name string) Span {
+	if parent.Trace == 0 {
+		return Span{}
+	}
+	return Span{trace: parent.Trace, id: spanSeq.Add(1), parent: parent.Span,
+		kind: KindChild, name: name, start: time.Now()}
+}
+
+// StartServerSpan adopts a trace id carried by a wire frame on the
+// serving side. It records only when this process's tracer is on (the
+// client decided the request was worth tracing; the server decides
+// whether it is recording at all) and the frame was traced (trace 0
+// yields the zero Span).
+func StartServerSpan(trace uint64, name string) Span {
+	if trace == 0 || !traceOn.Load() {
+		return Span{}
+	}
+	return Span{trace: trace, id: spanSeq.Add(1), kind: KindServer, name: name, start: time.Now()}
+}
+
+// Sampled reports whether this span records on End.
+func (s *Span) Sampled() bool { return s.trace != 0 }
+
+// Context returns the propagation context for children and wire frames.
+func (s *Span) Context() TraceCtx {
+	return TraceCtx{Trace: s.trace, Span: s.id}
+}
+
+// TraceID returns the span's trace id (0 when unsampled) — the value
+// stamped onto wire frames.
+func (s *Span) TraceID() uint64 { return s.trace }
+
+// Outcome sets how the span ended; o must be a static string. The last
+// call wins.
+func (s *Span) Outcome(o string) {
+	if s.trace != 0 {
+		s.outcome = o
+	}
+}
+
+// Annotate attaches one typed event; key must be a static string.
+// Beyond maxSpanAnnotations further events are dropped silently.
+func (s *Span) Annotate(key string, val int64) {
+	if s.trace == 0 || int(s.nannot) >= len(s.annots) {
+		return
+	}
+	s.annots[s.nannot] = Annotation{Key: key, Val: val}
+	s.nannot++
+}
+
+// End records the span into the ring and disarms it (a second End is a
+// no-op, so deferred and explicit Ends can coexist).
+func (s *Span) End() {
+	if s.trace == 0 {
+		return
+	}
+	rec := SpanRecord{
+		Trace:   s.trace,
+		Span:    s.id,
+		Parent:  s.parent,
+		Kind:    s.kind,
+		Name:    s.name,
+		Outcome: s.outcome,
+		Start:   s.start.UnixNano(),
+		Dur:     time.Since(s.start).Nanoseconds(),
+		Annots:  s.annots,
+		NAnnot:  s.nannot,
+	}
+	recordSpan(rec)
+	s.trace = 0
+}
+
+// spanJSON is the /traces wire form of one span.
+type spanJSON struct {
+	Trace       string           `json:"trace"`
+	Span        string           `json:"span"`
+	Parent      string           `json:"parent,omitempty"`
+	Kind        string           `json:"kind"`
+	Name        string           `json:"name"`
+	Outcome     string           `json:"outcome,omitempty"`
+	StartUnixNS int64            `json:"start_unix_ns"`
+	DurNS       int64            `json:"dur_ns"`
+	Annotations map[string]int64 `json:"annotations,omitempty"`
+}
+
+// tracesJSON is the /traces document.
+type tracesJSON struct {
+	Enabled     bool       `json:"enabled"`
+	SampleEvery int64      `json:"sample_every"`
+	Capacity    int        `json:"capacity"`
+	Recorded    int        `json:"recorded"`
+	Dropped     uint64     `json:"dropped"`
+	Spans       []spanJSON `json:"spans"`
+}
+
+func hex64(v uint64) string { return fmt.Sprintf("%016x", v) }
+
+func spanToJSON(r *SpanRecord) spanJSON {
+	j := spanJSON{
+		Trace:       hex64(r.Trace),
+		Span:        hex64(r.Span),
+		Kind:        r.Kind.String(),
+		Name:        r.Name,
+		Outcome:     r.Outcome,
+		StartUnixNS: r.Start,
+		DurNS:       r.Dur,
+	}
+	if r.Parent != 0 {
+		j.Parent = hex64(r.Parent)
+	}
+	if r.NAnnot > 0 {
+		j.Annotations = make(map[string]int64, r.NAnnot)
+		for _, a := range r.Annotations() {
+			j.Annotations[a.Key] = a.Val
+		}
+	}
+	return j
+}
+
+// WriteTraces renders the span ring as indented JSON (the /traces
+// endpoint body): recorder state, drop accounting, and every recorded
+// span oldest first.
+func WriteTraces(w io.Writer) error {
+	ringMu.Lock()
+	capn := len(ringBuf)
+	ringMu.Unlock()
+	spans := TraceSpans()
+	doc := tracesJSON{
+		Enabled:     traceOn.Load(),
+		SampleEvery: traceEvery.Load(),
+		Capacity:    capn,
+		Recorded:    len(spans),
+		Dropped:     TraceDropped(),
+		Spans:       make([]spanJSON, len(spans)),
+	}
+	for i := range spans {
+		doc.Spans[i] = spanToJSON(&spans[i])
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// SpanStat aggregates one span name across a set of records — the
+// "where did the time go" row of a latency breakdown.
+type SpanStat struct {
+	Name     string
+	Count    int
+	TotalNS  int64
+	MaxNS    int64
+	MaxTrace uint64 // trace id of the slowest observation: the clickable exemplar
+}
+
+// AvgNS returns the mean duration.
+func (s SpanStat) AvgNS() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.TotalNS / int64(s.Count)
+}
+
+// TraceSummary groups one trace's spans.
+type TraceSummary struct {
+	Trace uint64
+	Spans []SpanRecord // in recording order
+}
+
+// Root returns the trace's root span, or nil when it rolled off the
+// ring before the summary was taken.
+func (t *TraceSummary) Root() *SpanRecord {
+	for i := range t.Spans {
+		if t.Spans[i].Kind == KindRoot {
+			return &t.Spans[i]
+		}
+	}
+	return nil
+}
+
+// Stitched reports whether the trace spans process boundaries: a root
+// on the client side and at least one server span adopted from the
+// traced wire frame.
+func (t *TraceSummary) Stitched() bool {
+	var root, server bool
+	for i := range t.Spans {
+		switch t.Spans[i].Kind {
+		case KindRoot:
+			root = true
+		case KindServer:
+			server = true
+		}
+	}
+	return root && server
+}
+
+// Breakdown is the trace-derived latency analysis the loadgen and fleet
+// reports print: per-span-name time accounting, per-trace summaries
+// sorted slowest first, and how many traces stitched across the wire.
+type Breakdown struct {
+	Stats    []SpanStat     // sorted by name
+	Traces   []TraceSummary // sorted by root duration, slowest first
+	Stitched int            // traces with a root and a server span
+}
+
+// Summarize builds a Breakdown from raw span records (duplicates from
+// overlapping snapshots are tolerated: records are deduplicated by
+// (trace, span) id first).
+func Summarize(spans []SpanRecord) Breakdown {
+	type spanID struct{ t, s uint64 }
+	seen := make(map[spanID]bool, len(spans))
+	stats := map[string]*SpanStat{}
+	traces := map[uint64]*TraceSummary{}
+	var order []uint64
+	for i := range spans {
+		r := &spans[i]
+		id := spanID{r.Trace, r.Span}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		st := stats[r.Name]
+		if st == nil {
+			st = &SpanStat{Name: r.Name}
+			stats[r.Name] = st
+		}
+		st.Count++
+		st.TotalNS += r.Dur
+		if r.Dur >= st.MaxNS {
+			st.MaxNS = r.Dur
+			st.MaxTrace = r.Trace
+		}
+		tr := traces[r.Trace]
+		if tr == nil {
+			tr = &TraceSummary{Trace: r.Trace}
+			traces[r.Trace] = tr
+			order = append(order, r.Trace)
+		}
+		tr.Spans = append(tr.Spans, *r)
+	}
+
+	var b Breakdown
+	for _, st := range stats {
+		b.Stats = append(b.Stats, *st)
+	}
+	sort.Slice(b.Stats, func(i, j int) bool { return b.Stats[i].Name < b.Stats[j].Name })
+	for _, id := range order {
+		tr := traces[id]
+		if tr.Stitched() {
+			b.Stitched++
+		}
+		b.Traces = append(b.Traces, *tr)
+	}
+	sort.SliceStable(b.Traces, func(i, j int) bool {
+		return rootDur(&b.Traces[i]) > rootDur(&b.Traces[j])
+	})
+	return b
+}
+
+func rootDur(t *TraceSummary) int64 {
+	if r := t.Root(); r != nil {
+		return r.Dur
+	}
+	return -1
+}
+
+// FormatTrace renders one trace as a single annotated line, spans in
+// start order: the slow-request exemplar the reports print.
+//
+//	trace 4f3a9c1b2d77e801 812µs: tiered.do[compute] 812µs > pool.get[miss]{hops=1} 790µs > ...
+func FormatTrace(t *TraceSummary) string {
+	spans := append([]SpanRecord(nil), t.Spans...)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace %s", hex64(t.Trace))
+	if r := t.Root(); r != nil {
+		fmt.Fprintf(&sb, " %v", time.Duration(r.Dur).Round(time.Microsecond))
+	}
+	sb.WriteString(":")
+	for i := range spans {
+		r := &spans[i]
+		if i > 0 {
+			sb.WriteString(" >")
+		}
+		fmt.Fprintf(&sb, " %s", r.Name)
+		if r.Outcome != "" {
+			fmt.Fprintf(&sb, "[%s]", r.Outcome)
+		}
+		if r.NAnnot > 0 {
+			sb.WriteString("{")
+			for j, a := range r.Annotations() {
+				if j > 0 {
+					sb.WriteString(" ")
+				}
+				fmt.Fprintf(&sb, "%s=%d", a.Key, a.Val)
+			}
+			sb.WriteString("}")
+		}
+		fmt.Fprintf(&sb, " %v", time.Duration(r.Dur).Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+// Format prints the breakdown: the per-name time table (with the
+// slowest observation's trace id, so outliers are clickable in
+// /traces) and up to slowest exemplar trace lines.
+func (b *Breakdown) Format(w io.Writer, slowest int) {
+	if len(b.Stats) == 0 {
+		fmt.Fprintln(w, "trace breakdown: no spans recorded")
+		return
+	}
+	fmt.Fprintf(w, "trace breakdown (%d traces, %d stitched client>server):\n",
+		len(b.Traces), b.Stitched)
+	for _, st := range b.Stats {
+		fmt.Fprintf(w, "  %-12s x%-6d avg %-10v max %-10v slowest trace %s\n",
+			st.Name, st.Count,
+			time.Duration(st.AvgNS()).Round(time.Microsecond),
+			time.Duration(st.MaxNS).Round(time.Microsecond),
+			hex64(st.MaxTrace))
+	}
+	n := slowest
+	if n > len(b.Traces) {
+		n = len(b.Traces)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(w, "  slowest[%d] %s\n", i, FormatTrace(&b.Traces[i]))
+	}
+}

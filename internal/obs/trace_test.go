@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// traceTest resets the global recorder around a test so the package's
+// tests compose regardless of order.
+func traceTest(t *testing.T, sampleEvery, capacity int) {
+	t.Helper()
+	EnableTrace(sampleEvery, capacity)
+	ResetTraces()
+	t.Cleanup(func() {
+		DisableTrace()
+		ResetTraces()
+	})
+}
+
+// TestTraceDisabledZeroAlloc pins the disabled path: StartRoot plus the
+// full span method surface must not allocate — it is on TieredMemo.Do's
+// L1-hit path, which the memo alloc tests hold at exactly zero.
+func TestTraceDisabledZeroAlloc(t *testing.T) {
+	DisableTrace()
+	if avg := testing.AllocsPerRun(200, func() {
+		root := StartRoot("alloc.test")
+		child := StartSpan(root.Context(), "child")
+		child.Outcome("x")
+		child.End()
+		root.Annotate("k", 1)
+		root.Outcome("done")
+		root.End()
+	}); avg != 0 {
+		t.Errorf("disabled trace path allocates %.1f/op, want 0", avg)
+	}
+}
+
+// TestTraceEnabledZeroAlloc pins the sampled path too: names and
+// outcomes are static strings and End copies a fixed-size record into a
+// preallocated ring, so even a fully traced request allocates nothing.
+func TestTraceEnabledZeroAlloc(t *testing.T) {
+	traceTest(t, 1, 1024)
+	if avg := testing.AllocsPerRun(200, func() {
+		root := StartRoot("alloc.test")
+		child := StartSpan(root.Context(), "child")
+		child.Outcome("x")
+		child.End()
+		root.Annotate("k", 1)
+		root.Outcome("done")
+		root.End()
+	}); avg != 0 {
+		t.Errorf("enabled trace path allocates %.1f/op, want 0", avg)
+	}
+}
+
+func TestTraceSampling(t *testing.T) {
+	traceTest(t, 4, 1024)
+	for i := 0; i < 100; i++ {
+		root := StartRoot("sampled")
+		root.End()
+	}
+	got := len(TraceSpans())
+	if got != 25 {
+		t.Errorf("sampleEvery=4 over 100 roots recorded %d spans, want 25", got)
+	}
+}
+
+// TestTraceRingBound fills a tiny ring far past capacity: the ring may
+// never grow, drops must be accounted, and the survivors are the newest
+// spans oldest-first.
+func TestTraceRingBound(t *testing.T) {
+	traceTest(t, 1, 8)
+	for i := 0; i < 100; i++ {
+		root := StartRoot("ring")
+		root.Annotate("i", int64(i))
+		root.End()
+	}
+	spans := TraceSpans()
+	if len(spans) != 8 {
+		t.Fatalf("ring holds %d spans, capacity 8", len(spans))
+	}
+	if d := TraceDropped(); d != 92 {
+		t.Errorf("dropped = %d, want 92", d)
+	}
+	for i := range spans {
+		if v, ok := spans[i].Annotation("i"); !ok || v != int64(92+i) {
+			t.Errorf("span %d annotation i = %d (ok=%v), want %d (newest 8, oldest first)",
+				i, v, ok, 92+i)
+		}
+	}
+}
+
+// TestSpanLifecycle covers the inert zero values and the double-End
+// guard.
+func TestSpanLifecycle(t *testing.T) {
+	traceTest(t, 1, 64)
+
+	var zero Span
+	if zero.Sampled() {
+		t.Error("zero Span claims to be sampled")
+	}
+	zero.Outcome("x")
+	zero.Annotate("k", 1)
+	zero.End() // must not record
+	if n := len(TraceSpans()); n != 0 {
+		t.Fatalf("zero Span recorded %d spans", n)
+	}
+
+	if sp := StartSpan(TraceCtx{}, "orphan"); sp.Sampled() {
+		t.Error("child of an unsampled parent is sampled")
+	}
+	if sp := StartServerSpan(0, "srv"); sp.Sampled() {
+		t.Error("server span with trace 0 is sampled")
+	}
+
+	root := StartRoot("life")
+	if !root.Sampled() || root.TraceID() == 0 {
+		t.Fatalf("root not sampled with tracing on: %+v", root)
+	}
+	tid := root.TraceID() // End disarms the span and zeroes its id
+	root.End()
+	root.End() // second End must be a no-op
+	if n := len(TraceSpans()); n != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", n)
+	}
+
+	// A server span adopts the client's trace id verbatim.
+	srv := StartServerSpan(tid, "srv.get")
+	srv.End()
+	spans := TraceSpans()
+	if len(spans) != 2 || spans[1].Trace != spans[0].Trace || spans[1].Kind != KindServer {
+		t.Fatalf("server span did not adopt the trace id: %+v", spans)
+	}
+}
+
+func TestTracesEndpoint(t *testing.T) {
+	traceTest(t, 1, 64)
+	root := StartRoot("endpoint.do")
+	child := StartSpan(root.Context(), "rpc.get")
+	child.Outcome("hit")
+	child.Annotate("hops", 1)
+	child.End()
+	srv := StartServerSpan(root.TraceID(), "srv.get")
+	srv.End()
+	root.Outcome("l2_hit")
+	root.End()
+
+	ts := httptest.NewServer(Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var doc struct {
+		Enabled     bool  `json:"enabled"`
+		SampleEvery int64 `json:"sample_every"`
+		Capacity    int   `json:"capacity"`
+		Recorded    int   `json:"recorded"`
+		Spans       []struct {
+			Trace       string           `json:"trace"`
+			Span        string           `json:"span"`
+			Parent      string           `json:"parent"`
+			Kind        string           `json:"kind"`
+			Name        string           `json:"name"`
+			Outcome     string           `json:"outcome"`
+			DurNS       int64            `json:"dur_ns"`
+			Annotations map[string]int64 `json:"annotations"`
+		} `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("/traces is not valid JSON: %v", err)
+	}
+	if !doc.Enabled || doc.SampleEvery != 1 || doc.Capacity != 64 || doc.Recorded != 3 {
+		t.Fatalf("header fields: %+v", doc)
+	}
+	byName := map[string]int{}
+	for _, s := range doc.Spans {
+		byName[s.Name]++
+		if s.Trace != doc.Spans[0].Trace {
+			t.Errorf("span %s has trace %s, want all spans on one trace %s",
+				s.Name, s.Trace, doc.Spans[0].Trace)
+		}
+		if len(s.Trace) != 16 {
+			t.Errorf("trace id %q is not 16 hex chars", s.Trace)
+		}
+	}
+	if byName["endpoint.do"] != 1 || byName["rpc.get"] != 1 || byName["srv.get"] != 1 {
+		t.Errorf("span names = %v", byName)
+	}
+	for _, s := range doc.Spans {
+		switch s.Name {
+		case "rpc.get":
+			if s.Outcome != "hit" || s.Annotations["hops"] != 1 || s.Parent == "" {
+				t.Errorf("rpc.get span wrong: %+v", s)
+			}
+		case "srv.get":
+			if s.Kind != "server" || s.Parent != "" {
+				t.Errorf("srv.get span wrong: %+v", s)
+			}
+		case "endpoint.do":
+			if s.Kind != "root" || s.Outcome != "l2_hit" {
+				t.Errorf("root span wrong: %+v", s)
+			}
+		}
+	}
+}
+
+// TestSummarize checks dedup across overlapping snapshots, stitching,
+// per-name stats and the exemplar trace id.
+func TestSummarize(t *testing.T) {
+	traceTest(t, 1, 64)
+
+	// Trace A: stitched (root + server), slow.
+	rootA := StartRoot("do")
+	srvA := StartServerSpan(rootA.TraceID(), "srv.get")
+	srvA.End()
+	rootA.End()
+	// Trace B: client-only.
+	rootB := StartRoot("do")
+	rootB.End()
+
+	spans := TraceSpans()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	// Feed overlapping snapshots: dedup must collapse them.
+	bd := Summarize(append(spans, spans...))
+	if len(bd.Traces) != 2 {
+		t.Fatalf("summarize found %d traces, want 2", len(bd.Traces))
+	}
+	if bd.Stitched != 1 {
+		t.Errorf("stitched = %d, want 1", bd.Stitched)
+	}
+	var doStat *SpanStat
+	for i := range bd.Stats {
+		if bd.Stats[i].Name == "do" {
+			doStat = &bd.Stats[i]
+		}
+	}
+	if doStat == nil || doStat.Count != 2 {
+		t.Fatalf("stat for 'do' = %+v, want count 2 (dedup failed?)", doStat)
+	}
+	if doStat.MaxTrace == 0 {
+		t.Error("exemplar trace id missing on the stat row")
+	}
+	line := FormatTrace(&bd.Traces[0])
+	if !strings.Contains(line, "trace ") || !strings.Contains(line, "do") {
+		t.Errorf("FormatTrace = %q", line)
+	}
+	var out strings.Builder
+	bd.Format(&out, 1)
+	if !strings.Contains(out.String(), "slowest[0] trace") {
+		t.Errorf("breakdown format missing exemplar:\n%s", out.String())
+	}
+}
+
+// TestTraceHammer runs recorders against readers under -race: spans
+// from many goroutines while TraceSpans and WriteTraces snapshot
+// concurrently. Correctness bar: no race reports, ring never exceeds
+// capacity, every record read is internally consistent (a name we
+// wrote).
+func TestTraceHammer(t *testing.T) {
+	traceTest(t, 1, 128)
+	const writers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				root := StartRoot("hammer")
+				child := StartSpan(root.Context(), "hammer.child")
+				child.End()
+				root.Outcome("ok")
+				root.End()
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		spans := TraceSpans()
+		if len(spans) > 128 {
+			t.Fatalf("ring grew past capacity: %d", len(spans))
+		}
+		for j := range spans {
+			if n := spans[j].Name; n != "hammer" && n != "hammer.child" {
+				t.Fatalf("torn record: name %q", n)
+			}
+		}
+		var sb strings.Builder
+		if err := WriteTraces(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

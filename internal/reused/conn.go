@@ -61,7 +61,15 @@ func (c *conn) run() {
 			framePool.Put(f)
 			break
 		}
-		c.srv.process(f)
+		// Adopt the trace a FlagTraced frame carries: the server span
+		// lands in this process's ring under the client's trace id, so a
+		// /traces scrape stitches the request across the wire. Untraced
+		// frames (TraceID 0) skip all span work.
+		op := f.Op
+		sp := obs.StartServerSpan(f.TraceID, serverSpanName(op))
+		c.srv.process(f, &sp)
+		sp.Outcome(flagOutcome(op, f.Flags))
+		sp.End()
 		c.out <- f // blocks when the writer is behind: backpressure
 	}
 	close(c.out)
@@ -123,13 +131,57 @@ func release(f *wire.Frame) {
 	f.Key = nil
 	f.Vals = nil
 	f.Items = nil
+	f.TraceID = 0
 	framePool.Put(f)
+}
+
+// serverSpanName names the server-side span of a traced request; one
+// static string per op keeps the enabled tracing path allocation-free.
+func serverSpanName(op wire.Op) string {
+	switch op {
+	case wire.OpGet:
+		return "srv.get"
+	case wire.OpPut:
+		return "srv.put"
+	case wire.OpMGet:
+		return "srv.mget"
+	case wire.OpMPut:
+		return "srv.mput"
+	case wire.OpHello:
+		return "srv.hello"
+	case wire.OpFlush:
+		return "srv.flush"
+	case wire.OpStats:
+		return "srv.stats"
+	default:
+		return "srv.op"
+	}
+}
+
+// flagOutcome classifies a processed frame's response flags as the
+// server span's outcome. A GET/MGET response with no flags is a miss;
+// other flag-less responses are plain acknowledgements.
+func flagOutcome(op wire.Op, flags uint8) string {
+	switch {
+	case flags&wire.FlagErr != 0:
+		return "err"
+	case flags&wire.FlagBypass != 0:
+		return "bypass"
+	case flags&wire.FlagHit != 0:
+		return "hit"
+	case op == wire.OpGet || op == wire.OpMGet:
+		return "miss"
+	default:
+		return "ok"
+	}
 }
 
 // process executes one request frame in place, turning it into its
 // response. The frame's Seq survives untouched, which is all the
-// pipelining contract needs.
-func (s *Server) process(f *wire.Frame) {
+// pipelining contract needs. sp is the request's server span (inert
+// for untraced frames); the probe paths annotate it with where the
+// server's time went.
+func (s *Server) process(f *wire.Frame, sp *obs.Span) {
 	instrumented := obs.On()
 	if instrumented {
 		opCounter(f.Op).Inc()
@@ -138,11 +190,11 @@ func (s *Server) process(f *wire.Frame) {
 	case wire.OpHello:
 		s.processHello(f)
 	case wire.OpGet:
-		s.processGet(f, instrumented)
+		s.processGet(f, instrumented, sp)
 	case wire.OpPut:
 		s.processPut(f)
 	case wire.OpMGet:
-		s.processMGet(f, instrumented)
+		s.processMGet(f, instrumented, sp)
 	case wire.OpMPut:
 		s.processMPut(f)
 	case wire.OpFlush, wire.OpStats:
@@ -185,7 +237,7 @@ func (s *Server) processHello(f *wire.Frame) {
 	f.Vals = append(f.Vals[:0], uint64(cfg.Entries), b2u(cfg.LRU), uint64(seg.outWords))
 }
 
-func (s *Server) processGet(f *wire.Frame, instrumented bool) {
+func (s *Server) processGet(f *wire.Frame, instrumented bool, sp *obs.Span) {
 	seg, ok := s.segmentByID(f.Seg)
 	if !ok {
 		fail(f, "unknown segment id")
@@ -193,7 +245,7 @@ func (s *Server) processGet(f *wire.Frame, instrumented bool) {
 	}
 	rttNS := int64(f.Cost) // client-reported round-trip estimate
 	if instrumented && rttNS > 0 {
-		mClientRTT.Observe(rttNS)
+		mClientRTT.ObserveTraced(rttNS, f.TraceID)
 	}
 	if seg.bypassOrReadmit(s) {
 		if instrumented {
@@ -205,6 +257,7 @@ func (s *Server) processGet(f *wire.Frame, instrumented bool) {
 	start := time.Now()
 	outs, hit := seg.tab.Probe(0, f.Key)
 	probeNS := time.Since(start).Nanoseconds()
+	sp.Annotate("probe_ns", probeNS)
 	if d := seg.gov.observeGet(seg.name, hit, probeNS+rttNS); d != nil {
 		s.recordDecision(*d)
 	}
@@ -252,7 +305,7 @@ func (s *Server) processPut(f *wire.Frame) {
 // governor is charged overhead O, which is exactly the economics that
 // make batching worthwhile under formula 3: the same round trip divided
 // over n probes shrinks each probe's O by n.
-func (s *Server) processMGet(f *wire.Frame, instrumented bool) {
+func (s *Server) processMGet(f *wire.Frame, instrumented bool, sp *obs.Span) {
 	seg, ok := s.segmentByID(f.Seg)
 	if !ok {
 		fail(f, "unknown segment id")
@@ -264,7 +317,7 @@ func (s *Server) processMGet(f *wire.Frame, instrumented bool) {
 	}
 	rttNS := int64(f.Cost)
 	if instrumented && rttNS > 0 {
-		mClientRTT.Observe(rttNS)
+		mClientRTT.ObserveTraced(rttNS, f.TraceID)
 	}
 	if seg.bypassOrReadmit(s) {
 		if instrumented {
@@ -274,12 +327,15 @@ func (s *Server) processMGet(f *wire.Frame, instrumented bool) {
 		f.Items = nil
 		return
 	}
+	sp.Annotate("items", int64(len(f.Items)))
 	rttShare := rttNS / int64(len(f.Items))
+	var totalProbeNS, hits int64
 	for i := range f.Items {
 		it := &f.Items[i]
 		start := time.Now()
 		outs, hit := seg.tab.Probe(0, it.Key)
 		probeNS := time.Since(start).Nanoseconds()
+		totalProbeNS += probeNS
 		if d := seg.gov.observeGet(seg.name, hit, probeNS+rttShare); d != nil {
 			s.recordDecision(*d)
 		}
@@ -290,6 +346,7 @@ func (s *Server) processMGet(f *wire.Frame, instrumented bool) {
 			it.Vals = nil
 			continue
 		}
+		hits++
 		if instrumented {
 			seg.hits.Inc()
 		}
@@ -297,6 +354,8 @@ func (s *Server) processMGet(f *wire.Frame, instrumented bool) {
 		// Copy out of the table-owned storage, as processGet does.
 		it.Vals = append(it.Vals[:0], outs...)
 	}
+	sp.Annotate("probe_ns", totalProbeNS)
+	sp.Annotate("hits", hits)
 	items := f.Items
 	respond(f, 0)
 	f.Items = items

@@ -32,6 +32,10 @@ func FuzzDecodeFrame(f *testing.F) {
 		{Cost: 9, Key: []byte("key"), Vals: []uint64{1}}}})[4:]
 	f.Add(mput[:len(mput)-5])
 	f.Add(append(AppendFrame(nil, &Frame{Op: OpPut})[4:], 0x01, 0x00))
+	// A traced frame truncated inside its TraceID section.
+	traced := AppendFrame(nil, &Frame{Op: OpGet, Flags: FlagTraced,
+		TraceID: 0x1234, Key: []byte("key")})[4:]
+	f.Add(traced[:headerBytes+3])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var fr Frame

@@ -94,6 +94,11 @@ const (
 	FlagBypass
 	// FlagErr marks an error response; Name carries the message.
 	FlagErr
+	// FlagTraced marks a frame carrying a TraceID: the encoding gains 8
+	// bytes immediately after Cost. Untraced frames encode exactly as
+	// before the flag existed, so the canonical form of pre-tracing
+	// traffic is unchanged.
+	FlagTraced
 )
 
 // Decode limits: a frame that claims more than these is corrupt (or
@@ -126,6 +131,11 @@ type Frame struct {
 	// Cost is a nanosecond quantity: C on PUT, the client RTT estimate
 	// on GET (see the package comment).
 	Cost uint64
+	// TraceID stitches this request into a distributed trace (see
+	// internal/obs). It is carried on the wire only when Flags has
+	// FlagTraced set; otherwise it is zero and costs no bytes. Use
+	// SetTrace to keep the field and the flag consistent.
+	TraceID uint64
 	// Name is the segment name (HELLO) or error text (FlagErr).
 	Name string
 	// Key is the input-pattern key bytes.
@@ -155,6 +165,18 @@ type Item struct {
 
 // IsResp reports whether the frame is a response.
 func (f *Frame) IsResp() bool { return f.Flags&FlagResp != 0 }
+
+// SetTrace stores id and keeps FlagTraced in sync: a nonzero id sets
+// the flag (the encoding gains the 8-byte TraceID section), zero clears
+// both, so untraced frames keep the pre-tracing canonical encoding.
+func (f *Frame) SetTrace(id uint64) {
+	f.TraceID = id
+	if id != 0 {
+		f.Flags |= FlagTraced
+	} else {
+		f.Flags &^= FlagTraced
+	}
+}
 
 // Err returns the error a FlagErr response carries, or nil.
 func (f *Frame) Err() error {
@@ -187,6 +209,7 @@ const (
 //	seg     uint32
 //	seq     uint64
 //	cost    uint64
+//	traceID uint64   — present only when flags has FlagTraced
 //	nameLen uint16, name bytes
 //	keyLen  uint32, key bytes
 //	nvals   uint16, vals (uint64 each)
@@ -219,6 +242,9 @@ var (
 // and returns the extended slice.
 func AppendFrame(buf []byte, f *Frame) []byte {
 	payload := headerBytes + 2 + len(f.Name) + 4 + len(f.Key) + 2 + 8*len(f.Vals)
+	if f.Flags&FlagTraced != 0 {
+		payload += 8
+	}
 	if f.Op.Batch() {
 		payload += 2
 		for i := range f.Items {
@@ -231,6 +257,9 @@ func AppendFrame(buf []byte, f *Frame) []byte {
 	buf = le.AppendUint32(buf, f.Seg)
 	buf = le.AppendUint64(buf, f.Seq)
 	buf = le.AppendUint64(buf, f.Cost)
+	if f.Flags&FlagTraced != 0 {
+		buf = le.AppendUint64(buf, f.TraceID)
+	}
 	buf = le.AppendUint16(buf, uint16(len(f.Name)))
 	buf = append(buf, f.Name...)
 	buf = le.AppendUint32(buf, uint32(len(f.Key)))
@@ -277,6 +306,16 @@ func DecodeFrame(data []byte, f *Frame) error {
 	f.Seq = le.Uint64(data[6:])
 	f.Cost = le.Uint64(data[14:])
 	rest := data[headerBytes:]
+
+	if f.Flags&FlagTraced != 0 {
+		if len(rest) < 8 {
+			return ErrTruncated
+		}
+		f.TraceID = le.Uint64(rest)
+		rest = rest[8:]
+	} else {
+		f.TraceID = 0
+	}
 
 	nameLen, rest, err := takeLen(rest, 2, MaxName)
 	if err != nil {

@@ -31,6 +31,16 @@ func sampleFrames() []Frame {
 			{Cost: 9_000, Key: bytes.Repeat([]byte{0xCD}, 16), Vals: []uint64{13, 14}}}},
 		{Op: OpMPut, Flags: FlagResp, Seq: 9, Seg: 7},
 		{Op: OpMPut, Flags: FlagResp | FlagBypass, Seq: 10, Seg: 7},
+		// Traced frames: the TraceID section rides behind FlagTraced.
+		{Op: OpGet, Flags: FlagTraced, Seq: 11, Seg: 7, Cost: 48_000,
+			TraceID: 0xDEADBEEF_CAFEF00D, Key: []byte{9, 9, 9, 9}},
+		{Op: OpMGet, Flags: FlagTraced, Seq: 12, Seg: 7, TraceID: 1,
+			Items: []Item{{Key: []byte{1}}, {Key: []byte{2}}}},
+		{Op: OpPut, Flags: FlagTraced, Seq: 13, Seg: 7, Cost: 5_000,
+			TraceID: 42, Key: []byte{8}, Vals: []uint64{77}},
+		// Flag set with a zero id is valid (and canonical): the section is
+		// on the wire, the id just happens to be zero.
+		{Op: OpGet, Flags: FlagTraced, Seq: 14, Seg: 7, Key: []byte{3}},
 	}
 }
 
@@ -64,6 +74,29 @@ func TestRoundTrip(t *testing.T) {
 	}
 	if err := r.Next(&got); err != io.EOF {
 		t.Errorf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+// TestSetTrace checks the helper keeps FlagTraced and TraceID in sync
+// and that an untraced frame's encoding is byte-identical to the
+// pre-tracing codec (no bytes spent unless the flag is set).
+func TestSetTrace(t *testing.T) {
+	f := Frame{Op: OpGet, Seq: 1, Seg: 7, Key: []byte("k")}
+	plain := AppendFrame(nil, &f)
+	f.SetTrace(0xABCD)
+	if f.Flags&FlagTraced == 0 || f.TraceID != 0xABCD {
+		t.Fatalf("SetTrace(nonzero): flags %x trace %x", f.Flags, f.TraceID)
+	}
+	traced := AppendFrame(nil, &f)
+	if len(traced) != len(plain)+8 {
+		t.Errorf("traced encoding %d bytes, want %d", len(traced), len(plain)+8)
+	}
+	f.SetTrace(0)
+	if f.Flags&FlagTraced != 0 || f.TraceID != 0 {
+		t.Fatalf("SetTrace(0): flags %x trace %x", f.Flags, f.TraceID)
+	}
+	if got := AppendFrame(nil, &f); !bytes.Equal(got, plain) {
+		t.Errorf("untraced re-encode differs from pre-tracing encoding")
 	}
 }
 
@@ -138,6 +171,9 @@ func TestDecodeCorrupt(t *testing.T) {
 		{"name len over limit", mutate(good, headerBytes+1, 0xFF), ErrFieldTooLarge},
 		{"truncated key", good[:len(good)-9], ErrTruncated},
 		{"trailing bytes", append(append([]byte(nil), good...), 0), ErrTrailing},
+		{"truncated trace id", AppendFrame(nil, &Frame{Op: OpGet,
+			Flags: FlagTraced, TraceID: 7, Key: []byte("k")})[4 : 4+headerBytes+5],
+			ErrTruncated},
 	}
 	for _, tc := range cases {
 		var f Frame

@@ -13,7 +13,10 @@ import (
 	"compreuse/internal/obs"
 )
 
-// Fleet metrics.
+// Fleet metrics. The aggregate series are registered at init; the
+// per-node series (up/down gauge, failover counter) are registered
+// when DialPool first sees the address — registration is idempotent by
+// name, so pools sharing an address set share the series.
 var (
 	mPoolFailovers = obs.NewCounter("crc_pool_failovers_total",
 		"fleet reads or writes re-routed away from a failed node")
@@ -21,7 +24,19 @@ var (
 		"fire-and-forget replica writes dropped because the queue was full")
 	mPoolNodesDown = obs.NewGauge("crc_pool_nodes_down",
 		"fleet nodes currently marked down")
+	mPoolRedials = obs.NewCounter("crc_pool_redial_attempts_total",
+		"background redial attempts against nodes marked down")
 )
+
+func nodeUpGauge(addr string) *obs.Gauge {
+	return obs.NewGauge(fmt.Sprintf("crc_pool_node_up{node=%q}", addr),
+		"1 while the fleet node is dialed and serving, 0 while marked down")
+}
+
+func nodeFailoverCounter(addr string) *obs.Counter {
+	return obs.NewCounter(fmt.Sprintf("crc_pool_node_failovers_total{node=%q}", addr),
+		"calls re-routed away from this node because it errored or was down")
+}
 
 // PoolConfig configures a client for a fleet of crcserve nodes.
 type PoolConfig struct {
@@ -153,6 +168,13 @@ type poolNode struct {
 	// failovers counts calls re-routed away from this node because it
 	// errored or was down.
 	failovers atomic.Int64
+
+	// up mirrors the node's liveness into the metrics registry; fo is
+	// the per-node failover series. Liveness flips are cold-path, so up
+	// is kept current unconditionally; fo increments are gated on
+	// obs.On() like every other hot-path metric.
+	up *obs.Gauge
+	fo *obs.Counter
 }
 
 // repWrite is one queued fire-and-forget replica record.
@@ -179,13 +201,15 @@ func DialPool(cfg PoolConfig) (*Pool, error) {
 		segs:    map[string]*PoolSegment{},
 	}
 	for i, addr := range cfg.Addrs {
-		n := &poolNode{addr: addr, ccfg: cfg.clientConfig(addr)}
+		n := &poolNode{addr: addr, ccfg: cfg.clientConfig(addr),
+			up: nodeUpGauge(addr), fo: nodeFailoverCounter(addr)}
 		c, err := DialCache(n.ccfg)
 		if err != nil {
 			p.Close()
 			return nil, fmt.Errorf("dial fleet node %q: %w", addr, err)
 		}
 		n.c = c
+		n.up.Set(1)
 		p.node = append(p.node, n)
 		for v := 0; v < cfg.virtualNodes(); v++ {
 			p.ring = append(p.ring, ringPoint{hash: ringHash(addr, v), node: i})
@@ -321,7 +345,11 @@ func (p *Pool) markDown(n *poolNode) {
 	}
 	first := !n.down.Swap(true)
 	n.mu.Unlock()
-	if first && obs.On() {
+	if first {
+		// Liveness flips are rare; keep the gauges truthful even while
+		// instrumentation is globally off, so enabling obs later shows
+		// the fleet's actual state instead of a stale zero.
+		n.up.Set(0)
 		mPoolNodesDown.Add(1)
 	}
 	if n.redialing.CompareAndSwap(false, true) {
@@ -345,6 +373,7 @@ func (p *Pool) redial(n *poolNode) {
 			return
 		case <-t.C:
 		}
+		mPoolRedials.Inc()
 		c, err := DialCache(n.ccfg)
 		if err != nil {
 			continue
@@ -354,9 +383,8 @@ func (p *Pool) redial(n *poolNode) {
 		n.mu.Unlock()
 		n.down.Store(false)
 		n.redialing.Store(false)
-		if obs.On() {
-			mPoolNodesDown.Add(-1)
-		}
+		n.up.Set(1)
+		mPoolNodesDown.Add(-1)
 		return
 	}
 }
@@ -446,6 +474,15 @@ type PoolSegment struct {
 // failed round trip at most (nothing at all once it is marked down),
 // and the replicas answer with the same data the PUT fanned out.
 func (s *PoolSegment) Get(key []byte) ([]uint64, GetStatus, error) {
+	return s.GetTraced(key, obs.TraceCtx{})
+}
+
+// GetTraced is Get with a parent trace context: a sampled request
+// records a "pool.get" span whose hops annotation counts the failover
+// walk, and the per-node probe (an "rpc.get" child) carries the trace
+// id to whichever node finally answered.
+func (s *PoolSegment) GetTraced(key []byte, tr obs.TraceCtx) ([]uint64, GetStatus, error) {
+	sp := obs.StartSpan(tr, "pool.get")
 	var scratch [8]int
 	nodes := s.p.route(keyHash(s.name, key), len(s.p.node), scratch[:0])
 	var lastErr error
@@ -455,11 +492,21 @@ func (s *PoolSegment) Get(key []byte) ([]uint64, GetStatus, error) {
 		if err == nil {
 			var vals []uint64
 			var status GetStatus
-			vals, status, err = seg.Get(key)
+			vals, status, err = seg.GetTraced(key, sp.Context())
 			if err == nil {
 				if i > 0 {
 					s.countFailover(nodes[:i])
 				}
+				sp.Annotate("hops", int64(i))
+				switch status {
+				case Hit:
+					sp.Outcome("hit")
+				case Bypass:
+					sp.Outcome("bypass")
+				default:
+					sp.Outcome("miss")
+				}
+				sp.End()
 				return vals, status, nil
 			}
 		}
@@ -467,11 +514,17 @@ func (s *PoolSegment) Get(key []byte) ([]uint64, GetStatus, error) {
 		if !isTransportErr(err) {
 			// The node answered: a protocol error is this request's
 			// problem, not the node's. Surface it.
+			sp.Annotate("hops", int64(i))
+			sp.Outcome("proto_err")
+			sp.End()
 			return nil, Miss, err
 		}
 		s.p.markDown(n)
 	}
 	s.countFailover(nodes)
+	sp.Annotate("hops", int64(len(nodes)))
+	sp.Outcome("all_down")
+	sp.End()
 	return nil, Miss, lastErr
 }
 
@@ -481,6 +534,15 @@ func (s *PoolSegment) Get(key []byte) ([]uint64, GetStatus, error) {
 // one round trip like the single-node client, and losing any one node
 // still leaves a copy for its ring successor to serve.
 func (s *PoolSegment) Put(key []byte, vals []uint64, cost time.Duration) error {
+	return s.PutTraced(key, vals, cost, obs.TraceCtx{})
+}
+
+// PutTraced is Put with a parent trace context: a sampled request
+// records a "pool.put" span annotated with the failover hops to the
+// synchronous copy, the replicas queued, and any dropped on a full
+// queue; the synchronous write carries the trace id to its node.
+func (s *PoolSegment) PutTraced(key []byte, vals []uint64, cost time.Duration, tr obs.TraceCtx) error {
+	sp := obs.StartSpan(tr, "pool.put")
 	var scratch [8]int
 	nodes := s.p.route(keyHash(s.name, key), len(s.p.node), scratch[:0])
 	var lastErr error
@@ -489,7 +551,7 @@ func (s *PoolSegment) Put(key []byte, vals []uint64, cost time.Duration) error {
 		n := s.p.node[ni]
 		seg, err := n.segment(s.name, s.cfg)
 		if err == nil {
-			err = seg.Put(key, vals, cost)
+			err = seg.PutTraced(key, vals, cost, sp.Context())
 		}
 		if err == nil {
 			primary = i
@@ -497,12 +559,18 @@ func (s *PoolSegment) Put(key []byte, vals []uint64, cost time.Duration) error {
 		}
 		lastErr = err
 		if !isTransportErr(err) {
+			sp.Annotate("hops", int64(i))
+			sp.Outcome("proto_err")
+			sp.End()
 			return err
 		}
 		s.p.markDown(n)
 	}
 	if primary < 0 {
 		s.countFailover(nodes)
+		sp.Annotate("hops", int64(len(nodes)))
+		sp.Outcome("all_down")
+		sp.End()
 		return lastErr
 	}
 	if primary > 0 {
@@ -512,6 +580,7 @@ func (s *PoolSegment) Put(key []byte, vals []uint64, cost time.Duration) error {
 	// copy, up to Replicas total. Fire-and-forget: the queue is bounded
 	// and never blocks the caller; an overflowing fleet drops replicas
 	// (counted) rather than stalling the hot path.
+	queued, dropped := int64(0), int64(0)
 	for _, ni := range remaining(nodes, primary, s.p.cfg.replicas()-1) {
 		w := repWrite{
 			node: s.p.node[ni],
@@ -522,13 +591,22 @@ func (s *PoolSegment) Put(key []byte, vals []uint64, cost time.Duration) error {
 		}
 		select {
 		case s.p.repCh <- w:
+			queued++
 		default:
+			dropped++
 			s.replicaDrops.Add(1)
 			if obs.On() {
 				mPoolReplicaDrops.Inc()
 			}
 		}
 	}
+	sp.Annotate("hops", int64(primary))
+	sp.Annotate("replicas", queued)
+	if dropped > 0 {
+		sp.Annotate("replica_drops", dropped)
+	}
+	sp.Outcome("ok")
+	sp.End()
 	return nil
 }
 
@@ -547,9 +625,11 @@ func remaining(nodes []int, primary, count int) []int {
 // countFailover charges one failover to each node that was skipped.
 func (s *PoolSegment) countFailover(skipped []int) {
 	for _, ni := range skipped {
-		s.p.node[ni].failovers.Add(1)
+		n := s.p.node[ni]
+		n.failovers.Add(1)
 		if obs.On() {
 			mPoolFailovers.Inc()
+			n.fo.Inc()
 		}
 	}
 }
