@@ -121,8 +121,16 @@ func (r fleetReport) print(w io.Writer) {
 			r.VictimAddr, r.WarmSegments, r.WarmEntries, warmRate, r.WarmStats.Resident)
 	}
 	if r.breakdown != nil {
-		fmt.Fprintf(w, "traces: %d total, %d stitched across the wire, %d through a failover\n",
-			len(r.breakdown.Traces), r.Stitched, r.FailoverStitched)
+		total := len(r.breakdown.Traces)
+		// Guard the share computation: a short or unlucky sampling run
+		// records traces without stitching any, and dividing by a zero
+		// stitched count would print NaN/Inf here.
+		if r.Stitched > 0 {
+			fmt.Fprintf(w, "traces: %d total, %d stitched across the wire (%.1f%%), %d through a failover\n",
+				total, r.Stitched, 100*float64(r.Stitched)/float64(total), r.FailoverStitched)
+		} else {
+			fmt.Fprintf(w, "traces: %d total, no stitched traces\n", total)
+		}
 		r.breakdown.Format(w, 1)
 	}
 }

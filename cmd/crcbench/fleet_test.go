@@ -4,6 +4,8 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"compreuse/internal/obs"
 )
 
 // TestFleetDemo runs the whole kill-and-warm-restart scenario scaled
@@ -56,5 +58,31 @@ func TestFleetDemo(t *testing.T) {
 	}
 	if rep.FailoverStitched == 0 {
 		t.Errorf("no trace spans a failover (pool.get hops > 0); output:\n%s", out.String())
+	}
+}
+
+// TestFleetReportNoStitchedTraces pins the zero-stitched print path: a
+// traced fleet run whose sampling recorded traces but stitched none
+// must say "no stitched traces" rather than divide into NaN/Inf.
+func TestFleetReportNoStitchedTraces(t *testing.T) {
+	rep := fleetReport{
+		Nodes: 3, Replicas: 2, Workers: 2,
+		breakdown: &obs.Breakdown{
+			Traces: []obs.TraceSummary{
+				{Trace: 0xC, Spans: []obs.SpanRecord{{Trace: 0xC, Span: 1, Kind: obs.KindRoot, Name: "tiered.do", Dur: 900}}},
+			},
+			Stats: []obs.SpanStat{{Name: "tiered.do", Count: 1, TotalNS: 900, MaxNS: 900, MaxTrace: 0xC}},
+		},
+	}
+	var sb strings.Builder
+	rep.print(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "traces: 1 total, no stitched traces") {
+		t.Errorf("missing zero-stitched notice in:\n%s", out)
+	}
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("report printed %s:\n%s", bad, out)
+		}
 	}
 }

@@ -61,7 +61,10 @@ type jsonTable struct {
 // buildJSONDoc assembles the export document from a finished run.
 func buildJSONDoc(runner *bench.Runner, results []expResult) *jsonDoc {
 	doc := &jsonDoc{
-		Schema:    "crcbench/1",
+		// crcbench/2: ledger records gained static_reuse_rate,
+		// static_class, static_c_cycles and static_o_cycles (the
+		// profiler-free admission prior).
+		Schema:    "crcbench/2",
 		Date:      time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		Scale:     runner.Scale,

@@ -139,7 +139,7 @@ func TestJSONExport(t *testing.T) {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		t.Fatal(err)
 	}
-	if doc.Schema != "crcbench/1" {
+	if doc.Schema != "crcbench/2" {
 		t.Errorf("schema %q", doc.Schema)
 	}
 	if doc.GoVersion == "" || doc.Date == "" || doc.Scale != 64 {
@@ -170,6 +170,12 @@ func TestJSONExport(t *testing.T) {
 	for i := range want {
 		if run.Ledger[i] != want[i] {
 			t.Errorf("ledger record %d changed in round-trip", i)
+		}
+	}
+	// crcbench/2: every eligible record carries the static estimate.
+	for _, rec := range run.Ledger {
+		if rec.Eligible && rec.StaticClass == "" {
+			t.Errorf("eligible record %s missing static estimate", rec.Segment)
 		}
 	}
 }

@@ -58,8 +58,16 @@ func (r loadgenReport) print(w io.Writer) {
 		fmt.Fprintf(w, "errors: %d\n", r.Errors)
 	}
 	if r.breakdown != nil {
-		fmt.Fprintf(w, "traces: %d total, %d stitched across the wire\n",
-			len(r.breakdown.Traces), r.Stitched)
+		total := len(r.breakdown.Traces)
+		// A short run can sample traces without stitching any (the
+		// server halves live in another process, or sampling missed the
+		// cross-wire requests); dividing by zero here would print NaN.
+		if r.Stitched > 0 {
+			fmt.Fprintf(w, "traces: %d total, %d stitched across the wire (%.1f%%)\n",
+				total, r.Stitched, 100*float64(r.Stitched)/float64(total))
+		} else {
+			fmt.Fprintf(w, "traces: %d total, no stitched traces\n", total)
+		}
 		r.breakdown.Format(w, 1)
 	}
 }

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"compreuse/internal/obs"
+)
+
+// zeroStitchedBreakdown builds a breakdown with recorded client-only
+// traces and nothing stitched across the wire — what a short -trace
+// run against a remote server produces.
+func zeroStitchedBreakdown() *obs.Breakdown {
+	return &obs.Breakdown{
+		Stats: []obs.SpanStat{{Name: "do", Count: 2, TotalNS: 2000, MaxNS: 1500, MaxTrace: 0xA}},
+		Traces: []obs.TraceSummary{
+			{Trace: 0xA, Spans: []obs.SpanRecord{{Trace: 0xA, Span: 1, Kind: obs.KindRoot, Name: "do", Dur: 1500}}},
+			{Trace: 0xB, Spans: []obs.SpanRecord{{Trace: 0xB, Span: 2, Kind: obs.KindRoot, Name: "do", Dur: 500}}},
+		},
+		Stitched: 0,
+	}
+}
+
+// TestLoadgenReportNoStitchedTraces pins the zero-stitched print path:
+// a traced run that recorded spans but never stitched a client root to
+// a server span must say so, not divide by zero into NaN/Inf.
+func TestLoadgenReportNoStitchedTraces(t *testing.T) {
+	rep := loadgenReport{
+		Fleet: 1, WorkersPer: 1, ConnsPer: 1,
+		Elapsed:   1e9,
+		Ops:       10,
+		breakdown: zeroStitchedBreakdown(),
+	}
+	var sb strings.Builder
+	rep.print(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "traces: 2 total, no stitched traces") {
+		t.Errorf("missing zero-stitched notice in:\n%s", out)
+	}
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("report printed %s:\n%s", bad, out)
+		}
+	}
+}
+
+// TestLoadgenReportStitchedShare checks the happy path still reports
+// the stitched share as a percentage.
+func TestLoadgenReportStitchedShare(t *testing.T) {
+	bd := zeroStitchedBreakdown()
+	bd.Stitched = 1
+	rep := loadgenReport{
+		Fleet: 1, WorkersPer: 1, ConnsPer: 1,
+		Elapsed:   1e9,
+		Ops:       10,
+		Stitched:  1,
+		breakdown: bd,
+	}
+	var sb strings.Builder
+	rep.print(&sb)
+	if !strings.Contains(sb.String(), "1 stitched across the wire (50.0%)") {
+		t.Errorf("missing stitched share in:\n%s", sb.String())
+	}
+}

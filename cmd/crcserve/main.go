@@ -29,10 +29,12 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"compreuse"
+	"compreuse/internal/core"
 	"compreuse/internal/obs"
 	"compreuse/internal/reused"
 	"compreuse/internal/sigctx"
@@ -71,6 +73,57 @@ func removeStaleSocket(path string) error {
 	return os.Remove(path)
 }
 
+// parsePriorRecords extracts decision records from any of the JSON
+// shapes a deployment has at hand: a bare ledger array
+// (Report.LedgerJSON), the /decisions document of a crcbench serve run
+// (run key → ledger), or a full `crcbench -json` export (records under
+// runs.*.ledger). Later records for a segment name win, which for the
+// export means later run keys — the shapes are per-program ledgers, so
+// collisions are same-named segments from different programs and any
+// of them is an acceptable prior.
+func parsePriorRecords(data []byte) ([]core.DecisionRecord, error) {
+	if recs, err := core.ParseLedger(data); err == nil {
+		return recs, nil
+	}
+	var byRun map[string]json.RawMessage
+	if err := json.Unmarshal(data, &byRun); err != nil {
+		return nil, fmt.Errorf("decision ledger: not a record array or a keyed document")
+	}
+	if raw, ok := byRun["runs"]; ok { // crcbench -json export
+		var runs map[string]struct {
+			Ledger []core.DecisionRecord `json:"ledger"`
+		}
+		if err := json.Unmarshal(raw, &runs); err != nil {
+			return nil, fmt.Errorf("decision ledger: runs: %w", err)
+		}
+		keys := make([]string, 0, len(runs))
+		for k := range runs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var recs []core.DecisionRecord
+		for _, k := range keys {
+			recs = append(recs, runs[k].Ledger...)
+		}
+		return recs, nil
+	}
+	// /decisions: run key → ledger array.
+	keys := make([]string, 0, len(byRun))
+	for k := range byRun {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var recs []core.DecisionRecord
+	for _, k := range keys {
+		var l []core.DecisionRecord
+		if err := json.Unmarshal(byRun[k], &l); err != nil {
+			return nil, fmt.Errorf("decision ledger: %s: %w", k, err)
+		}
+		recs = append(recs, l...)
+	}
+	return recs, nil
+}
+
 // run starts the server and blocks until SIGINT/SIGTERM has been
 // received and the drain finished (returning nil), or a hard error
 // occurs. ready, when non-nil, is called with the cache listener's
@@ -92,6 +145,12 @@ func run(args []string, logw io.Writer, ready func(net.Addr)) error {
 		"probes between admission-governor evaluations; negative disables the governor")
 	govProbation := fs.Int("gov-probation", reused.DefaultProbation,
 		"bypassed requests before a segment is readmitted")
+	priorsPath := fs.String("priors", "",
+		"decision-ledger JSON (crcbench -json decisions, or /decisions of a pipeline run) whose "+
+			"static reuse estimates seed the admission governor: a cold segment with R-hat*C - O > 0 "+
+			"is admitted without probing")
+	coldProbation := fs.Bool("cold-probation", false,
+		"start cold segments WITHOUT a positive-gain prior in bypass (probationary) instead of admitted")
 	drain := fs.Duration("drain", reused.DefaultDrainGrace,
 		"how long to keep serving connected clients after SIGINT/SIGTERM")
 	snapshot := fs.String("snapshot", "",
@@ -111,6 +170,39 @@ func run(args []string, logw io.Writer, ready func(net.Addr)) error {
 	if *traceEvery > 0 {
 		obs.EnableTrace(*traceEvery, 0)
 	}
+
+	// Compile-time admission priors: the pipeline's decision ledger
+	// carries, per segment, the static reuse estimate R̂ and the static
+	// C/O cost model (cycles, read as ns — the prior only needs the
+	// sign of R̂·C − O, and live windows correct the magnitudes).
+	var admitPrior func(string) (reused.AdmitPrior, bool)
+	if *priorsPath != "" {
+		data, err := os.ReadFile(*priorsPath)
+		if err != nil {
+			return fmt.Errorf("priors: %w", err)
+		}
+		recs, err := parsePriorRecords(data)
+		if err != nil {
+			return fmt.Errorf("priors %s: %w", *priorsPath, err)
+		}
+		priors := map[string]reused.AdmitPrior{}
+		for _, rec := range recs {
+			if !rec.Eligible {
+				continue
+			}
+			priors[rec.Segment] = reused.AdmitPrior{
+				R:   rec.StaticReuseRate,
+				CNS: rec.StaticC,
+				ONS: rec.StaticO,
+			}
+		}
+		admitPrior = func(name string) (reused.AdmitPrior, bool) {
+			p, ok := priors[name]
+			return p, ok
+		}
+		fmt.Fprintf(logw, "crcserve: %d admission priors from %s\n", len(priors), *priorsPath)
+	}
+
 	srv := reused.New(reused.Config{
 		MaxConns:      *maxConns,
 		MaxInflight:   *maxInflight,
@@ -120,8 +212,10 @@ func run(args []string, logw io.Writer, ready func(net.Addr)) error {
 		SnapshotPath:  *snapshot,
 		SnapshotEvery: *snapshotEvery,
 		Governor: reused.GovernorConfig{
-			Window:    *govWindow,
-			Probation: *govProbation,
+			Window:        *govWindow,
+			Probation:     *govProbation,
+			AdmitPrior:    admitPrior,
+			ColdProbation: *coldProbation,
 			OnDecision: func(d reused.Decision) {
 				if !*quiet {
 					fmt.Fprintf(logw, "governor: %s %s R=%.3f C=%v O=%v gain=%v\n",

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"compreuse"
+	"compreuse/internal/core"
 	"compreuse/internal/obs"
 )
 
@@ -215,6 +216,121 @@ func TestCrcserve(t *testing.T) {
 	})
 }
 
+// TestCrcservePriors boots the server with a decision-ledger priors
+// file and cold probation: the segment whose static estimate predicts
+// R̂·C − O > 0 serves a remote hit on its first repeat, while a segment
+// the ledger never saw sits in probationary bypass.
+func TestCrcservePriors(t *testing.T) {
+	ledger := []core.DecisionRecord{
+		{
+			Segment: "hotseg", Eligible: true,
+			StaticReuseRate: 0.9, StaticClass: "scalar-int",
+			StaticC: 100_000, StaticO: 50,
+		},
+		{
+			Segment: "lossseg", Eligible: true,
+			StaticReuseRate: 0.0, StaticClass: "streaming",
+			StaticC: 100, StaticO: 50,
+		},
+	}
+	data, err := json.Marshal(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priorsPath := t.TempDir() + "/priors.json"
+	if err := os.WriteFile(priorsPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	logs := &syncBuf{}
+	addrCh := make(chan net.Addr, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-http", "127.0.0.1:0",
+			"-priors", priorsPath,
+			"-cold-probation",
+			"-gov-probation", "1000000", // probation must not expire mid-test
+			"-q",
+		}, logs, func(a net.Addr) { addrCh <- a })
+	}()
+	var addr string
+	select {
+	case a := <-addrCh:
+		addr = a.String()
+	case err := <-runErr:
+		t.Fatalf("run exited before ready: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	if !strings.Contains(logs.String(), "admission priors") {
+		t.Errorf("priors load not logged; logs:\n%s", logs.String())
+	}
+
+	c, err := compreuse.DialCache(compreuse.ClientConfig{Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Prior-admitted segment: PUT then immediate remote hit, long
+	// before any probation window could have readmitted it.
+	hot, err := c.Segment("hotseg", compreuse.SegmentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := []byte("priors-key-1")
+	if err := hot.Put(k, []uint64{7}, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, status, err := hot.Get(k); err != nil || status != compreuse.Hit {
+		t.Fatalf("prior-admitted segment: status %v err %v, want hit", status, err)
+	}
+
+	// Unknown and predicted-lossy segments both start bypassed.
+	for _, name := range []string{"unknownseg", "lossseg"} {
+		seg, err := c.Segment(name, compreuse.SegmentConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, status, err := seg.Get(k); err != nil || status != compreuse.Bypass {
+			t.Fatalf("%s: status %v err %v, want probationary bypass", name, status, err)
+		}
+	}
+
+	// The /decisions ledger surfaces the prior admission and the
+	// cold-probation bypasses.
+	m := regexp.MustCompile(`metrics on http://([^/\s]+)`).FindStringSubmatch(logs.String())
+	if m == nil {
+		t.Fatalf("no metrics address in logs:\n%s", logs.String())
+	}
+	resp, err := http.Get("http://" + m[1] + "/decisions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"PRIOR"`) || !strings.Contains(string(body), "hotseg") {
+		t.Errorf("/decisions missing PRIOR admission: %s", body)
+	}
+	if !strings.Contains(string(body), `"BYPASS"`) {
+		t.Errorf("/decisions missing cold-probation BYPASS: %s", body)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("drain failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+}
+
 // TestLoadgenSmoke is the CI smoke test: a short real-traffic run
 // against a fresh server must produce nonzero shared hits and a clean
 // drain, all under the race detector.
@@ -399,4 +515,41 @@ type testWriter struct{ t *testing.T }
 func (w *testWriter) Write(p []byte) (int, error) {
 	w.t.Log(strings.TrimRight(string(p), "\n"))
 	return len(p), nil
+}
+
+// TestParsePriorRecords accepts all three JSON shapes a deployment has
+// at hand: the bare ledger array, the /decisions document, and the full
+// `crcbench -json` export.
+func TestParsePriorRecords(t *testing.T) {
+	rec := core.DecisionRecord{Segment: "s@func", Eligible: true, StaticReuseRate: 0.8}
+	bare, err := json.Marshal([]core.DecisionRecord{rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decisions, err := json.Marshal(map[string][]core.DecisionRecord{"P/O0": {rec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	export, err := json.Marshal(map[string]any{
+		"schema": "crcbench/2",
+		"runs":   map[string]any{"P/O0": map[string]any{"ledger": []core.DecisionRecord{rec}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{
+		"bare-array": bare, "decisions-doc": decisions, "crcbench-export": export,
+	} {
+		recs, err := parsePriorRecords(data)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(recs) != 1 || recs[0].Segment != "s@func" || recs[0].StaticReuseRate != 0.8 {
+			t.Errorf("%s: parsed %+v", name, recs)
+		}
+	}
+	if _, err := parsePriorRecords([]byte(`"nope"`)); err == nil {
+		t.Error("non-ledger JSON did not error")
+	}
 }

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// The statreuse experiment compares the static reuse-rate estimate R̂
+// (internal/statreuse, computed from segment analysis alone) against the
+// profiled R = 1 − N_ds/N for every eligible segment in the suite. The
+// profiled rows yield the estimator's headline accuracy: mean and max
+// absolute error, pinned by TestStaticReuseGolden.
+
+// StaticReuseStats summarizes R̂ accuracy over the profiled rows.
+type StaticReuseStats struct {
+	// Eligible counts eligible segments (every one carries an R̂).
+	Eligible int
+	// Profiled counts rows where a profiled R exists to compare against.
+	Profiled int
+	// MAE and MaxErr are the mean and max |R − R̂| over profiled rows.
+	MAE    float64
+	MaxErr float64
+}
+
+// staticReuseRows builds the per-segment table rows and accuracy stats
+// from the O0 decision ledgers of every program in the suite.
+func staticReuseRows(r *Runner) ([][]string, StaticReuseStats, error) {
+	var rows [][]string
+	var st StaticReuseStats
+	var sumErr float64
+	for _, p := range All() {
+		rep, err := r.Report(p.Name, "O0")
+		if err != nil {
+			return nil, st, err
+		}
+		for _, rec := range rep.Ledger {
+			if !rec.Eligible {
+				continue
+			}
+			st.Eligible++
+			profiled, errCell := "-", "-"
+			if rec.Profiled {
+				st.Profiled++
+				e := rec.ReuseRate - rec.StaticReuseRate
+				if e < 0 {
+					e = -e
+				}
+				sumErr += e
+				if e > st.MaxErr {
+					st.MaxErr = e
+				}
+				profiled = fmt.Sprintf("%.4f", rec.ReuseRate)
+				errCell = fmt.Sprintf("%.4f", e)
+			}
+			rows = append(rows, []string{
+				p.Name, rec.Segment, rec.StaticClass,
+				fmt.Sprintf("%.4f", rec.StaticReuseRate),
+				profiled, errCell,
+			})
+		}
+	}
+	if st.Profiled > 0 {
+		st.MAE = sumErr / float64(st.Profiled)
+	}
+	return rows, st, nil
+}
+
+// StaticReuse renders the R̂-vs-profiled-R table (the statreuse
+// experiment).
+func StaticReuse(w io.Writer, r *Runner) error {
+	fmt.Fprintln(w, "Extension. Static reuse-rate estimation (R-hat vs profiled R, O0)")
+	rows, st, err := staticReuseRows(r)
+	if err != nil {
+		return err
+	}
+	textTable(w, []string{"Program", "Segment", "Class", "R-hat", "R (profiled)", "|err|"}, rows)
+	fmt.Fprintf(w, "(%d eligible segments, %d profiled; mean abs error %.4f, max %.4f)\n",
+		st.Eligible, st.Profiled, st.MAE, st.MaxErr)
+	fmt.Fprintln(w, "(R-hat is computed from the segment analysis alone — no profiling run;")
+	fmt.Fprintln(w, " crcserve -priors seeds governor admission from it)")
+	return nil
+}
+
+func init() {
+	extraExperiments = append(extraExperiments,
+		Experiment{"statreuse", "Static reuse-rate estimation accuracy (R-hat vs R)", StaticReuse},
+	)
+}

@@ -37,6 +37,7 @@ import (
 	"compreuse/internal/reusetab"
 	"compreuse/internal/segment"
 	"compreuse/internal/specialize"
+	"compreuse/internal/statreuse"
 	"compreuse/internal/transform"
 )
 
@@ -503,7 +504,12 @@ func Run(o Options) (*Report, error) {
 		}
 		rep.Decisions = append(rep.Decisions, d)
 	}
-	rep.Ledger = buildLedger(&o, rep, pa.an.Segments, passedFreq, selectedNames, nestingWhy, overlapDropped)
+	// Static reuse-rate estimation R̂ — computed from the analysis alone
+	// (no profiling data), recorded next to the profiled R so the report
+	// layer can measure the estimator's error and the serving tier can
+	// seed admission priors before any traffic arrives.
+	rep.Ledger = buildLedger(&o, rep, pa.an.Segments, passedFreq, selectedNames,
+		nestingWhy, overlapDropped, statreuse.EstimateAll(pa.an))
 
 	// --- Copy C: final transformation and measurement run.
 	pc, err := prep(&o, model)

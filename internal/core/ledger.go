@@ -7,6 +7,7 @@ import (
 	"compreuse/internal/nesting"
 	"compreuse/internal/obs"
 	"compreuse/internal/segment"
+	"compreuse/internal/statreuse"
 )
 
 // The decision ledger is the pipeline's structured account of formulas
@@ -40,8 +41,22 @@ type DecisionRecord struct {
 	N         int64   `json:"n"`
 	Nds       int64   `json:"n_ds"`
 	ReuseRate float64 `json:"reuse_rate"`
-	C         float64 `json:"c_cycles"`
-	O         float64 `json:"o_cycles"`
+	// StaticReuseRate is the profiler-free estimate R̂ of ReuseRate,
+	// predicted by internal/statreuse from the segment analysis alone
+	// (loop structure, self-recurrent inputs, key shape). It is present
+	// for every eligible segment — including ones value-set profiling
+	// never reached — and StaticClass names the estimator rule that
+	// produced it. crcserve consumes it as an admission prior (-priors).
+	StaticReuseRate float64 `json:"static_reuse_rate"`
+	StaticClass     string  `json:"static_class,omitempty"`
+	// StaticC and StaticO are the compile-time cost estimates (cycles):
+	// the analysis' computation-cost upper bound and hashing-overhead
+	// model. Together with StaticReuseRate they give a fully
+	// profiler-free formula-3 prior R̂·C − O (crcserve -priors).
+	StaticC int64   `json:"static_c_cycles,omitempty"`
+	StaticO int64   `json:"static_o_cycles,omitempty"`
+	C       float64 `json:"c_cycles"`
+	O       float64 `json:"o_cycles"`
 	// Gain is the per-instance gain R·C − O (formula 3); TotalGain is
 	// Gain·N, the whole-run stake formula (4) arbitrates with.
 	Gain      float64 `json:"gain_cycles"`
@@ -82,7 +97,8 @@ var (
 // filter, value-set profiling, formula (3), then formula (4).
 func buildLedger(o *Options, rep *Report, segs []*segment.Segment,
 	passedFreq map[string]bool, selectedNames map[string]bool,
-	nestingWhy map[string]string, overlapDropped map[string]bool) []DecisionRecord {
+	nestingWhy map[string]string, overlapDropped map[string]bool,
+	estimates map[string]statreuse.Estimate) []DecisionRecord {
 
 	specialized := map[string]bool{}
 	for _, fn := range rep.Specialized {
@@ -100,6 +116,12 @@ func buildLedger(o *Options, rep *Report, segs []*segment.Segment,
 			PassedOC:    s.RatioOK(),
 			PassedFreq:  passedFreq[s.Name],
 			Accepted:    selectedNames[s.Name],
+		}
+		if est, ok := estimates[s.Name]; ok {
+			rec.StaticReuseRate = est.R
+			rec.StaticClass = est.Class
+			rec.StaticC = s.CMax
+			rec.StaticO = s.Overhead
 		}
 		if sp := rep.Profiles[s.Name]; sp != nil {
 			rec.Profiled = true

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 )
@@ -21,6 +22,11 @@ type FleetPeer struct {
 	Addr  string `json:"addr"`
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+	// Skipped lists histogram metrics this peer exported with bucket
+	// bounds that do not match the merged view's (version skew): their
+	// samples are absent from Merged, so the fleet's latency data for
+	// these series is partial, not complete.
+	Skipped []string `json:"skipped_metrics,omitempty"`
 }
 
 // FleetView is the /fleet.json document: per-peer scrape status plus
@@ -31,12 +37,20 @@ type FleetView struct {
 	Merged RegistrySnapshot `json:"merged"`
 }
 
+// mFleetMergeSkipped counts histogram series dropped from fleet merges
+// because a peer's bucket bounds disagreed with the merged view's.
+var mFleetMergeSkipped = NewCounter("fleet_merge_skipped",
+	"histogram series skipped in fleet merges over mismatched bucket bounds")
+
 // MergeSnapshots folds src into dst: counters and gauges sum by name,
-// histograms sum bucket-wise when the bounds agree (mismatched bounds
-// keep dst's series untouched — a version-skewed peer cannot corrupt
-// the view), and the larger exemplar wins so the fleet's worst traced
-// outlier survives the merge.
-func MergeSnapshots(dst *RegistrySnapshot, src *RegistrySnapshot) {
+// histograms sum bucket-wise when the bounds agree, and the larger
+// exemplar wins so the fleet's worst traced outlier survives the merge.
+// Histograms whose bucket bounds disagree keep dst's series untouched —
+// a version-skewed peer cannot corrupt the view — and their names are
+// returned (sorted) so callers can report the merge as partial instead
+// of silently serving incomplete latency data; each skip also bumps the
+// fleet_merge_skipped counter.
+func MergeSnapshots(dst *RegistrySnapshot, src *RegistrySnapshot) []string {
 	if dst.Counters == nil {
 		dst.Counters = map[string]int64{}
 	}
@@ -52,6 +66,7 @@ func MergeSnapshots(dst *RegistrySnapshot, src *RegistrySnapshot) {
 	for name, v := range src.Gauges {
 		dst.Gauges[name] += v
 	}
+	var skipped []string
 	for name, sh := range src.Histograms {
 		dh, ok := dst.Histograms[name]
 		if !ok {
@@ -67,17 +82,9 @@ func MergeSnapshots(dst *RegistrySnapshot, src *RegistrySnapshot) {
 			dst.Histograms[name] = nh
 			continue
 		}
-		if len(dh.Bounds) != len(sh.Bounds) || len(dh.Buckets) != len(sh.Buckets) {
-			continue
-		}
-		same := true
-		for i := range dh.Bounds {
-			if dh.Bounds[i] != sh.Bounds[i] {
-				same = false
-				break
-			}
-		}
-		if !same {
+		if !sameBounds(dh, sh) {
+			skipped = append(skipped, name)
+			mFleetMergeSkipped.Inc()
 			continue
 		}
 		for i := range dh.Buckets {
@@ -91,6 +98,22 @@ func MergeSnapshots(dst *RegistrySnapshot, src *RegistrySnapshot) {
 		}
 		dst.Histograms[name] = dh
 	}
+	sort.Strings(skipped)
+	return skipped
+}
+
+// sameBounds reports whether two histogram snapshots share a bucket
+// layout and can be summed bucket-wise.
+func sameBounds(a, b HistogramSnapshot) bool {
+	if len(a.Bounds) != len(b.Bounds) || len(a.Buckets) != len(b.Buckets) {
+		return false
+	}
+	for i := range a.Bounds {
+		if a.Bounds[i] != b.Bounds[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // ScrapeFleet polls each peer's /metrics.json concurrently (bounded by
@@ -136,10 +159,11 @@ func ScrapeFleet(self *Registry, peers []string, timeout time.Duration) FleetVie
 		}(i, addr)
 	}
 	wg.Wait()
-	// Merge serially in peer order for determinism.
-	for _, s := range snaps {
+	// Merge serially in peer order for determinism, recording per peer
+	// which histogram series were skipped over mismatched bounds.
+	for i, s := range snaps {
 		if s != nil {
-			MergeSnapshots(&view.Merged, s)
+			view.Peers[i].Skipped = MergeSnapshots(&view.Merged, s)
 		}
 	}
 	return view

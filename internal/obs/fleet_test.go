@@ -54,12 +54,17 @@ func TestMergeSnapshots(t *testing.T) {
 		t.Error("merge aliased the source's bucket slice")
 	}
 
-	// A second source with mismatched bounds must leave "h" untouched.
-	MergeSnapshots(&dst, &RegistrySnapshot{Histograms: map[string]HistogramSnapshot{
+	// A second source with mismatched bounds must leave "h" untouched
+	// and report the skip by name — a version-skewed fleet must not
+	// present partial latency data as complete.
+	skipped := MergeSnapshots(&dst, &RegistrySnapshot{Histograms: map[string]HistogramSnapshot{
 		"h": {Bounds: []int64{1, 2}, Buckets: []int64{9, 9, 9}, Sum: 1, Count: 1},
 	}})
 	if h2 := dst.Histograms["h"]; h2.Sum != 1000 || h2.Count != 21 {
 		t.Errorf("version-skewed merge corrupted h: %+v", h2)
+	}
+	if len(skipped) != 1 || skipped[0] != "h" {
+		t.Errorf("skipped = %v, want [h]", skipped)
 	}
 }
 
@@ -133,5 +138,45 @@ func TestFleetHandler(t *testing.T) {
 	}
 	if got := view.Merged.Counters["crc_probes_total"]; got != 12 {
 		t.Errorf("merged counter = %d, want 12", got)
+	}
+}
+
+// TestFleetHandlerReportsSkew serves one peer whose histogram bucket
+// bounds disagree with the local registry's and checks /fleet.json
+// names the skipped series for that peer.
+func TestFleetHandlerReportsSkew(t *testing.T) {
+	self := NewRegistry()
+	self.Histogram("crc_rtt_ns", "rtt", []int64{10, 100}).Observe(50)
+
+	peer := httptest.NewServer(snapshotHandler(RegistrySnapshot{
+		Histograms: map[string]HistogramSnapshot{
+			// Different bucket layout: a peer running another version.
+			"crc_rtt_ns": {Bounds: []int64{1, 2, 3}, Buckets: []int64{1, 1, 1, 1}, Sum: 6, Count: 4},
+		},
+	}))
+	defer peer.Close()
+	peerAddr := strings.TrimPrefix(peer.URL, "http://")
+
+	node := httptest.NewServer(FleetHandler("node-0:8346", self, []string{peerAddr}, 2*time.Second))
+	defer node.Close()
+
+	resp, err := node.Client().Get(node.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view FleetView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if len(view.Peers) != 1 || !view.Peers[0].OK {
+		t.Fatalf("peers = %+v", view.Peers)
+	}
+	if got := view.Peers[0].Skipped; len(got) != 1 || got[0] != "crc_rtt_ns" {
+		t.Errorf("peer skipped = %v, want [crc_rtt_ns]", got)
+	}
+	// The local series survives untouched.
+	if h := view.Merged.Histograms["crc_rtt_ns"]; h.Count != 1 {
+		t.Errorf("merged histogram corrupted: %+v", h)
 	}
 }

@@ -40,6 +40,39 @@ type GovernorConfig struct {
 	// state transition (from the connection goroutine that triggered
 	// it; keep it cheap).
 	OnDecision func(Decision)
+	// AdmitPrior, when non-nil, is consulted once per segment at
+	// registration: it returns the compile-time admission prior (the
+	// static reuse-rate estimate R̂ with expected C and O) for the
+	// named segment. The prior seeds the smoothed estimates a cold
+	// governor starts from; live windows then correct it exactly as
+	// they would correct measured values. BYPASS/readmit semantics are
+	// unchanged once traffic accumulates.
+	AdmitPrior func(name string) (AdmitPrior, bool)
+	// ColdProbation, when true, starts cold segments WITHOUT a
+	// positive-gain prior in bypass (probationary), so only segments
+	// the prior predicts profitable (R̂·C − O > 0) are admitted
+	// immediately; the rest earn admission through the usual probation
+	// readmit. False (the default) keeps the historical behavior:
+	// every cold segment starts admitted.
+	ColdProbation bool
+}
+
+// AdmitPrior is a compile-time admission prior for one segment:
+// the static reuse-rate estimate R̂ (internal/statreuse, carried in the
+// decision ledger as static_reuse_rate) plus the expected computation
+// cost and lookup overhead in nanoseconds.
+type AdmitPrior struct {
+	// R is the predicted reuse rate R̂ in [0,1].
+	R float64
+	// CNS is the expected per-hit computation saving, ns.
+	CNS int64
+	// ONS is the expected per-probe overhead, ns.
+	ONS int64
+}
+
+// Gain is the prior's formula-3 value R̂·C − O in ns.
+func (p AdmitPrior) Gain() float64 {
+	return p.R*float64(p.CNS) - float64(p.ONS)
 }
 
 // Governor defaults.
@@ -67,9 +100,12 @@ func (c GovernorConfig) probation() int {
 type Decision struct {
 	// Segment is the segment name.
 	Segment string `json:"segment"`
-	// State is the new state: "BYPASS" or "READMIT".
+	// State is the new state: "BYPASS", "READMIT", or "PRIOR" (a cold
+	// segment admitted on its compile-time prior).
 	State string `json:"state"`
-	// R is the reuse rate over the evaluation window.
+	// R is the reuse rate over the evaluation window; on READMIT and
+	// PRIOR transitions (no window observations) it is the last good /
+	// prior R, never NaN.
 	R float64 `json:"r"`
 	// C is the smoothed client-reported computation cost, ns.
 	C int64 `json:"c_ns"`
@@ -125,6 +161,35 @@ type governor struct {
 
 func newGovernor(cfg GovernorConfig) *governor {
 	return &governor{cfg: cfg}
+}
+
+// seedPrior installs the compile-time admission prior on a cold
+// governor and returns the initial-state decision to ledger, if any.
+// With a prior, the smoothed estimates start from R̂, C and O instead
+// of zero — a later evaluate folds live samples into them exactly as it
+// folds a second window into a first. Under ColdProbation a segment
+// whose prior gain is not positive (or that has no prior at all) starts
+// bypassed and earns admission through the normal probation readmit.
+func (g *governor) seedPrior(seg string, p AdmitPrior, ok bool) *Decision {
+	if g.cfg.Window < 0 {
+		return nil
+	}
+	if ok {
+		g.rPPM.Store(int64(p.R * 1e6))
+		g.cEWMA.Store(p.CNS)
+		g.oEWMA.Store(p.ONS)
+	}
+	if g.cfg.ColdProbation && (!ok || p.Gain() <= 0) {
+		g.state.Store(govBypassed)
+		g.bypassSince.Store(0)
+		return &Decision{Segment: seg, State: "BYPASS",
+			R: p.R, C: p.CNS, O: p.ONS, Gain: p.Gain()}
+	}
+	if !ok {
+		return nil
+	}
+	return &Decision{Segment: seg, State: "PRIOR",
+		R: p.R, C: p.CNS, O: p.ONS, Gain: p.Gain()}
 }
 
 // bypassed reports whether the segment is currently bypassed.
@@ -186,7 +251,11 @@ func (g *governor) observeBypass(seg string, resetTab func()) *Decision {
 	g.resetWindowLocked()
 	g.bypassSince.Store(0)
 	g.state.Store(govAdmitted)
+	// The readmit window has zero observations by construction, so R
+	// cannot be computed from it (0/0): report the last good / prior R
+	// instead of letting a NaN into the ledger JSON.
 	return &Decision{Segment: seg, State: "READMIT",
+		R: float64(g.rPPM.Load()) / 1e6,
 		C: g.cEWMA.Load(), O: g.oEWMA.Load()}
 }
 
@@ -199,6 +268,12 @@ func (g *governor) evaluate(seg string) *Decision {
 	probes := g.winProbes.Load()
 	if probes < int64(g.cfg.window()) || g.state.Load() != govAdmitted {
 		// Another goroutine already evaluated this window.
+		return nil
+	}
+	if probes == 0 {
+		// Zero-observation window (a misconfigured or externally driven
+		// evaluation): hits/probes would be NaN. Keep the last good /
+		// prior R and decide nothing.
 		return nil
 	}
 	hits := g.winHits.Load()

@@ -1,0 +1,192 @@
+package reused_test
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"compreuse"
+	"compreuse/internal/reused"
+)
+
+// TestReadmitColdNoTraffic drives a readmit-cold transition with no
+// admitted traffic at all: a cold-probation segment starts bypassed,
+// its probation runs out on bypassed requests alone, and the READMIT
+// decision must carry the prior / last-good R — never the NaN a
+// zero-observation window would divide out to — and must survive JSON
+// marshaling for the /decisions ledger.
+func TestReadmitColdNoTraffic(t *testing.T) {
+	var mu sync.Mutex
+	var transitions []reused.Decision
+	prior := reused.AdmitPrior{R: 0.9, CNS: 10, ONS: 10_000} // gain < 0
+	_, addr := startServer(t, reused.Config{
+		Governor: reused.GovernorConfig{
+			Window:        64,
+			Probation:     8,
+			ColdProbation: true,
+			AdmitPrior: func(name string) (reused.AdmitPrior, bool) {
+				if name == "unprofitable" {
+					return prior, true
+				}
+				return reused.AdmitPrior{}, false
+			},
+			OnDecision: func(d reused.Decision) {
+				mu.Lock()
+				transitions = append(transitions, d)
+				mu.Unlock()
+			},
+		},
+	})
+
+	cl := dial(t, addr, compreuse.ClientConfig{Conns: 1})
+	seg, err := cl.Segment("unprofitable", compreuse.SegmentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The prior predicts a loss, so every request is bypassed from the
+	// first — the window never sees one observation. The client
+	// short-circuits a known-bypassed segment and only revalidates every
+	// 64th call, so give the loop enough calls to push the 8-request
+	// probation through at the server.
+	readmitted := false
+	for i := 0; i < 4096 && !readmitted; i++ {
+		if _, status, err := seg.Get(key(0)); err != nil {
+			t.Fatal(err)
+		} else if status != compreuse.Bypass {
+			readmitted = true
+		}
+	}
+	if !readmitted {
+		t.Fatal("probation never readmitted the segment")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(transitions) < 2 {
+		t.Fatalf("transitions: %+v", transitions)
+	}
+	if transitions[0].State != "BYPASS" || transitions[0].R != prior.R {
+		t.Errorf("initial cold-probation decision: %+v", transitions[0])
+	}
+	readmit := transitions[len(transitions)-1]
+	if readmit.State != "READMIT" {
+		t.Fatalf("last transition: %+v", readmit)
+	}
+	if math.IsNaN(readmit.R) || math.IsInf(readmit.R, 0) {
+		t.Fatalf("READMIT R is not finite: %+v", readmit)
+	}
+	if readmit.R != prior.R {
+		t.Errorf("READMIT R = %v, want prior / last-good %v", readmit.R, prior.R)
+	}
+	// The ledger must serialize (encoding/json rejects NaN outright).
+	if _, err := json.Marshal(transitions); err != nil {
+		t.Fatalf("decision ledger does not marshal: %v", err)
+	}
+}
+
+// TestPriorAdmitsBeforeProbation is the acceptance check for
+// profiler-free admission: under cold probation, a cold segment whose
+// prior says R̂·C − O > 0 serves remote hits immediately, while an
+// identical segment without a prior is still inside the probation
+// window it must wait out.
+func TestPriorAdmitsBeforeProbation(t *testing.T) {
+	const probation = 1000
+	_, addr := startServer(t, reused.Config{
+		Governor: reused.GovernorConfig{
+			Probation:     probation,
+			ColdProbation: true,
+			AdmitPrior: func(name string) (reused.AdmitPrior, bool) {
+				if name == "hot" {
+					// R̂·C − O = 0.9·1e6 − 100 > 0: admit on sight.
+					return reused.AdmitPrior{R: 0.9, CNS: 1_000_000, ONS: 100}, true
+				}
+				return reused.AdmitPrior{}, false
+			},
+		},
+	})
+
+	cl := dial(t, addr, compreuse.ClientConfig{Conns: 1})
+	hot, err := cl.Segment("hot", compreuse.SegmentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := cl.Segment("cold", compreuse.SegmentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The prior-admitted segment accepts a PUT and serves the repeat as
+	// a remote hit on its very next request — far inside the probation
+	// window the no-prior segment is still bypassed for.
+	if err := hot.Put(key(1), []uint64{42}, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, status, err := hot.Get(key(1)); err != nil || status != compreuse.Hit {
+		t.Fatalf("prior-admitted segment: status %v err %v, want immediate hit", status, err)
+	}
+	if _, status, err := cold.Get(key(1)); err != nil || status != compreuse.Bypass {
+		t.Fatalf("no-prior segment: status %v err %v, want probationary bypass", status, err)
+	}
+}
+
+// TestPriorConvergesWithProbed checks that a cold segment admitted via
+// prior reaches the same steady-state governor decision as one that
+// earned admission by probing: identical unprofitable traffic (C far
+// below the measured O) must flip both to BYPASS. Run with -race; the
+// traffic is driven concurrently.
+func TestPriorConvergesWithProbed(t *testing.T) {
+	_, addr := startServer(t, reused.Config{
+		Governor: reused.GovernorConfig{
+			Window:    64,
+			Probation: 1 << 30, // no readmits during the test
+			AdmitPrior: func(name string) (reused.AdmitPrior, bool) {
+				if name == "seeded" {
+					return reused.AdmitPrior{R: 0.9, CNS: 1_000_000, ONS: 100}, true
+				}
+				return reused.AdmitPrior{}, false
+			},
+		},
+	})
+
+	const cheap = 100 * time.Nanosecond
+	var wg sync.WaitGroup
+	for _, name := range []string{"seeded", "probed"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			cl := dial(t, addr, compreuse.ClientConfig{Conns: 1})
+			seg, err := cl.Segment(name, compreuse.SegmentConfig{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			deadline := time.Now().Add(10 * time.Second)
+			for i := 0; ; i++ {
+				if time.Now().After(deadline) {
+					st, _ := seg.Stats()
+					t.Errorf("%s never converged to BYPASS: %+v", name, st)
+					return
+				}
+				k := key(i % 8)
+				_, status, err := seg.Get(k)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if status == compreuse.Bypass {
+					return // steady state reached
+				}
+				// Report the (cheap) computation cost on every call, not
+				// just misses, so the windows keep correcting the seeded
+				// segment's optimistic prior C downward.
+				if err := seg.Put(k, []uint64{uint64(i)}, cheap); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(name)
+	}
+	wg.Wait()
+}

@@ -329,8 +329,8 @@ func (s *Server) segmentFor(name string, entries int, lru bool, outWords int) (*
 		return nil, fmt.Errorf("outWords %d exceeds %d", outWords, wire.MaxVals)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if seg, ok := s.segsByName[name]; ok {
+		s.mu.Unlock()
 		return seg, nil
 	}
 	seg := &segment{
@@ -350,9 +350,24 @@ func (s *Server) segmentFor(name string, entries int, lru bool, outWords int) (*
 		hits:     segHitCounters(name),
 		bypassed: segBypassCounters(name),
 	}
+	// Seed the compile-time admission prior (static R̂ with expected C
+	// and O) before the segment serves its first request, so a cold
+	// segment the estimate predicts profitable skips probation.
+	var prior AdmitPrior
+	havePrior := false
+	if s.cfg.Governor.AdmitPrior != nil {
+		prior, havePrior = s.cfg.Governor.AdmitPrior(name)
+	}
+	d := seg.gov.seedPrior(name, prior, havePrior)
 	s.segsByName[name] = seg
 	s.segs = append(s.segs, seg)
 	mSegments.Set(int64(len(s.segs)))
+	s.mu.Unlock()
+	if d != nil {
+		// Ledger the initial state (recordDecision retakes s.mu and may
+		// run the user callback, so it must happen outside the lock).
+		s.recordDecision(*d)
+	}
 	return seg, nil
 }
 

@@ -1,0 +1,852 @@
+// Package statreuse predicts a code segment's reuse rate statically —
+// R̂, an estimate of the paper's R = 1 − N_ds/N — from the facts the
+// segment analysis already computed, without running the value-set
+// profiler. Value-set profiling is the most expensive stage of the
+// pipeline (it interprets the whole training input once per candidate
+// wave); following the static reuse-profile estimation line of work
+// (arXiv 2411.13854, 2311.12883), the shape of the key inputs usually
+// determines the repetition behavior well enough to seed an admission
+// decision, which an online governor then corrects with live windows.
+//
+// The estimator classifies every hash-key input of a segment:
+//
+//   - streaming: the input's value provably never (or almost never)
+//     repeats across instances — a self-recurrent accumulator
+//     (x++, x = x op …, an LCG state) that is seeded at most once and
+//     then only advances, or a variable rewritten every instance from
+//     such a source. One streaming input forces N_ds ≈ N, so R̂ = 0.
+//     This is the single most decisive fact: in the benchmark suite it
+//     explains every segment the profiler measures at R = 0.
+//   - bounded: the input provably lives in a small integer domain — a
+//     quantizing `% k` / `& mask` write reaches it on every path (GNUGO
+//     feature(p,dir) returns v % 20, so accumulate_influence's four
+//     parameters each carry at most 20 values). When every input is
+//     bounded the joint live-in set saturates quickly and repetition
+//     dominates: R̂ = RBounded.
+//   - element: a single array element arr[iv] keyed per iteration (the
+//     UNEPIC pattern); repetition reflects the element-value
+//     distribution, not the index stream.
+//   - scalar int / scalar float / aggregate: everything else, by key
+//     width and type. Narrow integer keys repeat heavily (G721's quan
+//     sees the same 4-byte sample over and over); floating-point keys
+//     repeat less (continuous domains); wide aggregate keys (MPEG2's
+//     8×8 blocks) mostly miss.
+//
+// The per-class rates are calibrated once against the suite's profiled
+// reuse rates (see the statreuse bench experiment and its golden test,
+// which pin the mean absolute error). Known failure modes: non-affine
+// index expressions hide the true key domain, correlated bounded inputs
+// saturate far below the product of their domains (the estimator
+// deliberately predicts saturation, not the product), and a
+// self-recurrent variable whose recurrence is masked into a small
+// domain (x = (x+1) & 7) cycles instead of streaming — masks up to
+// boundedMax are therefore classified bounded, not streaming.
+package statreuse
+
+import (
+	"sort"
+
+	"compreuse/internal/minic"
+	"compreuse/internal/segment"
+)
+
+// Calibrated per-class rates. These are suite-wide defaults, not
+// per-program fits; the golden test pins the resulting error.
+const (
+	// RBounded is R̂ when every key input is a small-domain integer.
+	RBounded = 0.95
+	// RScalarInt is R̂ for keys of narrow integer scalars.
+	RScalarInt = 0.80
+	// RScalarFloat is R̂ for a single floating-point scalar key.
+	RScalarFloat = 0.65
+	// RFloatMulti is R̂ for keys holding several floating-point scalars.
+	RFloatMulti = 0.35
+	// RParamRec is R̂ when a key input is a parameter the segment itself
+	// rewrites self-recurrently (a range-reduction loop advancing its
+	// own argument): the live-in value advances every instance, so
+	// repetition happens only when entire calls repeat.
+	RParamRec = 0.15
+	// RElement is R̂ for single-array-element keys (arr[iv]).
+	RElement = 0.45
+	// RAggregate is R̂ for keys containing a whole array or struct.
+	RAggregate = 0.20
+	// boundedMax is the largest modulus/mask still treated as a small
+	// bounded domain.
+	boundedMax = 32
+)
+
+// Estimate is one segment's static reuse-rate prediction.
+type Estimate struct {
+	// R is the predicted reuse rate R̂ in [0,1].
+	R float64
+	// Class names the rule that produced R: "streaming", "bounded",
+	// "param-recurrent", "aggregate", "element", "scalar-int",
+	// "scalar-float", "float-multi".
+	Class string
+	// Streaming lists the key inputs classified as never-repeating
+	// (empty unless Class == "streaming").
+	Streaming []string
+}
+
+// Estimator precomputes program-wide value-flow facts once per
+// analysis; Estimate is then cheap per segment.
+type Estimator struct {
+	an *segment.Analysis
+	// streaming marks symbols whose value stream provably advances
+	// monotonically (never revisits a value) for the whole run.
+	streaming map[*minic.Symbol]bool
+	// boundedSym maps symbols to a small static domain size when every
+	// write quantizes into it.
+	boundedSym map[*minic.Symbol]int64
+	// boundedRet maps functions to the domain size of their return
+	// value when provably small.
+	boundedRet map[*minic.FuncDecl]int64
+	// paramBound maps parameter symbols to a domain bound derived from
+	// every call site.
+	paramBound map[*minic.Symbol]int64
+}
+
+// write is one program point that stores into a symbol.
+type write struct {
+	sym *minic.Symbol
+	// rhs is the stored expression (nil for ++/--, which read the
+	// symbol by definition).
+	rhs minic.Expr
+	// selfRead marks x++ / x op= e / x = …x… recurrences.
+	selfRead bool
+	// oneShot marks writes that execute at most once per run: top-level
+	// statements of main outside any loop (seeding, argument capture).
+	oneShot bool
+}
+
+// New builds an estimator over one analyzed program.
+func New(an *segment.Analysis) *Estimator {
+	e := &Estimator{
+		an:         an,
+		streaming:  map[*minic.Symbol]bool{},
+		boundedSym: map[*minic.Symbol]int64{},
+		boundedRet: map[*minic.FuncDecl]int64{},
+		paramBound: map[*minic.Symbol]int64{},
+	}
+	writes := e.collectWrites()
+	e.seedStreaming(writes)
+	e.propagateStreaming(writes)
+	e.boundDomains(writes)
+	return e
+}
+
+// EstimateAll returns the estimate for every eligible segment, keyed by
+// segment name.
+func EstimateAll(an *segment.Analysis) map[string]Estimate {
+	e := New(an)
+	out := map[string]Estimate{}
+	for _, s := range an.Segments {
+		if !s.Eligible {
+			continue
+		}
+		out[s.Name] = e.Estimate(s)
+	}
+	return out
+}
+
+// Estimate predicts R̂ for one eligible segment.
+func (e *Estimator) Estimate(s *segment.Segment) Estimate {
+	bodyRec := selfRecurrentIn(s.Body)
+	loopIV := e.oneShotLoopIV(s)
+	var (
+		streaming  []string
+		paramRec   = false
+		allBounded = true
+		aggregate  = false
+		element    = false
+		floats     = 0
+		scalars    = 0
+	)
+	for _, in := range s.Inputs {
+		if in.Elem != nil {
+			// Element key arr[iv]: the index stream is address-only,
+			// repetition is a property of the element values. If the
+			// array itself carries a value stream (refilled from an
+			// advancing source between instances) the elements are fresh
+			// every pass; an invariant array's element distribution is
+			// what repeats.
+			if e.isStreaming(in.Sym) && !e.an.InvariantFor(in.Sym, s) {
+				streaming = append(streaming, in.Sym.Name)
+				continue
+			}
+			element = true
+			allBounded = false
+			continue
+		}
+		if minic.IsAggregate(in.Sym.Type) {
+			// A whole-aggregate key inherits the taint of its element
+			// stores: an audio frame refilled from an LCG never repeats
+			// as a unit.
+			if e.isStreaming(in.Sym) {
+				streaming = append(streaming, in.Sym.Name)
+				continue
+			}
+			aggregate = true
+			allBounded = false
+			continue
+		}
+		scalars++
+		if bodyRec[in.Sym] && in.Sym.Kind == minic.SymParam {
+			// The segment advances its own parameter every instance
+			// (a range-reduction loop on the argument): calls re-seed
+			// it, so repetition degrades to call-level repetition.
+			// Non-parameter body recurrences (Taylor accumulators
+			// reseeded from constants before the loop) keep their
+			// ordinary classification — their live-in stream repeats
+			// whenever the reseeding values do.
+			paramRec = true
+			allBounded = false
+			continue
+		}
+		if e.isStreaming(in.Sym) || in.Sym == loopIV {
+			streaming = append(streaming, in.Sym.Name)
+			continue
+		}
+		if _, ok := e.domainOf(in.Sym); !ok {
+			allBounded = false
+		}
+		if isFloat(in.Sym.Type) {
+			floats++
+		}
+	}
+	if len(streaming) > 0 {
+		sort.Strings(streaming)
+		return Estimate{R: 0, Class: "streaming", Streaming: streaming}
+	}
+	if paramRec {
+		return Estimate{R: RParamRec, Class: "param-recurrent"}
+	}
+	if allBounded && scalars > 0 {
+		// Correlated quantized inputs saturate their joint domain far
+		// below the product of the per-input bounds, so predict
+		// saturation rather than multiplying domains.
+		return Estimate{R: RBounded, Class: "bounded"}
+	}
+	switch {
+	case aggregate:
+		return Estimate{R: RAggregate, Class: "aggregate"}
+	case element:
+		return Estimate{R: RElement, Class: "element"}
+	case floats == 0:
+		return Estimate{R: RScalarInt, Class: "scalar-int"}
+	case floats == 1 && scalars == 1:
+		return Estimate{R: RScalarFloat, Class: "scalar-float"}
+	default:
+		return Estimate{R: RFloatMulti, Class: "float-multi"}
+	}
+}
+
+// selfRecurrentIn returns the symbols body rewrites as a function of
+// their own previous value (x++, x op= e, x = …x…).
+func selfRecurrentIn(body minic.Stmt) map[*minic.Symbol]bool {
+	rec := map[*minic.Symbol]bool{}
+	minic.Inspect(body, func(n minic.Node) bool {
+		switch x := n.(type) {
+		case *minic.AssignExpr:
+			id, ok := x.LHS.(*minic.Ident)
+			if !ok || id.Sym == nil {
+				return true
+			}
+			if x.Op != minic.Assign {
+				rec[id.Sym] = true
+				return true
+			}
+			for _, rid := range minic.Idents(x.RHS) {
+				if rid.Sym == id.Sym {
+					rec[id.Sym] = true
+				}
+			}
+		case *minic.IncDec:
+			if id, ok := x.X.(*minic.Ident); ok && id.Sym != nil {
+				rec[id.Sym] = true
+			}
+		}
+		return true
+	})
+	return rec
+}
+
+// oneShotLoopIV returns the enclosing loop's induction variable for a
+// LoopBody segment whose loop provably executes at most once per run
+// (top-level in main, or in a function with a single one-shot call
+// site). Such a variable, used as a value, never repeats — init-style
+// loops computing i-indexed tables have no reuse to find.
+func (e *Estimator) oneShotLoopIV(s *segment.Segment) *minic.Symbol {
+	if s.Kind != segment.LoopBody {
+		return nil
+	}
+	f, ok := s.Parent.(*minic.ForStmt)
+	if !ok {
+		return nil
+	}
+	iv := forInductionVar(f)
+	if iv == nil || !e.fnOneShot(s.Fn) || loopNested(s.Fn.Body, f) {
+		return nil
+	}
+	return iv
+}
+
+// forInductionVar extracts the variable a canonical for-init seeds.
+func forInductionVar(f *minic.ForStmt) *minic.Symbol {
+	switch init := f.Init.(type) {
+	case *minic.DeclStmt:
+		if len(init.Decls) == 1 {
+			return init.Decls[0].Sym
+		}
+	case *minic.ExprStmt:
+		if as, ok := init.X.(*minic.AssignExpr); ok && as.Op == minic.Assign {
+			if id, ok := as.LHS.(*minic.Ident); ok {
+				return id.Sym
+			}
+		}
+	}
+	return nil
+}
+
+// loopNested reports whether target sits inside another loop in body.
+func loopNested(body minic.Stmt, target *minic.ForStmt) bool {
+	nested := false
+	var walk func(st minic.Stmt, depth int)
+	walk = func(st minic.Stmt, depth int) {
+		if st == nil || nested {
+			return
+		}
+		switch x := st.(type) {
+		case *minic.Block:
+			for _, y := range x.Stmts {
+				walk(y, depth)
+			}
+		case *minic.IfStmt:
+			walk(x.Then, depth)
+			walk(x.Else, depth)
+		case *minic.WhileStmt:
+			walk(x.Body, depth+1)
+		case *minic.ForStmt:
+			if x == target {
+				nested = depth > 0
+				return
+			}
+			walk(x.Body, depth+1)
+		}
+	}
+	walk(body, 0)
+	return nested
+}
+
+// fnOneShot reports whether fn provably runs at most once per program
+// run: it is main itself, or its only direct call site is a top-level
+// non-loop statement of main and nothing else can reach it.
+func (e *Estimator) fnOneShot(fn *minic.FuncDecl) bool {
+	mainFn := e.an.Prog.Func("main")
+	if fn == mainFn {
+		return true
+	}
+	if fn.Sym != nil && fn.Sym.AddrTaken {
+		return false
+	}
+	sites := 0
+	oneShot := true
+	for _, caller := range e.an.Prog.Funcs {
+		if caller.Body == nil {
+			continue
+		}
+		callerMain := caller == mainFn
+		count := func(x minic.Expr, inLoop bool) {
+			if x == nil {
+				return
+			}
+			n := 0
+			minic.InspectExprs(wrapExpr(x), func(ex minic.Expr) bool {
+				if c, ok := ex.(*minic.Call); ok {
+					if id, ok := c.Fun.(*minic.Ident); ok && id.Sym != nil && id.Sym.FuncDecl == fn {
+						n++
+					}
+				}
+				return true
+			})
+			if n == 0 {
+				return
+			}
+			sites += n
+			if !callerMain || inLoop {
+				oneShot = false
+			}
+		}
+		var walk func(st minic.Stmt, inLoop bool)
+		walk = func(st minic.Stmt, inLoop bool) {
+			switch x := st.(type) {
+			case nil:
+			case *minic.Block:
+				for _, y := range x.Stmts {
+					walk(y, inLoop)
+				}
+			case *minic.IfStmt:
+				count(x.Cond, inLoop)
+				walk(x.Then, inLoop)
+				walk(x.Else, inLoop)
+			case *minic.WhileStmt:
+				count(x.Cond, true)
+				walk(x.Body, true)
+			case *minic.ForStmt:
+				walk(x.Init, inLoop)
+				count(x.Cond, true)
+				count(x.Post, true)
+				walk(x.Body, true)
+			case *minic.DeclStmt:
+				for _, d := range x.Decls {
+					count(d.Init, inLoop)
+				}
+			case *minic.ExprStmt:
+				count(x.X, inLoop)
+			case *minic.ReturnStmt:
+				count(x.X, inLoop)
+			}
+		}
+		walk(caller.Body, false)
+		if !oneShot {
+			return false
+		}
+	}
+	return sites == 1
+}
+
+// isStreaming reports whether sym's value stream never repeats.
+func (e *Estimator) isStreaming(sym *minic.Symbol) bool { return e.streaming[sym] }
+
+// domainOf returns the static domain bound of sym's values, if small.
+func (e *Estimator) domainOf(sym *minic.Symbol) (int64, bool) {
+	if d, ok := e.boundedSym[sym]; ok {
+		return d, true
+	}
+	if d, ok := e.paramBound[sym]; ok {
+		return d, true
+	}
+	return 0, false
+}
+
+// collectWrites scans every function body for stores into whole
+// variables, tagging self-recurrence and one-shot (main, outside any
+// loop) placement.
+func (e *Estimator) collectWrites() []write {
+	var out []write
+	mainFn := e.an.Prog.Func("main")
+	for _, fn := range e.an.Prog.Funcs {
+		if fn.Body == nil {
+			continue
+		}
+		e.walkWrites(fn.Body, fn == mainFn, &out)
+	}
+	// Global initializers are one-shot constant seeds; they introduce
+	// no write record (a symbol with only its initializer never varies
+	// and the invariance filter already drops it from keys).
+	return out
+}
+
+// walkWrites visits stmt recording whole-variable stores; oneShot is
+// true while we are in main outside any loop.
+func (e *Estimator) walkWrites(st minic.Stmt, oneShot bool, out *[]write) {
+	switch s := st.(type) {
+	case nil:
+		return
+	case *minic.Block:
+		for _, x := range s.Stmts {
+			e.walkWrites(x, oneShot, out)
+		}
+		return
+	case *minic.IfStmt:
+		e.exprWrites(s.Cond, oneShot, out)
+		e.walkWrites(s.Then, oneShot, out)
+		e.walkWrites(s.Else, oneShot, out)
+		return
+	case *minic.WhileStmt:
+		e.exprWrites(s.Cond, false, out)
+		e.walkWrites(s.Body, false, out)
+		return
+	case *minic.ForStmt:
+		// The init clause runs once per loop entry: it keeps the
+		// enclosing one-shot-ness (a top-level `for (i = 0; …)` in main
+		// seeds i exactly once).
+		e.walkWrites(s.Init, oneShot, out)
+		e.exprWrites(s.Cond, false, out)
+		e.exprWrites(s.Post, false, out)
+		e.walkWrites(s.Body, false, out)
+		return
+	case *minic.DeclStmt:
+		for _, d := range s.Decls {
+			if d.Init != nil {
+				*out = append(*out, e.newWrite(d.Sym, d.Init, oneShot))
+			}
+		}
+		return
+	case *minic.ExprStmt:
+		e.exprWrites(s.X, oneShot, out)
+		return
+	case *minic.ReturnStmt:
+		e.exprWrites(s.X, oneShot, out)
+		return
+	default:
+		// break/continue/empty — and ReuseRegion never appears in the
+		// analyzed (pre-transform) program.
+		return
+	}
+}
+
+// exprWrites records whole-variable stores inside an expression tree.
+func (e *Estimator) exprWrites(x minic.Expr, oneShot bool, out *[]write) {
+	if x == nil {
+		return
+	}
+	minic.InspectExprs(wrapExpr(x), func(ex minic.Expr) bool {
+		switch a := ex.(type) {
+		case *minic.AssignExpr:
+			switch lhs := a.LHS.(type) {
+			case *minic.Ident:
+				if lhs.Sym != nil {
+					w := e.newWrite(lhs.Sym, a.RHS, oneShot)
+					if a.Op != minic.Assign {
+						w.selfRead = true // x op= e reads x
+					}
+					*out = append(*out, w)
+				}
+			case *minic.Index:
+				// Element store arr[i] = v: the array's contents carry
+				// v's stream, so taint flows through it (grab_frame's
+				// rng-filled audio frame makes every downstream
+				// autocorrelation value fresh).
+				if base, ok := lhs.X.(*minic.Ident); ok && base.Sym != nil {
+					if _, isArr := base.Sym.Type.(*minic.Array); isArr {
+						w := e.newWrite(base.Sym, a.RHS, oneShot)
+						if a.Op != minic.Assign {
+							w.selfRead = true
+						}
+						*out = append(*out, w)
+					}
+				}
+			}
+		case *minic.IncDec:
+			if id, ok := a.X.(*minic.Ident); ok && id.Sym != nil {
+				*out = append(*out, write{sym: id.Sym, selfRead: true, oneShot: oneShot})
+			}
+		}
+		return true
+	})
+}
+
+func (e *Estimator) newWrite(sym *minic.Symbol, rhs minic.Expr, oneShot bool) write {
+	w := write{sym: sym, rhs: rhs, oneShot: oneShot}
+	if rhs != nil {
+		for _, id := range minic.Idents(rhs) {
+			if id.Sym == sym {
+				w.selfRead = true
+			}
+		}
+	}
+	return w
+}
+
+// wrapExpr adapts an expression to the statement-walking helpers.
+func wrapExpr(x minic.Expr) minic.Stmt {
+	return &minic.ExprStmt{X: x}
+}
+
+// seedStreaming marks the monotone recurrences: symbols with a
+// self-recurrent write whose every other write is a one-shot seed, and
+// whose recurrence is not masked into a small domain.
+func (e *Estimator) seedStreaming(writes []write) {
+	perSym := map[*minic.Symbol][]write{}
+	for _, w := range writes {
+		perSym[w.sym] = append(perSym[w.sym], w)
+	}
+	for sym, ws := range perSym {
+		if sym.Kind == minic.SymParam {
+			// Parameters are re-seeded by every call; an in-body
+			// recurrence on one is handled per segment (RParamRec),
+			// not as a program-wide stream.
+			continue
+		}
+		selfRec, reseeded := false, false
+		for _, w := range ws {
+			if w.selfRead {
+				if _, small := boundOf(w.rhs); small {
+					// x = (x+1) & 7 cycles through 8 values; that is a
+					// bounded domain, not a stream.
+					continue
+				}
+				selfRec = true
+			} else if !w.oneShot {
+				// Re-seedable from elsewhere: values can repeat.
+				reseeded = true
+			}
+		}
+		if selfRec && !reseeded {
+			e.streaming[sym] = true
+		}
+	}
+}
+
+// propagateStreaming closes the streaming set over assignments: a
+// symbol rewritten (not one-shot) from a streaming source — directly or
+// through a function's return value — streams too, unless the write
+// quantizes into a small domain. Function returns stream when they read
+// streaming state.
+func (e *Estimator) propagateStreaming(writes []write) {
+	fnStreams := map[*minic.FuncDecl]bool{}
+	readsStreaming := func(x minic.Expr) bool {
+		if x == nil {
+			return false
+		}
+		found := false
+		minic.InspectExprs(wrapExpr(x), func(ex minic.Expr) bool {
+			switch v := ex.(type) {
+			case *minic.Ident:
+				if v.Sym != nil && e.streaming[v.Sym] {
+					found = true
+				}
+			case *minic.Call:
+				if id, ok := v.Fun.(*minic.Ident); ok && id.Sym != nil && id.Sym.FuncDecl != nil {
+					if fnStreams[id.Sym.FuncDecl] {
+						found = true
+					}
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	for changed := true; changed; {
+		changed = false
+		// Functions whose return value carries streaming state.
+		for _, fn := range e.an.Prog.Funcs {
+			if fn.Body == nil || fnStreams[fn] {
+				continue
+			}
+			stream := false
+			minic.InspectStmts(fn.Body, func(st minic.Stmt) bool {
+				if r, ok := st.(*minic.ReturnStmt); ok && r.X != nil {
+					if _, small := boundOf(r.X); !small && readsStreaming(r.X) {
+						stream = true
+					}
+				}
+				return !stream
+			})
+			if stream {
+				fnStreams[fn] = true
+				changed = true
+			}
+		}
+		for _, w := range writes {
+			if w.oneShot || w.rhs == nil || e.streaming[w.sym] {
+				continue
+			}
+			if _, small := boundOf(w.rhs); small {
+				continue
+			}
+			if readsStreaming(w.rhs) {
+				e.streaming[w.sym] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// boundOf reports the value-domain size of a quantizing expression:
+// e % k (k ≤ boundedMax) or e & m (m+1 ≤ boundedMax).
+func boundOf(x minic.Expr) (int64, bool) {
+	b, ok := x.(*minic.Binary)
+	if !ok {
+		return 0, false
+	}
+	lit, ok := b.Y.(*minic.IntLit)
+	if !ok {
+		return 0, false
+	}
+	switch b.Op {
+	case minic.Percent:
+		if lit.Val > 0 && lit.Val <= boundedMax {
+			return lit.Val, true
+		}
+	case minic.Amp:
+		if lit.Val >= 0 && lit.Val+1 <= boundedMax {
+			return lit.Val + 1, true
+		}
+	}
+	return 0, false
+}
+
+// boundDomains runs the small-domain fixpoint: a symbol is bounded when
+// every write quantizes into a small range (directly, via a
+// bounded-return call, or by copying another bounded symbol); a
+// function's return is bounded when every return expression is; a
+// parameter is bounded when every direct call site passes a bounded
+// argument (and its intra-function writes, if any, stay bounded). The
+// three feed each other — `int a = feature(p, 1)` bounds a through
+// feature's `% 20` return, and passing a onward bounds the callee's
+// parameter — so iterate to fixpoint.
+func (e *Estimator) boundDomains(writes []write) {
+	// Direct call-site arguments per parameter symbol, gathered once.
+	perParam := map[*minic.Symbol][]minic.Expr{}
+	indirect := map[*minic.FuncDecl]bool{}
+	for _, fn := range e.an.Prog.Funcs {
+		if fn.Sym != nil && fn.Sym.AddrTaken {
+			indirect[fn] = true
+		}
+	}
+	for _, fn := range e.an.Prog.Funcs {
+		if fn.Body == nil {
+			continue
+		}
+		minic.InspectExprs(fn.Body, func(ex minic.Expr) bool {
+			c, ok := ex.(*minic.Call)
+			if !ok {
+				return true
+			}
+			id, ok := c.Fun.(*minic.Ident)
+			if !ok || id.Sym == nil || id.Sym.FuncDecl == nil || indirect[id.Sym.FuncDecl] {
+				return true
+			}
+			callee := id.Sym.FuncDecl
+			for i, arg := range c.Args {
+				if i < len(callee.Params) {
+					p := callee.Params[i].Sym
+					perParam[p] = append(perParam[p], arg)
+				}
+			}
+			return true
+		})
+	}
+	perSym := map[*minic.Symbol][]write{}
+	for _, w := range writes {
+		perSym[w.sym] = append(perSym[w.sym], w)
+	}
+
+	boundAll := func(exprs []minic.Expr) (int64, bool) {
+		var bound int64
+		for _, x := range exprs {
+			d, ok := e.exprBound(x)
+			if !ok {
+				return 0, false
+			}
+			bound = max64(bound, d)
+		}
+		return bound, bound > 0
+	}
+	for changed := true; changed; {
+		changed = false
+		// Symbols: every write bounded.
+		for sym, ws := range perSym {
+			if sym.AddrTaken || sym.Kind == minic.SymParam {
+				continue
+			}
+			if _, done := e.boundedSym[sym]; done {
+				continue
+			}
+			exprs := make([]minic.Expr, 0, len(ws))
+			ok := true
+			for _, w := range ws {
+				if w.rhs == nil {
+					ok = false // ++/-- escapes any static bound
+					break
+				}
+				exprs = append(exprs, w.rhs)
+			}
+			if !ok {
+				continue
+			}
+			if d, bounded := boundAll(exprs); bounded {
+				e.boundedSym[sym] = d
+				changed = true
+			}
+		}
+		// Function returns: every return expression bounded.
+		for _, fn := range e.an.Prog.Funcs {
+			if fn.Body == nil || minic.IsVoid(fn.Ret) {
+				continue
+			}
+			if _, done := e.boundedRet[fn]; done {
+				continue
+			}
+			var rets []minic.Expr
+			minic.InspectStmts(fn.Body, func(st minic.Stmt) bool {
+				if r, ok := st.(*minic.ReturnStmt); ok && r.X != nil {
+					rets = append(rets, r.X)
+				}
+				return true
+			})
+			if len(rets) == 0 {
+				continue
+			}
+			if d, bounded := boundAll(rets); bounded {
+				e.boundedRet[fn] = d
+				changed = true
+			}
+		}
+		// Parameters: every direct call-site argument bounded, plus any
+		// intra-function rewrites.
+		for p, args := range perParam {
+			if p == nil || p.AddrTaken {
+				continue
+			}
+			if _, done := e.paramBound[p]; done {
+				continue
+			}
+			exprs := append([]minic.Expr(nil), args...)
+			ok := true
+			for _, w := range perSym[p] {
+				if w.rhs == nil {
+					ok = false
+					break
+				}
+				exprs = append(exprs, w.rhs)
+			}
+			if !ok {
+				continue
+			}
+			if d, bounded := boundAll(exprs); bounded {
+				e.paramBound[p] = d
+				changed = true
+			}
+		}
+	}
+}
+
+// exprBound bounds one expression's value domain with the facts
+// gathered so far: quantizing ops, small literals, bounded symbols and
+// bounded-return calls.
+func (e *Estimator) exprBound(x minic.Expr) (int64, bool) {
+	switch v := x.(type) {
+	case *minic.IntLit:
+		if v.Val >= 0 && v.Val+1 <= boundedMax {
+			return v.Val + 1, true
+		}
+	case *minic.Ident:
+		if v.Sym != nil {
+			if d, ok := e.domainOf(v.Sym); ok {
+				return d, true
+			}
+		}
+	case *minic.Call:
+		if id, ok := v.Fun.(*minic.Ident); ok && id.Sym != nil && id.Sym.FuncDecl != nil {
+			if d, ok := e.boundedRet[id.Sym.FuncDecl]; ok {
+				return d, true
+			}
+		}
+	}
+	return boundOf(x)
+}
+
+func isFloat(t minic.Type) bool {
+	b, ok := t.(*minic.Basic)
+	return ok && b.Kind == minic.FloatKind
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
