@@ -28,13 +28,13 @@ bench:
 # loadgen throughput, GET RTT p50/p99 over TCP loopback vs a unix
 # socket) into the committed baseline; schema crcbench-perf/1.
 bench-json:
-	$(GO) run ./cmd/crcbench perfjson -o BENCH_9.json
+	$(GO) run ./cmd/crcbench perfjson -o BENCH_10.json
 
 # bench-gate re-measures and diffs against the committed baseline:
 # allocs/op regressions fail hard, timing regressions warn (CI runs
 # this).
 bench-gate:
-	$(GO) run ./cmd/crcbench perfjson -o bench-perf.json -compare BENCH_9.json
+	$(GO) run ./cmd/crcbench perfjson -o bench-perf.json -compare BENCH_10.json
 
 # eval regenerates every table and figure of the paper plus the ablations
 # and the concurrent-runtime sweep.

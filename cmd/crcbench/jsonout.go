@@ -56,6 +56,8 @@ type jsonTable struct {
 	Hits       int64  `json:"hits"`
 	Collisions int64  `json:"collisions"`
 	Evictions  int64  `json:"evictions"`
+	// Dep marks a dependence-tracked footprint trie (crcbench/3).
+	Dep bool `json:"dep,omitempty"`
 }
 
 // buildJSONDoc assembles the export document from a finished run.
@@ -64,7 +66,11 @@ func buildJSONDoc(runner *bench.Runner, results []expResult) *jsonDoc {
 		// crcbench/2: ledger records gained static_reuse_rate,
 		// static_class, static_c_cycles and static_o_cycles (the
 		// profiler-free admission prior).
-		Schema:    "crcbench/2",
+		// crcbench/3: ledger records gained dep_key_width,
+		// full_key_width and dep_hit_rate (the dependence-key second
+		// chance), and table entries a "dep" marker. Additive only:
+		// crcbench/2 consumers keep decoding.
+		Schema:    "crcbench/3",
 		Date:      time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		Scale:     runner.Scale,
@@ -104,6 +110,7 @@ func buildJSONDoc(runner *bench.Runner, results []expResult) *jsonDoc {
 				Hits:       t.Stats.Hits,
 				Collisions: t.Stats.Collisions,
 				Evictions:  t.Stats.Evictions,
+				Dep:        t.Dep,
 			})
 		}
 		doc.Runs[key] = run

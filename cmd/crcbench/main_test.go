@@ -139,7 +139,7 @@ func TestJSONExport(t *testing.T) {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		t.Fatal(err)
 	}
-	if doc.Schema != "crcbench/2" {
+	if doc.Schema != "crcbench/3" {
 		t.Errorf("schema %q", doc.Schema)
 	}
 	if doc.GoVersion == "" || doc.Date == "" || doc.Scale != 64 {

@@ -234,6 +234,22 @@ func hotPathBenchmarks() map[string]func(*testing.B) {
 				m.Call(i % 64)
 			}
 		},
+		"depmemo_hit": func(b *testing.B) {
+			m := compreuse.NewDepMemo(compreuse.DepConfig{Name: "perf"})
+			f := func(d *compreuse.Dep) uint64 { return uint64(d.Get(0)) * uint64(d.Get(1)) }
+			var in compreuse.DepInputs
+			for i := int64(0); i < 64; i++ {
+				m.Do(in.Reset().Int(i).Int(i+1), f)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := int64(i & 63)
+				if got := m.Do(in.Reset().Int(k).Int(k+1), f); got != uint64(k)*uint64(k+1) {
+					b.Fatal("warm dep hit missed")
+				}
+			}
+		},
 		"memo_table_hit": func(b *testing.B) {
 			m := compreuse.NewMemoTable(compreuse.MemoTableConfig{Name: "perf"})
 			var kb compreuse.KeyBuf

@@ -537,8 +537,22 @@ func TestParsePriorRecords(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// crcbench/3 adds the dep-key ledger fields; priors from a PR-9-era
+	// crcbench/2 file and from a current export must both keep loading.
+	rec3 := rec
+	rec3.DepKeyWidth = 8
+	rec3.FullKeyWidth = 1448
+	rec3.DepHitRate = 0.5
+	export3, err := json.Marshal(map[string]any{
+		"schema": "crcbench/3",
+		"runs":   map[string]any{"P/O0": map[string]any{"ledger": []core.DecisionRecord{rec3}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for name, data := range map[string][]byte{
 		"bare-array": bare, "decisions-doc": decisions, "crcbench-export": export,
+		"crcbench3-export": export3,
 	} {
 		recs, err := parsePriorRecords(data)
 		if err != nil {

@@ -23,6 +23,12 @@
 //   - Memo / MemoTable: a standalone generic memoization runtime for Go
 //     code, built on the same reuse-table design (direct addressing,
 //     merged valid bits, LRU emulation).
+//   - DepMemo / TieredDepMemo: dependence-tracked selective memoization —
+//     the compute runs against a tracked input view and is keyed only on
+//     the locations it actually read (a footprint trie), with per-key
+//     custom equality (content-hashed slices, tolerance-based floats)
+//     and explicit space budgets. The pipeline's Options.DepKeys uses the
+//     same machinery to admit segments the flat-key pre-filter rejected.
 //
 // The executables cmd/crc (compiler driver), cmd/crcrun (VM) and
 // cmd/crcbench (regenerates every table and figure of the paper's

@@ -62,6 +62,33 @@ func ExampleMemo() {
 	// reuse rate R = 0.96
 }
 
+// ExampleDepMemo memoizes on the dependence footprint: the lookup is
+// keyed on the one table entry the computation read, so calls differing
+// only in the rest of the table still hit.
+func ExampleDepMemo() {
+	m := compreuse.NewDepMemo(compreuse.DepConfig{Name: "route"})
+	lookups := 0
+	route := func(d *compreuse.Dep) uint64 {
+		lookups++
+		dest := d.Get(0)            // which destination
+		return d.Word(1, int(dest)) // read ONLY that route entry
+	}
+
+	table := []uint64{100, 200, 300, 400}
+	var in compreuse.DepInputs
+	fmt.Println(m.Do(in.Reset().Int(2).Words(table), route))
+
+	// Entries 0, 1 and 3 change; entry 2 — the only one read — did not.
+	table2 := []uint64{111, 222, 300, 444}
+	fmt.Println(m.Do(in.Reset().Int(2).Words(table2), route))
+	fmt.Printf("lookups=%d hits=%d footprint=%.0f words\n",
+		lookups, m.Stats().Hits, m.Stats().MeanFootprint)
+	// Output:
+	// 300
+	// 300
+	// lookups=1 hits=1 footprint=2 words
+}
+
 // ExampleExecute runs a MiniC program on the simulated 206 MHz iPAQ.
 func ExampleExecute() {
 	res, err := compreuse.Execute("hello.c", `

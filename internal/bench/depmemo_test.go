@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDepMemoGolden pins the dependence-key admission table: it must be
+// byte-deterministic across independent runs, show at least one
+// pre-filter reject flipped to accepted under dep keys (the acceptance
+// criterion — GNU Go's eval_pos@func is the staged flip), keep the
+// flat-key pipeline's own output untouched, and keep every flipped
+// segment profitable in the final run.
+func TestDepMemoGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole suite twice (flat and dep)")
+	}
+	render := func() (string, DepMemoStats) {
+		r := NewRunner()
+		r.Scale = 8
+		var buf bytes.Buffer
+		if err := DepMemo(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		_, st, err := depMemoRows(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), st
+	}
+	out, st := render()
+
+	if st.Candidates == 0 {
+		t.Fatal("no pre-filter rejects were dep-profiled")
+	}
+	if st.Flipped < 1 {
+		t.Fatalf("no segment flipped to accepted under dep keys:\n%s", out)
+	}
+	if st.Profitable < st.Flipped {
+		t.Fatalf("flipped segment with zero hit rate:\n%s", out)
+	}
+	// The staged flip: eval_pos@func admits under dep keys; feature@func
+	// is its contrast row (tiny C, dep overhead still above the gain).
+	evalLine, featLine := "", ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "eval_pos@func") {
+			evalLine = line
+		}
+		if strings.Contains(line, " feature@func") {
+			featLine = line
+		}
+	}
+	if !strings.Contains(evalLine, "FLIPPED") {
+		t.Errorf("eval_pos@func not flipped: %q", evalLine)
+	}
+	if !strings.Contains(featLine, "rejected") {
+		t.Errorf("feature@func should stay rejected: %q", featLine)
+	}
+
+	// Dep admission must not disturb the flat pipeline's own decisions.
+	r := NewRunner()
+	r.Scale = 8
+	flat, err := r.Report("GNUGO", "O0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := r.DepReport("GNUGO", "O0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Baseline.Ret != dep.Baseline.Ret || flat.Reuse.Ret != dep.Reuse.Ret {
+		t.Fatal("dep keys changed program semantics")
+	}
+	flatSel := map[string]bool{}
+	for _, rec := range flat.Ledger {
+		if rec.Accepted {
+			flatSel[rec.Segment] = true
+		}
+	}
+	for _, rec := range dep.Ledger {
+		if flatSel[rec.Segment] && !rec.Accepted {
+			t.Errorf("dep keys dropped flat-selected segment %s", rec.Segment)
+		}
+	}
+
+	// Deterministic: a second independent run renders byte-identical.
+	out2, st2 := render()
+	if out != out2 {
+		t.Error("depmemo table is not deterministic across runs")
+	}
+	if st != st2 {
+		t.Errorf("stats differ across runs: %+v vs %+v", st, st2)
+	}
+}

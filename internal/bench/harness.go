@@ -22,6 +22,7 @@ type Runner struct {
 	reports map[string]*core.Report
 	sweeps  map[string][]core.SweepOutcome
 	alts    map[string]*core.Report
+	deps    map[string]*core.Report
 }
 
 // NewRunner builds a runner over the full suite.
@@ -32,6 +33,7 @@ func NewRunner() *Runner {
 		reports: map[string]*core.Report{},
 		sweeps:  map[string][]core.SweepOutcome{},
 		alts:    map[string]*core.Report{},
+		deps:    map[string]*core.Report{},
 	}
 	for _, p := range All() {
 		r.progs[p.Name] = p
@@ -83,6 +85,29 @@ func (r *Runner) Report(name, level string) (*core.Report, error) {
 		return nil, fmt.Errorf("%s/%s: %w", name, level, err)
 	}
 	r.reports[key] = rep
+	return rep, nil
+}
+
+// DepReport runs (or recalls) the scheme with the dependence-key second
+// chance enabled (core.Options.DepKeys), cached separately from the
+// flat-key runs so the two pipelines stay comparable side by side.
+func (r *Runner) DepReport(name, level string) (*core.Report, error) {
+	key := name + "/" + level
+	if rep, ok := r.deps[key]; ok {
+		return rep, nil
+	}
+	p, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	opts := r.options(p, level)
+	opts.DepKeys = true
+	r.logf("running %s at %s with dep keys ...", name, level)
+	rep, err := core.Run(opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s/dep: %w", name, level, err)
+	}
+	r.deps[key] = rep
 	return rep, nil
 }
 

@@ -27,6 +27,7 @@ import (
 	"compreuse/internal/cleanup"
 	"compreuse/internal/cost"
 	"compreuse/internal/dataflow"
+	"compreuse/internal/depmemo"
 	"compreuse/internal/energy"
 	"compreuse/internal/interp"
 	"compreuse/internal/minic"
@@ -71,6 +72,12 @@ type Options struct {
 	// SubBlocks enables the sub-block segment extension (the paper's §5
 	// future work: reusing parts of a body instead of the whole body).
 	SubBlocks bool
+	// DepKeys enables the dependence-key second chance: segments the
+	// flat-key O/C >= 1 pre-filter rejected are re-profiled with
+	// dependence-tracked footprint tables (internal/depmemo) and admitted
+	// when formula (3) holds under the per-location DepOverhead model.
+	// Off by default; the flat-key pipeline output is unchanged.
+	DepKeys bool
 	// MeasureArgs, when non-nil, are used for the measurement runs while
 	// profiling still uses MainArgs — the cross-input study of Table 10.
 	MeasureArgs []int64
@@ -116,6 +123,11 @@ type TableInfo struct {
 	// Resident is the number of entries stored at the end of the run.
 	Resident int
 	Stats    reusetab.SegStats // summed over merged segments
+	// Dep marks a dependence-tracked footprint trie (Options.DepKeys);
+	// Stats is then synthesized from the region's run stats and the
+	// trie's counters, and EntryBytes is the modeled dynamic key width
+	// plus the output payload.
+	Dep bool
 	// AccessCounts are per-entry probe counts (Figures 7/8).
 	AccessCounts []int64
 	// PredictedCollisionRate is the profiling-time estimate of executions
@@ -140,6 +152,9 @@ type Report struct {
 	// accept/reject verdict (see DecisionRecord; LedgerJSON serializes it).
 	Ledger   []DecisionRecord
 	Profiles map[string]*profile.SegProfile
+	// DepProfiles holds the dependence-footprint census for each segment
+	// the dep-key second chance profiled (Options.DepKeys; nil otherwise).
+	DepProfiles map[string]*DepSegProfile
 	// Snapshot is the profiling artifact of this run, suitable for
 	// Options.Profile in a later invocation (cmd/crc -profile-out).
 	Snapshot *profile.Snapshot
@@ -486,7 +501,31 @@ func Run(o Options) (*Report, error) {
 	for _, c := range selected {
 		selectedNames[c.Seg.Name] = true
 	}
-	rep.SegmentsTransformed = len(selected)
+
+	// --- Dep-key second chance (Options.DepKeys): re-profile pre-filter
+	// rejects with dependence-tracked footprint tables and admit those
+	// profitable under DepOverhead. Skipped in the offline-snapshot
+	// workflow (the snapshot holds no footprint census).
+	var depProfiles map[string]*DepSegProfile
+	depNames := map[string]bool{}
+	if o.DepKeys && o.Profile == nil {
+		var selSegs []*segment.Segment
+		for _, c := range selected {
+			selSegs = append(selSegs, c.Seg)
+		}
+		depCands := depCandidates(pa.an, model, freq, o.MinFreq, selSegs)
+		depProfiles, err = collectDepProfiles(&o, model, depCands)
+		if err != nil {
+			return nil, err
+		}
+		for name, dp := range depProfiles {
+			if dp.Accepted {
+				depNames[name] = true
+			}
+		}
+	}
+	rep.DepProfiles = depProfiles
+	rep.SegmentsTransformed = len(selected) + len(depNames)
 
 	// Record decisions for every analyzed segment.
 	for _, s := range pa.an.Segments {
@@ -509,17 +548,29 @@ func Run(o Options) (*Report, error) {
 	// layer can measure the estimator's error and the serving tier can
 	// seed admission priors before any traffic arrives.
 	rep.Ledger = buildLedger(&o, rep, pa.an.Segments, passedFreq, selectedNames,
-		nestingWhy, overlapDropped, statreuse.EstimateAll(pa.an))
+		nestingWhy, overlapDropped, statreuse.EstimateAll(pa.an), depProfiles)
 
 	// --- Copy C: final transformation and measurement run.
 	pc, err := prep(&o, model)
 	if err != nil {
 		return nil, err
 	}
-	cSelected := mapSegmentsByName(pc.an, selectedNames)
-	tres := transform.Apply(pc.prog, cSelected, transform.Options{NoMerge: o.NoMerge})
+	allNames := map[string]bool{}
+	for n := range selectedNames {
+		allNames[n] = true
+	}
+	for n := range depNames {
+		allNames[n] = true
+	}
+	cSelected := mapSegmentsByName(pc.an, allNames)
+	tres := transform.Apply(pc.prog, cSelected, transform.Options{NoMerge: o.NoMerge, DepSegs: depNames})
 	tabs := map[int]*reusetab.Table{}
+	depTabs := map[int]*depmemo.Table{}
 	for _, ts := range tres.Tables {
+		if ts.Dep {
+			depTabs[ts.ID] = depmemo.New(ts.DepConfig(depTableEntries(&o, depProfiles[ts.Name]), false))
+			continue
+		}
 		entries := o.ForceEntries
 		if entries <= 0 {
 			entries = o.optimalEntries(ts, profiles)
@@ -529,6 +580,9 @@ func Run(o Options) (*Report, error) {
 	rep.TransformedSource = minic.Print(pc.prog)
 	ro := o.runOpts(model, false, measureArgs)
 	ro.Tables = tabs
+	if len(depTabs) > 0 {
+		ro.DepTables = depTabs
+	}
 	reuseRes, err := interp.Run(pc.prog, ro)
 	if err != nil {
 		return nil, fmt.Errorf("transformed run: %w", err)
@@ -536,6 +590,11 @@ func Run(o Options) (*Report, error) {
 	rep.Reuse = o.summarize(reuseRes)
 
 	for _, ts := range tres.Tables {
+		if ts.Dep {
+			rep.Tables = append(rep.Tables, depTableInfo(rep, ts, depTabs[ts.ID],
+				depProfiles[ts.Name], reuseRes, tres))
+			continue
+		}
 		tab := tabs[ts.ID]
 		info := TableInfo{
 			Name:         ts.Name,
@@ -555,6 +614,51 @@ func Run(o Options) (*Report, error) {
 		rep.Tables = append(rep.Tables, info)
 	}
 	return rep, nil
+}
+
+// depTableInfo synthesizes the TableInfo of a dependence-tracked table
+// (probes/hits come from the region's run stats, records/evictions from
+// the trie) and patches the measured hit rate into the segment's ledger
+// record.
+func depTableInfo(rep *Report, ts *transform.TableSpec, tab *depmemo.Table,
+	dp *DepSegProfile, reuseRes *interp.Result, tres *transform.Result) TableInfo {
+
+	dst := tab.Stats()
+	var inst, hits int64
+	if st := reuseRes.Segs[tres.Regions[ts.Segs[0]].ID()]; st != nil {
+		inst, hits = st.Instances, st.Hits
+	}
+	entryBytes := ts.OutBytes[0]
+	if dp != nil {
+		entryBytes += dp.DepKeyBytes()
+	} else {
+		entryBytes += ts.KeyBytes // no census: fall back to the flat key width
+	}
+	info := TableInfo{
+		Name:       ts.Name,
+		Segs:       []string{ts.Name},
+		Entries:    tab.Config().Entries,
+		EntryBytes: entryBytes,
+		SizeBytes:  tab.Config().Entries * entryBytes,
+		Resident:   tab.Resident(),
+		Dep:        true,
+		Stats: reusetab.SegStats{
+			Probes:    inst,
+			Hits:      hits,
+			Misses:    inst - hits,
+			Records:   dst.Records,
+			Evictions: dst.Evictions,
+		},
+	}
+	if inst > 0 {
+		hr := float64(hits) / float64(inst)
+		for i := range rep.Ledger {
+			if rep.Ledger[i].Segment == ts.Name {
+				rep.Ledger[i].DepHitRate = hr
+			}
+		}
+	}
+	return info
 }
 
 // optimalEntries sizes a table from the profiling census (paper §3.1: "the

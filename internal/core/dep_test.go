@@ -1,0 +1,144 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// depMini stages the dependence-key second chance: lookup's flat key is
+// dominated by the 256-word grid (O/C >= 1 rejects it), but the body
+// reads only j and grid[j], so the dependence footprint is 2 words and
+// formula (3) holds under DepOverhead. main churns a cell lookup never
+// reads, so a flat key could not have hit even if admitted.
+const depMini = `
+int grid[256];
+
+int lookup(int j) {
+    int a;
+    int r;
+    a = grid[j];
+    r = (a * 7 + j + 13) / 3;
+    r = (r * 11 + a) / 5;
+    r = (r * 13 + a) / 7;
+    r = (r * 17 + a) / 9;
+    r = (r * 19 + a) / 11;
+    r = (r * 23 + a) / 13;
+    r = (r * 29 + a) / 17;
+    r = (r * 31 + a) / 19;
+    return r;
+}
+
+int main(void) {
+    int s = 0;
+    int k;
+    for (k = 0; k < 400; k++) {
+        grid[200] = k;
+        s += lookup(k & 3);
+    }
+    return s;
+}
+`
+
+func depRecord(t *testing.T, rep *Report) *DecisionRecord {
+	t.Helper()
+	for i := range rep.Ledger {
+		if strings.HasPrefix(rep.Ledger[i].Segment, "lookup") &&
+			strings.HasSuffix(rep.Ledger[i].Segment, "@func") {
+			return &rep.Ledger[i]
+		}
+	}
+	t.Fatal("no ledger record for lookup@func")
+	return nil
+}
+
+func TestDepKeysOffRejectsByPreFilter(t *testing.T) {
+	rep, err := Run(Options{Name: "depmini", Source: depMini})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := depRecord(t, rep)
+	if rec.Accepted {
+		t.Fatalf("flat pipeline accepted lookup: %+v", rec)
+	}
+	if !strings.HasPrefix(rec.Reason, "pre-filter") {
+		t.Fatalf("reason = %q, want pre-filter rejection", rec.Reason)
+	}
+	if rep.DepProfiles != nil {
+		t.Fatal("DepProfiles must be nil with DepKeys off")
+	}
+	for _, ti := range rep.Tables {
+		if ti.Dep {
+			t.Fatal("dep table instantiated with DepKeys off")
+		}
+	}
+}
+
+func TestDepKeysAdmitsPreFilterReject(t *testing.T) {
+	rep, err := Run(Options{Name: "depmini", Source: depMini, DepKeys: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Baseline.Ret != rep.Reuse.Ret {
+		t.Fatalf("results differ: %d vs %d", rep.Baseline.Ret, rep.Reuse.Ret)
+	}
+	rec := depRecord(t, rep)
+	if !rec.Accepted {
+		t.Fatalf("dep second chance did not admit lookup: %+v", rec)
+	}
+	if !strings.Contains(rec.Reason, "dep keys") {
+		t.Fatalf("reason = %q, want dep-key acceptance", rec.Reason)
+	}
+	dp := rep.DepProfiles[rec.Segment]
+	if dp == nil {
+		t.Fatal("no dep profile for the admitted segment")
+	}
+	// The whole point: the dynamic key is a fraction of the flat key.
+	if rec.DepKeyWidth <= 0 || rec.FullKeyWidth <= 0 || rec.DepKeyWidth*16 > rec.FullKeyWidth {
+		t.Fatalf("key widths: dep=%d full=%d", rec.DepKeyWidth, rec.FullKeyWidth)
+	}
+	if dp.ReuseRate() < 0.9 {
+		t.Fatalf("footprint reuse rate %.3f, want > 0.9", dp.ReuseRate())
+	}
+	// The final run must have used a footprint trie profitably.
+	var dep *TableInfo
+	for i := range rep.Tables {
+		if rep.Tables[i].Dep {
+			dep = &rep.Tables[i]
+		}
+	}
+	if dep == nil {
+		t.Fatal("no dep table in the final run")
+	}
+	if dep.Stats.Hits == 0 || dep.Stats.Probes == 0 {
+		t.Fatalf("dep table stats: %+v", dep.Stats)
+	}
+	if rec.DepHitRate <= 0.9 {
+		t.Fatalf("dep hit rate %.3f, want > 0.9", rec.DepHitRate)
+	}
+	// The transformed source renders the dep probe pseudo-calls.
+	if !strings.Contains(rep.TransformedSource, "__crc_dep_probe") {
+		t.Fatal("transformed source lacks __crc_dep_probe")
+	}
+	// Dep admission must beat the baseline on this input.
+	if rep.Speedup() <= 1.0 {
+		t.Fatalf("speedup = %.3f, want > 1.0", rep.Speedup())
+	}
+}
+
+func TestDepKeysNoCandidatesIsIdentical(t *testing.T) {
+	// A program with no pre-filter rejects: DepKeys on must change nothing.
+	off, err := Run(Options{Name: "g721mini", Source: g721Mini})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Run(Options{Name: "g721mini", Source: g721Mini, DepKeys: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.TransformedSource != on.TransformedSource {
+		t.Fatal("DepKeys changed the transformed source without dep candidates")
+	}
+	if off.Reuse.Cycles != on.Reuse.Cycles {
+		t.Fatalf("cycles differ: %d vs %d", off.Reuse.Cycles, on.Reuse.Cycles)
+	}
+}

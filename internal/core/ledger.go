@@ -71,6 +71,15 @@ type DecisionRecord struct {
 	// resolution.
 	Nesting string `json:"nesting,omitempty"`
 
+	// Dependence-key second chance (Options.DepKeys). DepKeyWidth is the
+	// modeled dynamic key width in bytes (mean footprint, one word per
+	// tracked location); FullKeyWidth the flat key the segment was
+	// rejected with; DepHitRate the measured footprint-trie hit rate of
+	// the final run. Zero-valued unless the segment was dep-profiled.
+	DepKeyWidth  int     `json:"dep_key_width,omitempty"`
+	FullKeyWidth int     `json:"full_key_width,omitempty"`
+	DepHitRate   float64 `json:"dep_hit_rate,omitempty"`
+
 	// Accepted is the final verdict; Reason names the deciding filter or
 	// formula.
 	Accepted bool   `json:"accepted"`
@@ -98,7 +107,8 @@ var (
 func buildLedger(o *Options, rep *Report, segs []*segment.Segment,
 	passedFreq map[string]bool, selectedNames map[string]bool,
 	nestingWhy map[string]string, overlapDropped map[string]bool,
-	estimates map[string]statreuse.Estimate) []DecisionRecord {
+	estimates map[string]statreuse.Estimate,
+	depProfiles map[string]*DepSegProfile) []DecisionRecord {
 
 	specialized := map[string]bool{}
 	for _, fn := range rep.Specialized {
@@ -136,6 +146,33 @@ func buildLedger(o *Options, rep *Report, segs []*segment.Segment,
 			rec.KeyBytes = sp.KeyBytes
 		}
 		rec.Nesting = nestingWhy[s.Name]
+
+		// Dep-key second chance: a pre-filter reject that was re-profiled
+		// with a footprint trie carries the dep census instead of a flat
+		// value-set profile, and its verdict comes from formula (3) under
+		// DepOverhead.
+		if dp := depProfiles[s.Name]; dp != nil {
+			rec.Profiled = true
+			rec.N = dp.N
+			rec.Nds = dp.Nds
+			rec.ReuseRate = dp.ReuseRate()
+			rec.C = dp.MeasuredC
+			rec.O = dp.OverheadDep
+			rec.Gain = dp.Gain()
+			rec.TotalGain = dp.Gain() * float64(dp.N)
+			rec.Table = s.Name
+			rec.KeyBytes = dp.DepKeyBytes()
+			rec.DepKeyWidth = dp.DepKeyBytes()
+			rec.FullKeyWidth = dp.FullKeyBytes
+			if dp.Accepted {
+				rec.Accepted = true
+				rec.Reason = "accepted: dep keys: R_dep*C - O_dep > 0 (formula 3 under DepOverhead)"
+			} else {
+				rec.Reason = "dep keys: R_dep*C - O_dep <= 0 (formula 3 under DepOverhead)"
+			}
+			ledger = append(ledger, rec)
+			continue
+		}
 
 		switch {
 		case rec.Accepted:

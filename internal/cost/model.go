@@ -117,6 +117,23 @@ func (m *Model) HashOverhead(keyBytes int, outBytes int) int64 {
 	return o
 }
 
+// DepOverhead estimates the per-instance overhead of a dependence-
+// tracked (footprint-trie) probe that reads footprintWords locations:
+// each trie level loads the named location, forms and compares one key
+// word, and indexes one node table; the fixed bookkeeping and the output
+// copy match HashOverhead. Unlike HashOverhead there is no per-byte
+// Jenkins pass over a wide flat key — the probe only ever touches the
+// locations the computation depends on, which is the economics that
+// lets dependence-tracked keys flip O/C ≥ 1 rejections (see
+// internal/depmemo).
+func (m *Model) DepOverhead(footprintWords int, outBytes int) int64 {
+	outWords := (outBytes + 3) / 4
+	o := m.HashFixed
+	o += int64(footprintWords) * (m.Load + m.KeyPerWord*2 + m.HashModulo)
+	o += int64(outWords) * m.CopyPerWord
+	return o
+}
+
 // Seconds converts cycles to seconds at the modeled clock.
 func Seconds(cycles int64) float64 { return float64(cycles) / ClockHz }
 

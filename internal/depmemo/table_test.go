@@ -1,0 +1,279 @@
+package depmemo
+
+import (
+	"fmt"
+	"testing"
+)
+
+// mapFetcher serves probe fetches from a map — the "current input state"
+// of a simulated caller.
+type mapFetcher map[Loc]uint64
+
+func (m mapFetcher) Fetch(l Loc) uint64 { return m[l] }
+
+func loc(in, off int32) Loc { return Loc{Input: in, Off: off} }
+
+func steps(pairs ...uint64) []Step {
+	// pairs are (input, off, label) triples flattened.
+	if len(pairs)%3 != 0 {
+		panic("triples")
+	}
+	var out []Step
+	for i := 0; i < len(pairs); i += 3 {
+		out = append(out, Step{Loc: loc(int32(pairs[i]), int32(pairs[i+1])), Label: pairs[i+2]})
+	}
+	return out
+}
+
+func TestProbeRecordRoundTrip(t *testing.T) {
+	tab := New(Config{Name: "t"})
+	f := mapFetcher{loc(0, 0): 7, loc(1, 3): 9}
+
+	if r := tab.Probe(f); r.Hit || r.Ghost {
+		t.Fatalf("empty table hit: %+v", r)
+	}
+	tab.Record(steps(0, 0, 7, 1, 3, 9), []uint64{42})
+
+	r := tab.Probe(f)
+	if !r.Hit || len(r.Outs) != 1 || r.Outs[0] != 42 {
+		t.Fatalf("expected hit with 42, got %+v", r)
+	}
+	if r.Steps != 2 {
+		t.Fatalf("hit walked %d steps, want 2", r.Steps)
+	}
+
+	// A differing value at the second location misses without touching
+	// locations beyond the divergence.
+	f[loc(1, 3)] = 10
+	if r := tab.Probe(f); r.Hit {
+		t.Fatalf("stale hit after input change: %+v", r)
+	}
+	tab.Record(steps(0, 0, 7, 1, 3, 10), []uint64{43})
+	if r := tab.Probe(f); !r.Hit || r.Outs[0] != 43 {
+		t.Fatalf("expected hit with 43, got %+v", r)
+	}
+	// The original input set still hits its own leaf.
+	f[loc(1, 3)] = 9
+	if r := tab.Probe(f); !r.Hit || r.Outs[0] != 42 {
+		t.Fatalf("coexisting read-set lost: %+v", r)
+	}
+
+	st := tab.Stats()
+	if st.Distinct != 2 || st.Records != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.MeanFootprint() != 2 {
+		t.Fatalf("mean footprint %v, want 2", st.MeanFootprint())
+	}
+}
+
+// TestEmptyFootprint pins the constant-result case: a computation that
+// read nothing matches every later probe, whatever the inputs.
+func TestEmptyFootprint(t *testing.T) {
+	tab := New(Config{})
+	tab.Record(nil, []uint64{99})
+	for i := 0; i < 3; i++ {
+		f := mapFetcher{loc(0, 0): uint64(i)}
+		r := tab.Probe(f)
+		if !r.Hit || r.Outs[0] != 99 || r.Steps != 0 {
+			t.Fatalf("probe %d: %+v", i, r)
+		}
+	}
+	if tab.Stats().Distinct != 1 {
+		t.Fatalf("distinct: %+v", tab.Stats())
+	}
+}
+
+// TestDifferingFootprintsCoexist pins the trie's point: two records whose
+// read-sets diverge after a shared prefix occupy different subtrees with
+// different footprint widths.
+func TestDifferingFootprintsCoexist(t *testing.T) {
+	tab := New(Config{})
+	// flag=0 → reads only the flag. flag=1 → reads the flag then x.
+	tab.Record(steps(0, 0, 1, 1, 0, 5), []uint64{15})
+	tab.Record(steps(0, 0, 1, 1, 0, 6), []uint64{16})
+	// Note: the flag=0 path must disagree on the *label*, not record a
+	// shorter path at the same prefix (determinism: same values read →
+	// same next read).
+	tab.Record(steps(0, 0, 0), []uint64{7})
+
+	if r := tab.Probe(mapFetcher{loc(0, 0): 0}); !r.Hit || r.Outs[0] != 7 || r.Steps != 1 {
+		t.Fatalf("short path: %+v", r)
+	}
+	if r := tab.Probe(mapFetcher{loc(0, 0): 1, loc(1, 0): 6}); !r.Hit || r.Outs[0] != 16 || r.Steps != 2 {
+		t.Fatalf("long path: %+v", r)
+	}
+}
+
+// TestFootprintWidening pins conflict resolution: when a new record reads
+// *more* locations along a resident leaf's path (a nondeterministic or
+// tolerance-collapsed compute), the newer, wider record wins.
+func TestFootprintWidening(t *testing.T) {
+	tab := New(Config{})
+	tab.Record(steps(0, 0, 1), []uint64{10})
+	// Same first read, but the computation now continues reading.
+	tab.Record(steps(0, 0, 1, 1, 0, 2), []uint64{20})
+
+	r := tab.Probe(mapFetcher{loc(0, 0): 1, loc(1, 0): 2})
+	if !r.Hit || r.Outs[0] != 20 {
+		t.Fatalf("widened record lost: %+v", r)
+	}
+	st := tab.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("widening should evict the stale leaf: %+v", st)
+	}
+	// And narrowing back again replaces the subtree.
+	tab.Record(steps(0, 0, 1), []uint64{30})
+	if r := tab.Probe(mapFetcher{loc(0, 0): 1, loc(1, 0): 2}); !r.Hit || r.Outs[0] != 30 {
+		t.Fatalf("narrowed record lost: %+v", r)
+	}
+}
+
+// TestBudgetEviction pins LRU behavior of the leaf arena: the least
+// recently used result leaves first, and childless internal nodes are
+// pruned so the trie does not leak structure.
+func TestBudgetEviction(t *testing.T) {
+	tab := New(Config{Entries: 2})
+	for i := uint64(1); i <= 3; i++ {
+		tab.Record(steps(0, 0, i), []uint64{i * 10})
+	}
+	// 1 was LRU → evicted; 2 and 3 resident.
+	if r := tab.Probe(mapFetcher{loc(0, 0): 1}); r.Hit {
+		t.Fatalf("evicted entry still hits: %+v", r)
+	}
+	for i := uint64(2); i <= 3; i++ {
+		if r := tab.Probe(mapFetcher{loc(0, 0): i}); !r.Hit || r.Outs[0] != i*10 {
+			t.Fatalf("resident %d: %+v", i, r)
+		}
+	}
+	st := tab.Stats()
+	if st.Evictions != 1 || tab.Resident() != 2 {
+		t.Fatalf("stats: %+v resident=%d", st, tab.Resident())
+	}
+
+	// Touch 2 (making 3 LRU), insert 4 → 3 evicted, 2 stays.
+	tab.Probe(mapFetcher{loc(0, 0): 2})
+	tab.Record(steps(0, 0, 4), []uint64{40})
+	if r := tab.Probe(mapFetcher{loc(0, 0): 3}); r.Hit {
+		t.Fatal("LRU order violated: 3 should have been evicted")
+	}
+	if r := tab.Probe(mapFetcher{loc(0, 0): 2}); !r.Hit {
+		t.Fatal("recently used entry evicted")
+	}
+}
+
+// TestBudgetEvictionPrunesDeepPaths fills a bounded table with deep
+// multi-level paths and checks eviction keeps the structure consistent.
+func TestBudgetEvictionPrunesDeepPaths(t *testing.T) {
+	tab := New(Config{Entries: 4})
+	for i := uint64(0); i < 64; i++ {
+		tab.Record(steps(0, 0, i, 1, 0, i+1, 2, 0, i+2), []uint64{i})
+	}
+	if tab.Resident() != 4 {
+		t.Fatalf("resident %d, want 4", tab.Resident())
+	}
+	// The last four inserted are resident.
+	for i := uint64(60); i < 64; i++ {
+		f := mapFetcher{loc(0, 0): i, loc(1, 0): i + 1, loc(2, 0): i + 2}
+		if r := tab.Probe(f); !r.Hit || r.Outs[0] != i {
+			t.Fatalf("resident %d: %+v", i, r)
+		}
+	}
+	if ev := tab.Stats().Evictions; ev != 60 {
+		t.Fatalf("evictions %d, want 60", ev)
+	}
+}
+
+// TestGhosts pins the tiered-refill shells: an evicted result keeps its
+// encoded key, a probe reaching the ghost reports it, and Refill
+// restores the value.
+func TestGhosts(t *testing.T) {
+	tab := New(Config{Entries: 1, Ghosts: true})
+	tab.Record(steps(0, 0, 1), []uint64{10})
+	tab.Record(steps(0, 0, 2), []uint64{20}) // evicts 1 → ghost
+
+	f := mapFetcher{loc(0, 0): 1}
+	r := tab.Probe(f)
+	if r.Hit || !r.Ghost || len(r.Key) == 0 {
+		t.Fatalf("expected ghost, got %+v", r)
+	}
+	want := EncodeSteps(nil, steps(0, 0, 1))
+	if string(r.Key) != string(want) {
+		t.Fatalf("ghost key %x, want %x", r.Key, want)
+	}
+
+	// Refill restores the value (and evicts 2 in turn under budget 1).
+	key := append([]byte(nil), r.Key...)
+	tab.Refill(r, key, []uint64{10})
+	if r2 := tab.Probe(f); !r2.Hit || r2.Outs[0] != 10 {
+		t.Fatalf("refilled probe: %+v", r2)
+	}
+
+	// A stale Refill (the ghost was since rebuilt) is a no-op.
+	tab.Refill(r, key, []uint64{99})
+	if r3 := tab.Probe(f); !r3.Hit || r3.Outs[0] != 10 {
+		t.Fatalf("stale refill applied: %+v", r3)
+	}
+}
+
+func TestProfileModeCensus(t *testing.T) {
+	tab := New(Config{Profile: true})
+	f := mapFetcher{loc(0, 0): 1}
+	for i := 0; i < 5; i++ {
+		if r := tab.Probe(f); r.Hit {
+			t.Fatal("profile probes must miss")
+		}
+		tab.Record(steps(0, 0, 1, 1, 0, uint64(i%2)), []uint64{1})
+	}
+	st := tab.Stats()
+	if st.Records != 5 || st.Distinct != 2 {
+		t.Fatalf("census: %+v", st)
+	}
+	if got := st.ReuseRate(); got != 1-2.0/5 {
+		t.Fatalf("R = %v", got)
+	}
+	if st.MeanFootprint() != 2 || st.MaxFootprint != 2 {
+		t.Fatalf("footprint: %+v", st)
+	}
+}
+
+func TestReset(t *testing.T) {
+	for _, cfg := range []Config{{}, {Entries: 4}, {Entries: 4, Ghosts: true}} {
+		t.Run(fmt.Sprintf("%+v", cfg), func(t *testing.T) {
+			tab := New(cfg)
+			for i := uint64(0); i < 8; i++ {
+				tab.Record(steps(0, 0, i), []uint64{i})
+			}
+			tab.Reset()
+			if tab.Resident() != 0 {
+				t.Fatalf("resident after reset: %d", tab.Resident())
+			}
+			if st := tab.Stats(); st != (Stats{}) {
+				t.Fatalf("stats after reset: %+v", st)
+			}
+			if r := tab.Probe(mapFetcher{loc(0, 0): 1}); r.Hit || r.Ghost {
+				t.Fatalf("hit after reset: %+v", r)
+			}
+			// The table is fully usable again.
+			tab.Record(steps(0, 0, 3), []uint64{33})
+			if r := tab.Probe(mapFetcher{loc(0, 0): 3}); !r.Hit || r.Outs[0] != 33 {
+				t.Fatalf("post-reset record lost: %+v", r)
+			}
+		})
+	}
+}
+
+// TestConflictingLocation pins the rebuild path: a record whose next
+// read names a different location than the resident subtree replaces it.
+func TestConflictingLocation(t *testing.T) {
+	tab := New(Config{})
+	tab.Record(steps(0, 0, 1, 1, 0, 2), []uint64{1})
+	tab.Record(steps(0, 0, 1, 2, 0, 3), []uint64{2}) // second read moved
+
+	if r := tab.Probe(mapFetcher{loc(0, 0): 1, loc(2, 0): 3}); !r.Hit || r.Outs[0] != 2 {
+		t.Fatalf("rebuilt path: %+v", r)
+	}
+	if r := tab.Probe(mapFetcher{loc(0, 0): 1, loc(1, 0): 2, loc(2, 0): 99}); r.Hit {
+		t.Fatalf("stale subtree survived: %+v", r)
+	}
+}

@@ -178,6 +178,9 @@ func (mc *Machine) execStmt(s minic.Stmt, fr *Seg) ctrl {
 	case *minic.EmptyStmt:
 		return cNone
 	case *minic.ReuseRegion:
+		if s.Dep {
+			return mc.execDepReuse(s, fr)
+		}
 		return mc.execReuse(s, fr)
 	}
 	panic(rtErr(s.Pos(), "unhandled statement %T", s))
@@ -213,14 +216,22 @@ func (mc *Machine) evalExpr(e minic.Expr, fr *Seg) Value {
 				return Value{K: KPtr, P: Ptr{seg: mc.globals, off: sym.Slot}}
 			}
 			mc.chargeLoad()
-			return mc.globals.data[sym.Slot]
+			v := mc.globals.data[sym.Slot]
+			if mc.depWatch != nil {
+				mc.depWatch.onRead(mc.globals, sym.Slot, v)
+			}
+			return v
 		default:
 			if minic.IsAggregate(sym.Type) {
 				mc.chargeInt()
 				return Value{K: KPtr, P: Ptr{seg: fr, off: sym.Slot}}
 			}
 			mc.chargeLocal()
-			return fr.data[sym.Slot]
+			v := fr.data[sym.Slot]
+			if mc.depWatch != nil {
+				mc.depWatch.onRead(fr, sym.Slot, v)
+			}
+			return v
 		}
 
 	case *minic.Unary:
@@ -351,7 +362,11 @@ func (mc *Machine) loadPtr(p Ptr, t minic.Type, pos minic.Pos) Value {
 		panic(rtErr(pos, "out-of-bounds access: %s[%d] (size %d)", p.seg.name, p.off, len(p.seg.data)))
 	}
 	mc.chargeLoad()
-	return p.seg.data[p.off]
+	v := p.seg.data[p.off]
+	if mc.depWatch != nil {
+		mc.depWatch.onRead(p.seg, p.off, v)
+	}
+	return v
 }
 
 func (mc *Machine) storePtr(p Ptr, v Value, pos minic.Pos) {
@@ -362,6 +377,9 @@ func (mc *Machine) storePtr(p Ptr, v Value, pos minic.Pos) {
 		panic(rtErr(pos, "out-of-bounds store: %s[%d] (size %d)", p.seg.name, p.off, len(p.seg.data)))
 	}
 	mc.chargeStore()
+	if mc.depWatch != nil {
+		mc.depWatch.onWrite(p.seg, p.off)
+	}
 	p.seg.data[p.off] = v
 }
 

@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"compreuse/internal/cost"
+	"compreuse/internal/depmemo"
 	"compreuse/internal/minic"
 	"compreuse/internal/reusetab"
 )
@@ -52,6 +53,10 @@ type Options struct {
 	// Tables maps ReuseRegion.TableID to its table. Regions referencing a
 	// missing table fault at first use.
 	Tables map[int]*reusetab.Table
+	// DepTables maps dependence-tracked regions (ReuseRegion.Dep) to
+	// their footprint tries; the ID space is shared with Tables, so dep
+	// regions must use table IDs no flat-key region uses.
+	DepTables map[int]*depmemo.Table
 	// MaxSteps bounds executed statements (0 = 4e9).
 	MaxSteps int64
 	// CollectFreq enables per-node execution-frequency profiling.
@@ -78,6 +83,8 @@ type Result struct {
 	Segs map[int]*SegRunStats
 	// Tables echoes the tables used by the run.
 	Tables map[int]*reusetab.Table
+	// DepTables echoes the footprint tries used by the run.
+	DepTables map[int]*depmemo.Table
 }
 
 // Seconds returns the modeled wall-clock time of the run.
@@ -97,9 +104,15 @@ type Machine struct {
 	depth   int
 	maxDep  int
 	tables  map[int]*reusetab.Table
+	depTabs map[int]*depmemo.Table
 	segs    map[int]*SegRunStats
 	freq    []int64
 	retVal  Value
+	// depWatch heads the chain of active dep-region watchers (nil when
+	// no dependence-tracked body is executing — the common case, paid
+	// as one nil check per load/store).
+	depWatch *depWatcher
+	depFree  []*depWatcher
 	// overheadMemo caches the hashing overhead per (table, seg).
 	overheadMemo map[[2]int]int64
 }
@@ -125,6 +138,7 @@ func New(prog *minic.Program, opts Options) *Machine {
 		maxStep:      maxSteps,
 		maxDep:       maxDep,
 		tables:       opts.Tables,
+		depTabs:      opts.DepTables,
 		segs:         map[int]*SegRunStats{},
 		overheadMemo: map[[2]int]int64{},
 	}
@@ -161,13 +175,14 @@ func Run(prog *minic.Program, opts Options) (res *Result, err error) {
 	}
 	ret := mc.call(mainFn, args, mainFn.Pos())
 	return &Result{
-		Ret:    ret.I,
-		Cycles: mc.cycles,
-		Output: mc.out.String(),
-		Ops:    mc.ops,
-		Freq:   mc.freq,
-		Segs:   mc.segs,
-		Tables: mc.tables,
+		Ret:       ret.I,
+		Cycles:    mc.cycles,
+		Output:    mc.out.String(),
+		Ops:       mc.ops,
+		Freq:      mc.freq,
+		Segs:      mc.segs,
+		Tables:    mc.tables,
+		DepTables: mc.depTabs,
 	}, nil
 }
 

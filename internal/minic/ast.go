@@ -239,6 +239,11 @@ type ReuseRegion struct {
 	Inputs  []Expr
 	Outputs []Expr
 	Body    Stmt
+	// Dep marks a dependence-tracked region: instead of forming a flat
+	// key from all Inputs up front, the probe walks a footprint trie
+	// keyed on the locations the body actually reads (internal/depmemo).
+	// Inputs then declare the trackable location set, not the key.
+	Dep bool
 }
 
 // ---------------------------------------------------------------------------

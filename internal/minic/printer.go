@@ -281,6 +281,25 @@ func (p *printer) printReuse(s *ReuseRegion) {
 		}
 		return sb.String()
 	}
+	if s.Dep {
+		// Dependence-tracked variant: the probe walks the footprint trie
+		// over the declared locations instead of hashing a flat key.
+		p.printf("/* computation reuse (dep keys): %s (table %d, seg %d) */\n", s.SegName, s.TableID, s.SegBit)
+		p.printf("if (__crc_dep_probe(%d, %d%s) == 0) {\n", s.TableID, s.SegBit, args(s.Inputs))
+		p.indent++
+		if b, ok := s.Body.(*Block); ok {
+			for _, st := range b.Stmts {
+				p.stmt(st)
+			}
+		} else {
+			p.stmt(s.Body)
+		}
+		p.printf("__crc_dep_record(%d, %d%s);\n", s.TableID, s.SegBit, args(s.Outputs))
+		p.indent--
+		p.line("}")
+		p.printf("else __crc_dep_fetch(%d, %d%s);\n", s.TableID, s.SegBit, args(s.Outputs))
+		return
+	}
 	p.printf("/* computation reuse: %s (table %d, seg %d) */\n", s.SegName, s.TableID, s.SegBit)
 	p.printf("if (__crc_probe(%d, %d%s) == 0) {\n", s.TableID, s.SegBit, args(s.Inputs))
 	p.indent++

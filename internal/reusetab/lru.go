@@ -1,19 +1,21 @@
 package reusetab
 
-// lruList is an intrusive doubly-linked list over the slot indices of a
+// LRUList is an intrusive doubly-linked list over the slot indices of a
 // bounded LRU table, ordered most- to least-recently used. Together with
 // the Table's key→slot map it turns the LRU probe and eviction paths into
 // O(1) operations, replacing the O(entries) slot scans the table emulated
 // the paper's hardware reuse buffers with (Table 5). The list stores links
 // in two flat int slices (no per-node allocation); index -1 is the nil
-// sentinel.
-type lruList struct {
+// sentinel. The depmemo footprint tries reuse it for their leaf-arena
+// space budgets.
+type LRUList struct {
 	head, tail int
 	prev, next []int
 }
 
-func newLRUList(n int) *lruList {
-	l := &lruList{head: -1, tail: -1, prev: make([]int, n), next: make([]int, n)}
+// NewLRUList builds an empty list over slots [0, n).
+func NewLRUList(n int) *LRUList {
+	l := &LRUList{head: -1, tail: -1, prev: make([]int, n), next: make([]int, n)}
 	for i := 0; i < n; i++ {
 		l.prev[i] = -1
 		l.next[i] = -1
@@ -21,8 +23,8 @@ func newLRUList(n int) *lruList {
 	return l
 }
 
-// pushFront links a not-yet-listed slot as the most recently used.
-func (l *lruList) pushFront(i int) {
+// PushFront links a not-yet-listed slot as the most recently used.
+func (l *LRUList) PushFront(i int) {
 	l.prev[i] = -1
 	l.next[i] = l.head
 	if l.head >= 0 {
@@ -34,8 +36,8 @@ func (l *lruList) pushFront(i int) {
 	}
 }
 
-// moveToFront marks a listed slot as the most recently used.
-func (l *lruList) moveToFront(i int) {
+// MoveToFront marks a listed slot as the most recently used.
+func (l *LRUList) MoveToFront(i int) {
 	if l.head == i {
 		return
 	}
@@ -59,12 +61,34 @@ func (l *lruList) moveToFront(i int) {
 	l.head = i
 }
 
-// back returns the least recently used slot, or -1 when the list is empty.
-func (l *lruList) back() int { return l.tail }
+// Remove unlinks a listed slot entirely (it is neither most nor least
+// recently used afterwards; PushFront relists it). The depmemo trie uses
+// this when a resident leaf is displaced by a conflicting record rather
+// than by LRU eviction.
+func (l *LRUList) Remove(i int) {
+	p, n := l.prev[i], l.next[i]
+	if p >= 0 {
+		l.next[p] = n
+	}
+	if n >= 0 {
+		l.prev[n] = p
+	}
+	if l.head == i {
+		l.head = n
+	}
+	if l.tail == i {
+		l.tail = p
+	}
+	l.prev[i] = -1
+	l.next[i] = -1
+}
 
-// reset unlinks every slot, returning the list to its freshly built
+// Back returns the least recently used slot, or -1 when the list is empty.
+func (l *LRUList) Back() int { return l.tail }
+
+// Reset unlinks every slot, returning the list to its freshly built
 // state without reallocating the link slices.
-func (l *lruList) reset() {
+func (l *LRUList) Reset() {
 	l.head, l.tail = -1, -1
 	for i := range l.prev {
 		l.prev[i] = -1

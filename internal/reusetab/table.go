@@ -132,7 +132,7 @@ type Table struct {
 	// next never-used slot (slots fill in index order before the first
 	// eviction, matching the historical first-free-slot scan).
 	lruIdx  map[string]int
-	lruList *lruList
+	lruList *LRUList
 	lruFree int
 	// Optimal (unbounded) storage.
 	byKey map[string]*entry
@@ -181,7 +181,7 @@ func New(cfg Config) *Table {
 		t.slots = make([]entry, cfg.Entries)
 		if cfg.LRU {
 			t.lruIdx = make(map[string]int, cfg.Entries)
-			t.lruList = newLRUList(cfg.Entries)
+			t.lruList = NewLRUList(cfg.Entries)
 		}
 	default:
 		t.byKey = map[string]*entry{}
@@ -345,7 +345,7 @@ func (t *Table) probe(seg int, key []byte) ([]uint64, bool) {
 		}
 		e := &t.slots[i]
 		e.lastUse = t.clock
-		t.lruList.moveToFront(i)
+		t.lruList.MoveToFront(i)
 		t.accessCounts[i]++
 		if e.valid&bit == 0 {
 			st.Misses++
@@ -424,7 +424,7 @@ func (t *Table) record(seg int, key []byte, outs []uint64) {
 			e.valid |= bit
 			e.outs[seg] = storeOuts(e.outs[seg], outs)
 			e.lastUse = t.clock
-			t.lruList.moveToFront(i)
+			t.lruList.MoveToFront(i)
 			return
 		}
 		// Otherwise claim the next never-used slot, or evict the least
@@ -433,12 +433,12 @@ func (t *Table) record(seg int, key []byte, outs []uint64) {
 		if t.lruFree < len(t.slots) {
 			victim = t.lruFree
 			t.lruFree++
-			t.lruList.pushFront(victim)
+			t.lruList.PushFront(victim)
 			t.resident++
 		} else {
-			victim = t.lruList.back()
+			victim = t.lruList.Back()
 			delete(t.lruIdx, string(t.slots[victim].key))
-			t.lruList.moveToFront(victim)
+			t.lruList.MoveToFront(victim)
 			st.Evictions++
 		}
 		t.lruIdx[string(key)] = victim
@@ -513,7 +513,7 @@ func (t *Table) Reset() {
 	}
 	if t.lruIdx != nil {
 		clear(t.lruIdx)
-		t.lruList.reset()
+		t.lruList.Reset()
 		t.lruFree = 0
 	}
 	if t.byKey != nil {

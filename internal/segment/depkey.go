@@ -1,0 +1,65 @@
+package segment
+
+import (
+	"compreuse/internal/cost"
+	"compreuse/internal/minic"
+)
+
+// Dependence-key eligibility: a second chance for segments the flat-key
+// O/C >= 1 filter rejected. A dependence-tracked probe (internal/depmemo)
+// pays per location the body actually reads, not per byte of the
+// declared input set, so a segment whose key is dominated by a wide,
+// sparsely-read aggregate can clear the profitability bar under
+// cost.Model.DepOverhead even though HashOverhead sank it.
+
+// MinFootprintWords is the optimistic lower bound on a dependence
+// footprint: one tracked read per scalar input, and at least one
+// element read per aggregate input (a body that never reads an input at
+// all would have had it filtered as dead).
+func (s *Segment) MinFootprintWords() int {
+	if len(s.Inputs) == 0 {
+		return 1
+	}
+	return len(s.Inputs)
+}
+
+// DepEligible reports whether the segment should be forwarded to
+// dependence-footprint profiling: structurally transformable, rejected
+// by the flat-key pre-filter, and optimistically profitable under the
+// dependence overhead model (O_dep/C_max < 1, the dep analog of the
+// paper's formula-2 filter — R <= 1, so a segment failing even with the
+// minimal footprint can never satisfy formula 3).
+func (s *Segment) DepEligible(m *cost.Model) bool {
+	if !s.Eligible || s.RatioOK() {
+		return false
+	}
+	if s.CMax <= 0 {
+		return false
+	}
+	oDep := m.DepOverhead(s.MinFootprintWords(), s.OutBytes)
+	return float64(oDep)/float64(s.CMax) < 1
+}
+
+// HasAggregateInput reports whether any keyed input is an aggregate —
+// the case where dependence narrowing has room to work (scalar-only
+// keys are already minimal, so the trie can only match HashOverhead).
+func (s *Segment) HasAggregateInput() bool {
+	for _, in := range s.Inputs {
+		if in.Elem == nil && minic.IsAggregate(in.Sym.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// DepCandidates returns the segments forwarded to dependence-footprint
+// profiling: those DepEligible under m, in analysis order.
+func (a *Analysis) DepCandidates(m *cost.Model) []*Segment {
+	var out []*Segment
+	for _, s := range a.Segments {
+		if s.DepEligible(m) {
+			out = append(out, s)
+		}
+	}
+	return out
+}

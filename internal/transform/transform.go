@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"compreuse/internal/depmemo"
 	"compreuse/internal/minic"
 	"compreuse/internal/reusetab"
 	"compreuse/internal/segment"
@@ -30,6 +31,20 @@ type TableSpec struct {
 	// OutWords / OutBytes are per-segment output sizes.
 	OutWords []int
 	OutBytes []int
+	// Dep marks a dependence-tracked table: the region probes a
+	// depmemo footprint trie instead of a flat-key reusetab. Dep tables
+	// are never merged (footprints are per-body read paths), so Segs
+	// always has exactly one element.
+	Dep bool
+}
+
+// DepConfig instantiates a depmemo.Config for this table (Dep only).
+func (ts *TableSpec) DepConfig(entries int, profile bool) depmemo.Config {
+	return depmemo.Config{
+		Name:    ts.Name,
+		Entries: entries,
+		Profile: profile,
+	}
 }
 
 // Config instantiates a reusetab.Config for this table.
@@ -58,6 +73,11 @@ type Options struct {
 	// Merge enables hash-table merging for segments with identical input
 	// variables (default on; disable to measure the storage effect).
 	NoMerge bool
+	// DepSegs selects segments (by name) to transform as dependence-
+	// tracked regions: the region declares the trackable location set
+	// (whole aggregates, not single elements) and probes a footprint
+	// trie. Dep segments never merge.
+	DepSegs map[string]bool
 }
 
 // Apply wraps the selected segments of prog in ReuseRegions, mutating the
@@ -66,11 +86,23 @@ type Options struct {
 func Apply(prog *minic.Program, selected []*segment.Segment, opts Options) *Result {
 	res := &Result{Regions: map[*segment.Segment]*minic.ReuseRegion{}}
 
+	// Dependence-tracked segments bypass grouping entirely: a footprint
+	// trie is keyed on a body's observed read path, which is never
+	// shared across bodies.
+	var flat, dep []*segment.Segment
+	for _, s := range selected {
+		if opts.DepSegs[s.Name] {
+			dep = append(dep, s)
+		} else {
+			flat = append(flat, s)
+		}
+	}
+
 	// Group segments by identical input variable lists (§2.5). The key is
 	// the identity of the symbol sequence.
 	groups := map[string][]*segment.Segment{}
 	var order []string
-	for _, s := range selected {
+	for _, s := range flat {
 		k := inputKey(s)
 		if opts.NoMerge {
 			k = k + "#" + s.Name // unique key: no sharing
@@ -101,8 +133,29 @@ func Apply(prog *minic.Program, selected []*segment.Segment, opts Options) *Resu
 		}
 		res.Tables = append(res.Tables, ts)
 		for bit, s := range segs {
-			res.Regions[s] = wrap(prog, s, ts.ID, bit)
+			res.Regions[s] = wrap(prog, s, ts.ID, bit, false)
 		}
+	}
+
+	// Dep tables, one per segment, IDs continuing after the flat tables
+	// (the interpreter's table-ID space is shared).
+	sort.Slice(dep, func(i, j int) bool { return dep[i].Index < dep[j].Index })
+	for _, s := range dep {
+		outWords := 0
+		for _, o := range s.Outputs {
+			outWords += o.Words()
+		}
+		ts := &TableSpec{
+			ID:       len(res.Tables),
+			Name:     s.Name,
+			Segs:     []*segment.Segment{s},
+			KeyBytes: s.KeyBytes,
+			OutWords: []int{outWords},
+			OutBytes: []int{s.OutBytes},
+			Dep:      true,
+		}
+		res.Tables = append(res.Tables, ts)
+		res.Regions[s] = wrap(prog, s, ts.ID, 0, true)
 	}
 	return res
 }
@@ -200,7 +253,7 @@ func hoistOutputDecls(prog *minic.Program, s *segment.Segment) []minic.Stmt {
 }
 
 // wrap builds the ReuseRegion for s and splices it into the AST.
-func wrap(prog *minic.Program, s *segment.Segment, tableID, segBit int) *minic.ReuseRegion {
+func wrap(prog *minic.Program, s *segment.Segment, tableID, segBit int, dep bool) *minic.ReuseRegion {
 	// For sub-blocks, capture the run's anchor statement before hoisting
 	// rewrites the body's statement list.
 	var subAnchor minic.Stmt
@@ -210,9 +263,17 @@ func wrap(prog *minic.Program, s *segment.Segment, tableID, segBit int) *minic.R
 	hoisted := hoistOutputDecls(prog, s)
 	rr := prog.NewReuseRegion(tableID, segBit, s.Name)
 	rr.Body = s.Body
+	rr.Dep = dep
 
 	for _, in := range s.Inputs {
 		if in.Elem == nil {
+			rr.Inputs = append(rr.Inputs, prog.NewIdent(in.Sym))
+			continue
+		}
+		if dep {
+			// A dep region declares the whole aggregate as trackable —
+			// the watcher narrows to the elements actually read, which
+			// may differ from the flat key's single-element pattern.
 			rr.Inputs = append(rr.Inputs, prog.NewIdent(in.Sym))
 			continue
 		}
